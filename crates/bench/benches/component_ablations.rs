@@ -1,0 +1,69 @@
+//! Benches regenerating paper Tables 7 and 8: the row clustering and new
+//! detection ablations (metrics added one by one), plus micro-benchmarks of
+//! the clustering itself with and without blocking (the blocking ablation
+//! called out in DESIGN.md).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ltee_clustering::metrics::PhiTableVectors;
+use ltee_clustering::{
+    build_pair_dataset, build_row_contexts, cluster_rows, train_row_model, ClusteringConfig,
+    ImplicitAttributes, RowMetricKind, RowModelTrainingConfig,
+};
+use ltee_core::experiments::{self, ExperimentConfig};
+use ltee_core::prelude::*;
+use ltee_matching::{match_corpus, MatcherWeights};
+
+fn bench_ablations(c: &mut Criterion) {
+    let config = ExperimentConfig::tiny();
+
+    // Regenerate and print the ablation tables once (the expensive part is
+    // deliberately outside the timed loops).
+    let t7 = experiments::table07_row_clustering_ablation(&config);
+    println!("{}", ltee_bench::format_table7(&t7));
+    let t8 = experiments::table08_new_detection_ablation(&config);
+    println!("{}", ltee_bench::format_table8(&t8));
+
+    // Micro-benchmarks: clustering one class with and without blocking (the
+    // blocking ablation), using a model trained once up front.
+    let (world, corpus) = config.materialize();
+    let mapping = match_corpus(&corpus, world.kb(), &MatcherWeights::default(), &Default::default(), None);
+    let class = ClassKey::GridironFootballPlayer;
+    let gold = GoldStandard::build(&world, &corpus, class);
+    let rows = mapping.class_rows(&corpus, class);
+    let contexts = build_row_contexts(&corpus, &mapping, &rows);
+    let phi = PhiTableVectors::build(&corpus, &contexts);
+    let index = world.kb().label_index(class);
+    let implicit = ImplicitAttributes::build(&corpus, &mapping, world.kb(), class, &index);
+    let training = RowModelTrainingConfig::fast();
+    let dataset = build_pair_dataset(&contexts, &gold, &RowMetricKind::ALL, &phi, &implicit, &training);
+    let model = train_row_model(&dataset, RowMetricKind::ALL.to_vec(), &training);
+
+    let mut group = c.benchmark_group("component_ablations");
+    group.sample_size(10);
+    group.bench_function("row_clustering_with_blocking", |b| {
+        b.iter(|| cluster_rows(&contexts, &model, &phi, &implicit, &ClusteringConfig::default()).len())
+    });
+    group.bench_function("row_clustering_without_blocking", |b| {
+        b.iter(|| {
+            cluster_rows(
+                &contexts,
+                &model,
+                &phi,
+                &implicit,
+                &ClusteringConfig { use_blocking: false, ..Default::default() },
+            )
+            .len()
+        })
+    });
+    group.bench_function("row_model_training", |b| {
+        b.iter(|| train_row_model(&dataset, RowMetricKind::ALL.to_vec(), &training).metrics.len())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_ablations
+}
+criterion_main!(benches);

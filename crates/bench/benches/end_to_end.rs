@@ -1,0 +1,47 @@
+//! Benches regenerating the end-to-end evaluation: paper Tables 9 & 10
+//! (gold-standard evaluation of new instances and facts found), Tables 11 &
+//! 12 (large-scale profiling and new-entity property densities) and the
+//! Section 6 ranked evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ltee_core::experiments::{self, ExperimentConfig};
+use ltee_core::prelude::*;
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let config = ExperimentConfig::tiny();
+
+    let (t9, t10) = experiments::table09_10_end_to_end(&config);
+    println!("{}", ltee_bench::format_table9(&t9));
+    println!("{}", ltee_bench::format_table10(&t10));
+
+    let profiling = experiments::table11_12_profiling(&config);
+    println!("{}", ltee_bench::format_table11(&profiling.table11));
+    println!("{}", ltee_bench::format_density("Table 12", &profiling.table12));
+
+    let ranked = experiments::ranked_set_expansion_eval(&config);
+    println!(
+        "Section 6 ranked evaluation — MAP@{}: {:.2}, P@5: {:.2}, P@20: {:.2}\n",
+        ranked.cutoff, ranked.map, ranked.p_at_5, ranked.p_at_20
+    );
+
+    // Benchmark one full pipeline run (training excluded) on the tiny setup.
+    let (world, corpus) = config.materialize();
+    let golds: Vec<GoldStandard> =
+        CLASS_KEYS.iter().map(|&cl| GoldStandard::build(&world, &corpus, cl)).collect();
+    let models = train_models(&corpus, world.kb(), &golds, &config.pipeline);
+    let pipeline = Pipeline::new(world.kb(), models, config.pipeline.clone());
+
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+    group.bench_function("pipeline_two_iterations", |b| {
+        b.iter(|| pipeline.run(&corpus).classes.len())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_end_to_end
+}
+criterion_main!(benches);

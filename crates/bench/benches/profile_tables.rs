@@ -1,0 +1,48 @@
+//! Benches regenerating paper Tables 1–5: knowledge base profile, corpus
+//! characteristics, value correspondences and the gold standard overview.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ltee_core::experiments::{self, ExperimentConfig};
+use ltee_matching::{match_corpus, MatcherWeights};
+
+fn bench_profile_tables(c: &mut Criterion) {
+    let config = ExperimentConfig::tiny();
+    let (world, corpus) = config.materialize();
+    let mapping = match_corpus(&corpus, world.kb(), &MatcherWeights::default(), &Default::default(), None);
+
+    // Print the regenerated tables once so the bench output doubles as the
+    // reproduction artefact.
+    println!("{}", ltee_bench::format_table1(&experiments::table01_kb_profile(&world)));
+    println!("{}", ltee_bench::format_density("Table 2", &experiments::table02_property_density(&world)));
+    let t3 = experiments::table03_corpus_stats(&corpus);
+    println!(
+        "Table 3 — rows avg {:.2} / median {} / min {} / max {}; columns avg {:.2} / median {} / min {} / max {}\n",
+        t3.rows.average, t3.rows.median, t3.rows.min, t3.rows.max,
+        t3.columns.average, t3.columns.median, t3.columns.min, t3.columns.max
+    );
+    println!("{}", ltee_bench::format_table4(&experiments::table04_value_correspondences(&corpus, &mapping)));
+    println!("{}", ltee_bench::format_table5(&experiments::table05_gold_standard(&world, &corpus)));
+
+    let mut group = c.benchmark_group("profile_tables");
+    group.sample_size(10);
+    group.bench_function("table01_02_kb_profile", |b| {
+        b.iter(|| {
+            let t1 = experiments::table01_kb_profile(&world);
+            let t2 = experiments::table02_property_density(&world);
+            (t1.len(), t2.len())
+        })
+    });
+    group.bench_function("table03_corpus_stats", |b| {
+        b.iter(|| experiments::table03_corpus_stats(&corpus))
+    });
+    group.bench_function("table04_value_correspondences", |b| {
+        b.iter(|| experiments::table04_value_correspondences(&corpus, &mapping))
+    });
+    group.bench_function("table05_gold_standard", |b| {
+        b.iter(|| experiments::table05_gold_standard(&world, &corpus))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_profile_tables);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Bench regenerating paper Table 6: attribute-to-property matching
+//! performance by pipeline iteration, plus a first-iteration schema-matching
+//! throughput benchmark.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ltee_core::experiments::{self, ExperimentConfig};
+use ltee_matching::{match_corpus, MatcherWeights};
+
+fn bench_schema_matching(c: &mut Criterion) {
+    let config = ExperimentConfig::tiny();
+
+    // Regenerate Table 6 (two iterations, as in the paper's conclusion that
+    // a third adds almost nothing) and print it.
+    let rows = experiments::table06_schema_matching_iterations(&config, 2);
+    println!("{}", ltee_bench::format_table6(&rows));
+
+    let (world, corpus) = config.materialize();
+    let weights = MatcherWeights::default();
+
+    let mut group = c.benchmark_group("schema_matching");
+    group.sample_size(10);
+    group.bench_function("first_iteration_match_corpus", |b| {
+        b.iter(|| match_corpus(&corpus, world.kb(), &weights, &Default::default(), None))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_schema_matching);
+criterion_main!(benches);

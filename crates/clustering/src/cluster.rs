@@ -1,0 +1,439 @@
+//! Greedy parallel correlation clustering with KLj refinement and blocking.
+
+use std::collections::{HashMap, HashSet};
+
+use ltee_index::LabelIndex;
+use ltee_webtables::RowRef;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use crate::context::{ImplicitAttributes, RowContext};
+use crate::metrics::{PhiTableVectors, RowSimilarityModel};
+
+/// Configuration of the clustering algorithm.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusteringConfig {
+    /// Whether blocking is applied (rows are only compared to clusters
+    /// sharing a block). Disable to measure blocking's effect.
+    pub use_blocking: bool,
+    /// Number of similar labels retrieved per row when assigning blocks.
+    pub block_candidates: usize,
+    /// Number of rows assigned per parallel batch of the greedy pass.
+    pub batch_size: usize,
+    /// Whether the KLj refinement runs after the greedy pass.
+    pub use_klj: bool,
+    /// Maximum number of KLj improvement passes.
+    pub max_klj_passes: usize,
+}
+
+impl Default for ClusteringConfig {
+    fn default() -> Self {
+        Self { use_blocking: true, block_candidates: 8, batch_size: 64, use_klj: true, max_klj_passes: 3 }
+    }
+}
+
+/// The result of clustering: clusters of row indices (into the context
+/// slice) plus the corresponding row references.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Clustering {
+    /// Clusters as indices into the input row slice.
+    pub clusters: Vec<Vec<usize>>,
+}
+
+impl Clustering {
+    /// Number of clusters.
+    pub fn len(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// True when there are no clusters.
+    pub fn is_empty(&self) -> bool {
+        self.clusters.is_empty()
+    }
+
+    /// Translate the clusters into row references.
+    pub fn to_row_refs(&self, contexts: &[RowContext]) -> Vec<Vec<RowRef>> {
+        self.clusters
+            .iter()
+            .map(|c| c.iter().map(|&i| contexts[i].row).collect())
+            .collect()
+    }
+}
+
+/// Cluster the rows using the learned row similarity model.
+pub fn cluster_rows(
+    contexts: &[RowContext],
+    model: &RowSimilarityModel,
+    phi: &PhiTableVectors,
+    implicit: &ImplicitAttributes,
+    config: &ClusteringConfig,
+) -> Clustering {
+    if contexts.is_empty() {
+        return Clustering::default();
+    }
+
+    // --- Blocking -----------------------------------------------------------
+    // Build a label index over the normalised row labels; each row's blocks
+    // are the normalised labels of its most similar indexed labels.
+    let blocks: Vec<HashSet<String>> = if config.use_blocking {
+        let mut index = LabelIndex::new();
+        for (i, ctx) in contexts.iter().enumerate() {
+            if !ctx.normalized_label.is_empty() {
+                index.insert(i as u64, &ctx.normalized_label);
+            }
+        }
+        contexts
+            .par_iter()
+            .map(|ctx| {
+                let mut set = HashSet::new();
+                if !ctx.normalized_label.is_empty() {
+                    set.insert(ctx.normalized_label.clone());
+                    for m in index.lookup(&ctx.normalized_label, config.block_candidates) {
+                        set.insert(m.normalized);
+                    }
+                }
+                set
+            })
+            .collect()
+    } else {
+        // Without blocking every row shares a single universal block.
+        let mut universal = HashSet::new();
+        universal.insert(String::from("*"));
+        vec![universal; contexts.len()]
+    };
+
+    // --- Parallel greedy correlation clustering -----------------------------
+    // Rows are assigned batch by batch: scores against the current clusters
+    // are computed in parallel against a snapshot, then applied sequentially
+    // (creating new clusters as needed). This mirrors the paper's parallel
+    // greedy pass whose occasional mistakes the KLj step repairs.
+    let mut clusters: Vec<Vec<usize>> = Vec::new();
+    let mut cluster_blocks: Vec<HashSet<String>> = Vec::new();
+
+    let order: Vec<usize> = (0..contexts.len()).collect();
+    for batch in order.chunks(config.batch_size.max(1)) {
+        let assignments: Vec<(usize, Option<usize>)> = batch
+            .par_iter()
+            .map(|&row_idx| {
+                let row_blocks = &blocks[row_idx];
+                let mut best: Option<(usize, f64)> = None;
+                for (cluster_idx, members) in clusters.iter().enumerate() {
+                    if config.use_blocking && row_blocks.is_disjoint(&cluster_blocks[cluster_idx]) {
+                        continue;
+                    }
+                    let score: f64 = members
+                        .iter()
+                        .map(|&m| model.score(&contexts[row_idx], &contexts[m], phi, implicit))
+                        .sum();
+                    if score > 0.0 && best.map(|(_, s)| score > s).unwrap_or(true) {
+                        best = Some((cluster_idx, score));
+                    }
+                }
+                (row_idx, best.map(|(c, _)| c))
+            })
+            .collect();
+
+        for (row_idx, target) in assignments {
+            match target {
+                Some(cluster_idx) => {
+                    clusters[cluster_idx].push(row_idx);
+                    cluster_blocks[cluster_idx].extend(blocks[row_idx].iter().cloned());
+                }
+                None => {
+                    clusters.push(vec![row_idx]);
+                    cluster_blocks.push(blocks[row_idx].clone());
+                }
+            }
+        }
+    }
+
+    // --- KLj refinement ------------------------------------------------------
+    if config.use_klj {
+        refine_klj(contexts, model, phi, implicit, &mut clusters, &mut cluster_blocks, config);
+    }
+
+    clusters.retain(|c| !c.is_empty());
+    Clustering { clusters }
+}
+
+/// Sum of pairwise scores between a row and a cluster's members.
+fn row_to_cluster_score(
+    row: usize,
+    members: &[usize],
+    contexts: &[RowContext],
+    model: &RowSimilarityModel,
+    phi: &PhiTableVectors,
+    implicit: &ImplicitAttributes,
+) -> f64 {
+    members
+        .iter()
+        .filter(|&&m| m != row)
+        .map(|&m| model.score(&contexts[row], &contexts[m], phi, implicit))
+        .sum()
+}
+
+/// Kernighan-Lin with joins: for cluster pairs sharing a block, try moving
+/// individual rows between them and merging them entirely; additionally try
+/// splitting rows out of their cluster when that improves the local fitness.
+#[allow(clippy::too_many_arguments)]
+fn refine_klj(
+    contexts: &[RowContext],
+    model: &RowSimilarityModel,
+    phi: &PhiTableVectors,
+    implicit: &ImplicitAttributes,
+    clusters: &mut Vec<Vec<usize>>,
+    cluster_blocks: &mut Vec<HashSet<String>>,
+    config: &ClusteringConfig,
+) {
+    for _ in 0..config.max_klj_passes {
+        let mut improved = false;
+
+        // Move / split: for every row, check whether leaving its cluster (to
+        // another block-sharing cluster or to a fresh singleton) increases
+        // the fitness.
+        let mut row_cluster: HashMap<usize, usize> = HashMap::new();
+        for (ci, members) in clusters.iter().enumerate() {
+            for &m in members {
+                row_cluster.insert(m, ci);
+            }
+        }
+        let all_rows: Vec<usize> = row_cluster.keys().copied().collect();
+        for row in all_rows {
+            let current = row_cluster[&row];
+            let current_score =
+                row_to_cluster_score(row, &clusters[current], contexts, model, phi, implicit);
+            // Candidate targets: clusters sharing a block with the row.
+            let mut best_target: Option<(usize, f64)> = None;
+            for (ci, members) in clusters.iter().enumerate() {
+                if ci == current || members.is_empty() {
+                    continue;
+                }
+                if config.use_blocking {
+                    let shares = members.iter().any(|&m| {
+                        !blocks_of(contexts, m).is_disjoint(&blocks_of(contexts, row))
+                    });
+                    let shares = shares || !cluster_blocks[ci].is_disjoint(&cluster_blocks[current]);
+                    if !shares {
+                        continue;
+                    }
+                }
+                let score = row_to_cluster_score(row, members, contexts, model, phi, implicit);
+                if best_target.map(|(_, s)| score > s).unwrap_or(true) {
+                    best_target = Some((ci, score));
+                }
+            }
+            // Option 1: move to the best other cluster.
+            if let Some((target, score)) = best_target {
+                if score > current_score && score > 0.0 {
+                    clusters[current].retain(|&m| m != row);
+                    clusters[target].push(row);
+                    cluster_blocks[target].extend(blocks_of(contexts, row).iter().cloned());
+                    row_cluster.insert(row, target);
+                    improved = true;
+                    continue;
+                }
+            }
+            // Option 2: split into a singleton when the row hurts its cluster.
+            if current_score < 0.0 && clusters[current].len() > 1 {
+                clusters[current].retain(|&m| m != row);
+                clusters.push(vec![row]);
+                cluster_blocks.push(blocks_of(contexts, row));
+                row_cluster.insert(row, clusters.len() - 1);
+                improved = true;
+            }
+        }
+
+        // Merge: try merging block-sharing cluster pairs when the cross
+        // similarity is positive.
+        let mut merged_into: HashMap<usize, usize> = HashMap::new();
+        for i in 0..clusters.len() {
+            if clusters[i].is_empty() {
+                continue;
+            }
+            for j in (i + 1)..clusters.len() {
+                if clusters[j].is_empty() {
+                    continue;
+                }
+                if config.use_blocking && cluster_blocks[i].is_disjoint(&cluster_blocks[j]) {
+                    continue;
+                }
+                let pair_count = (clusters[i].len() * clusters[j].len()).max(1) as f64;
+                let cross: f64 = clusters[i]
+                    .iter()
+                    .flat_map(|&a| clusters[j].iter().map(move |&b| (a, b)))
+                    .map(|(a, b)| model.score(&contexts[a], &contexts[b], phi, implicit))
+                    .sum();
+                // Merge only when the clusters are positively similar on
+                // average, not merely in aggregate — merging two large
+                // homonym clusters on the strength of a few positive pairs
+                // is the dominant KLj failure mode for the Song class.
+                if cross > 0.0 && cross / pair_count > 0.05 {
+                    let (from, to) = (j, i);
+                    let moved: Vec<usize> = clusters[from].drain(..).collect();
+                    clusters[to].extend(moved);
+                    let blocks: Vec<String> = cluster_blocks[from].drain().collect();
+                    cluster_blocks[to].extend(blocks);
+                    merged_into.insert(from, to);
+                    improved = true;
+                }
+            }
+        }
+
+        if !improved {
+            break;
+        }
+    }
+    clusters.retain(|c| !c.is_empty());
+}
+
+/// The blocking keys of a single row (its normalised label).
+fn blocks_of(contexts: &[RowContext], row: usize) -> HashSet<String> {
+    let mut set = HashSet::new();
+    if !contexts[row].normalized_label.is_empty() {
+        set.insert(contexts[row].normalized_label.clone());
+    }
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{metric_feature_names, RowMetricKind};
+    use ltee_matching::RowValues;
+    use ltee_ml::{AggregationMethod, Dataset, PairwiseModel, Sample};
+    use ltee_text::BowVector;
+    use ltee_webtables::TableId;
+
+    /// Build a simple label-only model: match iff labels are very similar.
+    fn label_model() -> RowSimilarityModel {
+        let metrics = vec![RowMetricKind::Label];
+        let names = metric_feature_names(&metrics);
+        let mut ds = Dataset::new(names);
+        for i in 0..40 {
+            let x = i as f64 / 40.0;
+            ds.push(Sample::new(vec![x], if x > 0.8 { 1.0 } else { 0.0 }));
+        }
+        let model = PairwiseModel::train(
+            &ds,
+            1,
+            AggregationMethod::WeightedAverage,
+            &ltee_ml::aggregate::PairwiseTrainingConfig {
+                genetic: ltee_ml::GeneticConfig { population: 20, generations: 15, seed: 1, ..Default::default() },
+                ..Default::default()
+            },
+        );
+        RowSimilarityModel { metrics, model }
+    }
+
+    fn ctx(table: u64, row: usize, label: &str) -> RowContext {
+        RowContext {
+            row: RowRef::new(TableId(table), row),
+            label: label.to_string(),
+            normalized_label: ltee_text::normalize_label(label),
+            bow: BowVector::from_text(label),
+            values: RowValues { label: label.to_string(), values: vec![] },
+        }
+    }
+
+    fn run(contexts: &[RowContext], config: &ClusteringConfig) -> Vec<Vec<usize>> {
+        let model = label_model();
+        let clustering = cluster_rows(
+            contexts,
+            &model,
+            &PhiTableVectors::default(),
+            &ImplicitAttributes::default(),
+            config,
+        );
+        clustering.clusters
+    }
+
+    fn cluster_of(clusters: &[Vec<usize>], row: usize) -> usize {
+        clusters.iter().position(|c| c.contains(&row)).expect("row clustered")
+    }
+
+    #[test]
+    fn identical_labels_cluster_together() {
+        let contexts = vec![
+            ctx(1, 0, "Tom Brady"),
+            ctx(2, 0, "Tom Brady"),
+            ctx(3, 0, "Eli Manning"),
+            ctx(4, 0, "Eli Manning"),
+            ctx(5, 0, "Yellow Submarine"),
+        ];
+        let clusters = run(&contexts, &ClusteringConfig::default());
+        assert_eq!(clusters.len(), 3);
+        assert_eq!(cluster_of(&clusters, 0), cluster_of(&clusters, 1));
+        assert_eq!(cluster_of(&clusters, 2), cluster_of(&clusters, 3));
+        assert_ne!(cluster_of(&clusters, 0), cluster_of(&clusters, 4));
+    }
+
+    #[test]
+    fn every_row_is_clustered_exactly_once() {
+        let contexts: Vec<RowContext> =
+            (0..30).map(|i| ctx(i as u64, 0, &format!("Entity {}", i % 10))).collect();
+        let clusters = run(&contexts, &ClusteringConfig::default());
+        let total: usize = clusters.iter().map(|c| c.len()).sum();
+        assert_eq!(total, 30);
+        let mut seen = HashSet::new();
+        for c in &clusters {
+            for &r in c {
+                assert!(seen.insert(r));
+            }
+        }
+    }
+
+    #[test]
+    fn typo_labels_still_cluster() {
+        let contexts = vec![ctx(1, 0, "Peyton Manning"), ctx(2, 0, "Peyton Maning")];
+        let clusters = run(&contexts, &ClusteringConfig::default());
+        assert_eq!(clusters.len(), 1, "near-identical labels should merge: {clusters:?}");
+    }
+
+    #[test]
+    fn blocking_and_no_blocking_agree_on_easy_data() {
+        let contexts: Vec<RowContext> =
+            (0..20).map(|i| ctx(i as u64, 0, &format!("Entity {}", i % 5))).collect();
+        let with = run(&contexts, &ClusteringConfig::default());
+        let without = run(&contexts, &ClusteringConfig { use_blocking: false, ..Default::default() });
+        assert_eq!(with.len(), without.len());
+    }
+
+    #[test]
+    fn klj_disabled_still_produces_valid_clustering() {
+        let contexts: Vec<RowContext> =
+            (0..12).map(|i| ctx(i as u64, 0, &format!("Entity {}", i % 4))).collect();
+        let clusters = run(&contexts, &ClusteringConfig { use_klj: false, ..Default::default() });
+        let total: usize = clusters.iter().map(|c| c.len()).sum();
+        assert_eq!(total, 12);
+    }
+
+    #[test]
+    fn empty_input_gives_empty_clustering() {
+        let clusters = run(&[], &ClusteringConfig::default());
+        assert!(clusters.is_empty());
+    }
+
+    #[test]
+    fn rows_of_same_table_can_still_separate() {
+        // Two different entities in one table must not be forced together.
+        let contexts = vec![ctx(1, 0, "Alpha Bravo"), ctx(1, 1, "Charlie Delta")];
+        let clusters = run(&contexts, &ClusteringConfig::default());
+        assert_eq!(clusters.len(), 2);
+    }
+
+    #[test]
+    fn to_row_refs_preserves_membership() {
+        let contexts = vec![ctx(1, 0, "A"), ctx(2, 0, "A")];
+        let model = label_model();
+        let clustering = cluster_rows(
+            &contexts,
+            &model,
+            &PhiTableVectors::default(),
+            &ImplicitAttributes::default(),
+            &ClusteringConfig::default(),
+        );
+        let refs = clustering.to_row_refs(&contexts);
+        let total: usize = refs.iter().map(|c| c.len()).sum();
+        assert_eq!(total, 2);
+    }
+}

@@ -1,0 +1,210 @@
+//! Per-row context built once before clustering, and the table-level
+//! implicit attributes.
+
+use std::collections::HashMap;
+
+use ltee_index::LabelIndex;
+use ltee_kb::{ClassKey, InstanceId, KnowledgeBase};
+use ltee_matching::{CorpusMapping, RowValues};
+use ltee_text::{normalize_label, BowVector};
+use ltee_types::{value_equivalent, EquivalenceConfig, Value};
+use ltee_webtables::{Corpus, RowRef, TableId};
+
+/// Everything the row similarity metrics need to know about one row,
+/// precomputed once.
+#[derive(Debug, Clone)]
+pub struct RowContext {
+    /// The row.
+    pub row: RowRef,
+    /// The cleaned label from the table's label attribute.
+    pub label: String,
+    /// The normalised label (blocking key).
+    pub normalized_label: String,
+    /// Binary bag-of-words vector over all cells of the row.
+    pub bow: BowVector,
+    /// Schema-mapped values of the row.
+    pub values: RowValues,
+}
+
+/// Build the row contexts for a set of rows under a corpus mapping.
+pub fn build_row_contexts(corpus: &Corpus, mapping: &CorpusMapping, rows: &[RowRef]) -> Vec<RowContext> {
+    rows.iter()
+        .map(|&row| {
+            let values = mapping.row_values(corpus, row);
+            let cells = corpus.row_cells(row);
+            let bow = BowVector::from_texts(cells.iter().copied());
+            let normalized_label = normalize_label(&values.label);
+            RowContext { row, label: values.label.clone(), normalized_label, bow, values }
+        })
+        .collect()
+}
+
+/// Implicit property-value combinations derived per table (paper
+/// Section 3.2, `IMPLICIT_ATT`).
+///
+/// "We first use the row labels to find candidate instances for all rows,
+/// and then for each row all property-value combinations that exist for at
+/// least one candidate in the knowledge base. For each property-value
+/// combination we then derive a score for the whole table, which equals the
+/// proportion of rows that have this combination. We keep only combinations
+/// with a score above a certain threshold."
+#[derive(Debug, Clone, Default)]
+pub struct ImplicitAttributes {
+    /// table → list of (property name, value, confidence score).
+    per_table: HashMap<TableId, Vec<(String, Value, f64)>>,
+}
+
+impl ImplicitAttributes {
+    /// Minimum proportion of rows that must share a property-value
+    /// combination for it to become an implicit attribute of the table.
+    pub const SCORE_THRESHOLD: f64 = 0.5;
+
+    /// Number of candidate instances considered per row label.
+    const CANDIDATES_PER_ROW: usize = 3;
+
+    /// Derive the implicit attributes of every table of a class.
+    pub fn build(
+        corpus: &Corpus,
+        mapping: &CorpusMapping,
+        kb: &KnowledgeBase,
+        class: ClassKey,
+        label_index: &LabelIndex,
+    ) -> Self {
+        let eq = EquivalenceConfig::default();
+        let mut per_table = HashMap::new();
+        for table_mapping in mapping.tables_of_class(class) {
+            let Some(table) = corpus.table(table_mapping.table) else { continue };
+            let num_rows = table.num_rows();
+            if num_rows == 0 {
+                continue;
+            }
+            // For each row, the set of property-value combinations of its
+            // candidate instances.
+            let mut combo_rows: HashMap<(String, String), (Value, usize)> = HashMap::new();
+            for row in 0..num_rows {
+                let Some(raw) = table.cell(row, table_mapping.label_column) else { continue };
+                let label = ltee_text::clean_label(raw);
+                if label.is_empty() {
+                    continue;
+                }
+                let mut row_combos: HashMap<(String, String), Value> = HashMap::new();
+                for m in label_index.lookup(&label, Self::CANDIDATES_PER_ROW) {
+                    let Some(instance) = kb.instance(InstanceId(m.id)) else { continue };
+                    for fact in &instance.facts {
+                        let Some(prop) = kb.property(fact.property) else { continue };
+                        let key = (prop.name.clone(), fact.value.render());
+                        row_combos.entry(key).or_insert_with(|| fact.value.clone());
+                    }
+                }
+                for (key, value) in row_combos {
+                    let entry = combo_rows.entry(key).or_insert_with(|| (value, 0));
+                    entry.1 += 1;
+                }
+            }
+            let mut implicit: Vec<(String, Value, f64)> = combo_rows
+                .into_iter()
+                .filter_map(|((prop, _), (value, count))| {
+                    let score = count as f64 / num_rows as f64;
+                    (score >= Self::SCORE_THRESHOLD).then_some((prop, value, score))
+                })
+                .collect();
+            implicit.sort_by(|a, b| {
+                b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal).then_with(|| a.0.cmp(&b.0))
+            });
+            // Deduplicate by property, keeping the highest-scoring value, and
+            // verify consistency with the equivalence functions (two distinct
+            // renders of the same value should not produce two entries).
+            let mut deduped: Vec<(String, Value, f64)> = Vec::new();
+            for (prop, value, score) in implicit {
+                let dtype = value.data_type();
+                let duplicate = deduped.iter().any(|(p, v, _)| {
+                    *p == prop && value_equivalent(v, &value, dtype, &eq)
+                });
+                if !duplicate {
+                    deduped.push((prop, value, score));
+                }
+            }
+            per_table.insert(table_mapping.table, deduped);
+        }
+        Self { per_table }
+    }
+
+    /// The implicit attributes of a table.
+    pub fn of_table(&self, table: TableId) -> &[(String, Value, f64)] {
+        self.per_table.get(&table).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of tables with at least one implicit attribute.
+    pub fn tables_with_attributes(&self) -> usize {
+        self.per_table.values().filter(|v| !v.is_empty()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ltee_kb::{generate_world, GeneratorConfig, Scale, CLASS_KEYS};
+    use ltee_matching::{match_corpus, MatcherWeights, SchemaMatchingConfig};
+    use ltee_webtables::{generate_corpus, CorpusConfig};
+
+    fn setup() -> (ltee_kb::World, Corpus, CorpusMapping) {
+        let world = generate_world(&GeneratorConfig::new(Scale::tiny(), 41));
+        let corpus = generate_corpus(&world, &CorpusConfig::tiny());
+        let mapping = match_corpus(
+            &corpus,
+            world.kb(),
+            &MatcherWeights::default(),
+            &SchemaMatchingConfig::default(),
+            None,
+        );
+        (world, corpus, mapping)
+    }
+
+    #[test]
+    fn row_contexts_have_labels_and_bows() {
+        let (_, corpus, mapping) = setup();
+        let class = ClassKey::GridironFootballPlayer;
+        let rows = mapping.class_rows(&corpus, class);
+        assert!(!rows.is_empty(), "schema matching should map some tables to the class");
+        let contexts = build_row_contexts(&corpus, &mapping, &rows);
+        assert_eq!(contexts.len(), rows.len());
+        let with_labels = contexts.iter().filter(|c| !c.label.is_empty()).count();
+        assert!(with_labels as f64 > contexts.len() as f64 * 0.9);
+        assert!(contexts.iter().all(|c| !c.bow.is_empty()));
+    }
+
+    #[test]
+    fn implicit_attributes_exist_for_some_tables() {
+        let (world, corpus, mapping) = setup();
+        for class in CLASS_KEYS {
+            let index = world.kb().label_index(class);
+            let implicit = ImplicitAttributes::build(&corpus, &mapping, world.kb(), class, &index);
+            // Themed tables about head entities should yield implicit
+            // attributes for at least a few tables.
+            assert!(
+                implicit.tables_with_attributes() > 0,
+                "{class}: no table received implicit attributes"
+            );
+        }
+    }
+
+    #[test]
+    fn implicit_attribute_scores_are_above_threshold() {
+        let (world, corpus, mapping) = setup();
+        let class = ClassKey::Settlement;
+        let index = world.kb().label_index(class);
+        let implicit = ImplicitAttributes::build(&corpus, &mapping, world.kb(), class, &index);
+        for tm in mapping.tables_of_class(class) {
+            for (_, _, score) in implicit.of_table(tm.table) {
+                assert!(*score >= ImplicitAttributes::SCORE_THRESHOLD);
+                assert!(*score <= 1.0 + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn implicit_attributes_unknown_table_is_empty() {
+        let implicit = ImplicitAttributes::default();
+        assert!(implicit.of_table(TableId(12345)).is_empty());
+    }
+}

@@ -1,0 +1,57 @@
+//! # ltee-core
+//!
+//! The paper's contribution: the end-to-end LTEE pipeline that extends a
+//! cross-domain knowledge base with long-tail entities extracted from web
+//! tables (Figure 1), plus the experiment harness that regenerates every
+//! table of the paper's evaluation.
+//!
+//! ## Pipeline
+//!
+//! [`Pipeline`] runs the four components — schema matching, row clustering,
+//! entity creation and new detection — in **two iterations**: the first
+//! iteration's row clusters and entity-to-instance correspondences are fed
+//! back into the second iteration's schema matching, which is what lifts
+//! attribute-to-property matching recall so markedly (paper Table 6).
+//!
+//! ```no_run
+//! use ltee_core::prelude::*;
+//!
+//! let world = generate_world(&GeneratorConfig::new(Scale::gold(), 7));
+//! let corpus = generate_corpus(&world, &CorpusConfig::gold());
+//! let golds: Vec<GoldStandard> =
+//!     CLASS_KEYS.iter().map(|&c| GoldStandard::build(&world, &corpus, c)).collect();
+//!
+//! let config = PipelineConfig::fast();
+//! let models = train_models(&corpus, world.kb(), &golds, &config);
+//! let pipeline = Pipeline::new(world.kb(), models, config);
+//! let output = pipeline.run(&corpus);
+//! for class_output in &output.classes {
+//!     println!("{}: {} new entities", class_output.class, class_output.new_entities().len());
+//! }
+//! ```
+//!
+//! ## Experiments
+//!
+//! [`experiments`] regenerates paper Tables 1–12 (and the Section 6 ranked
+//! evaluation); every function returns plain serialisable row structs that
+//! the benches and the `EXPERIMENTS.md` generator print.
+
+pub mod experiments;
+pub mod pipeline;
+
+pub use pipeline::{
+    train_models, ClassOutput, Pipeline, PipelineConfig, PipelineOutput, TrainedModels,
+};
+
+/// Convenience prelude re-exporting the types needed to drive the pipeline.
+pub mod prelude {
+    pub use crate::experiments::{self, ExperimentConfig};
+    pub use crate::pipeline::{train_models, ClassOutput, Pipeline, PipelineConfig, PipelineOutput, TrainedModels};
+    pub use ltee_clustering::{AggregationMethod, ClusteringConfig, RowMetricKind};
+    pub use ltee_fusion::ScoringMethod;
+    pub use ltee_kb::{
+        generate_world, ClassKey, GeneratorConfig, KnowledgeBase, Scale, World, CLASS_KEYS,
+    };
+    pub use ltee_newdetect::{EntityMetricKind, NewDetectionConfig, NewDetectionOutcome};
+    pub use ltee_webtables::{generate_corpus, Corpus, CorpusConfig, GoldStandard};
+}

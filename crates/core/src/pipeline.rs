@@ -1,0 +1,382 @@
+//! The two-iteration LTEE pipeline.
+
+use std::collections::HashMap;
+
+use ltee_clustering::{
+    build_pair_dataset, build_row_contexts, cluster_rows, train_row_model, ClusteringConfig,
+    ImplicitAttributes, RowMetricKind, RowModelTrainingConfig, RowSimilarityModel,
+};
+use ltee_clustering::metrics::PhiTableVectors;
+use ltee_fusion::{create_entities, Entity, EntityCreationConfig};
+use ltee_kb::{ClassKey, KnowledgeBase, CLASS_KEYS};
+use ltee_matching::{
+    learn_weights, match_corpus, CorpusFeedback, CorpusMapping, MatcherWeights, SchemaMatchingConfig,
+};
+use ltee_ml::GeneticConfig;
+use ltee_newdetect::{
+    build_entity_pair_dataset, detect_new, train_entity_model, EntityMetricKind,
+    EntityModelTrainingConfig, EntitySimilarityModel, NewDetectionConfig, NewDetectionOutcome,
+    NewDetectionResult,
+};
+use ltee_newdetect::metrics::EntityContext;
+use ltee_webtables::{Corpus, GoldStandard, RowRef};
+
+/// Configuration of the full pipeline.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Number of pipeline iterations (the paper uses two; Table 6 shows a
+    /// third adds almost nothing).
+    pub iterations: usize,
+    /// Schema matching configuration.
+    pub schema: SchemaMatchingConfig,
+    /// Clustering algorithm configuration.
+    pub clustering: ClusteringConfig,
+    /// Row similarity metrics used by the clustering.
+    pub row_metrics: Vec<RowMetricKind>,
+    /// Entity-to-instance metrics used by new detection.
+    pub entity_metrics: Vec<EntityMetricKind>,
+    /// Row model training configuration.
+    pub row_training: RowModelTrainingConfig,
+    /// Entity model training configuration.
+    pub entity_training: EntityModelTrainingConfig,
+    /// Entity creation (fusion) configuration.
+    pub fusion: EntityCreationConfig,
+    /// New detection configuration.
+    pub newdetect: NewDetectionConfig,
+    /// Genetic algorithm settings for learning matcher weights.
+    pub matcher_genetic: GeneticConfig,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        Self {
+            iterations: 2,
+            schema: SchemaMatchingConfig::default(),
+            clustering: ClusteringConfig::default(),
+            row_metrics: RowMetricKind::ALL.to_vec(),
+            entity_metrics: EntityMetricKind::ALL.to_vec(),
+            row_training: RowModelTrainingConfig::default(),
+            entity_training: EntityModelTrainingConfig::default(),
+            fusion: EntityCreationConfig::default(),
+            newdetect: NewDetectionConfig::default(),
+            matcher_genetic: GeneticConfig::default(),
+        }
+    }
+}
+
+impl PipelineConfig {
+    /// Faster settings (smaller learners) for tests and benches.
+    pub fn fast() -> Self {
+        Self {
+            row_training: RowModelTrainingConfig::fast(),
+            entity_training: EntityModelTrainingConfig::fast(),
+            matcher_genetic: GeneticConfig { population: 20, generations: 15, ..Default::default() },
+            ..Default::default()
+        }
+    }
+}
+
+/// The learned models the pipeline needs: matcher weights, the row
+/// similarity model and the entity similarity model.
+#[derive(Debug, Clone)]
+pub struct TrainedModels {
+    /// Attribute-to-property matcher weights and thresholds.
+    pub matcher_weights: MatcherWeights,
+    /// Row similarity model for clustering.
+    pub row_model: RowSimilarityModel,
+    /// Entity-to-instance similarity model for new detection.
+    pub entity_model: EntitySimilarityModel,
+}
+
+/// Train all models from gold standards (typically the learning folds).
+pub fn train_models(
+    corpus: &Corpus,
+    kb: &KnowledgeBase,
+    golds: &[GoldStandard],
+    config: &PipelineConfig,
+) -> TrainedModels {
+    let gold_refs: Vec<&GoldStandard> = golds.iter().collect();
+    // Matcher weights from the gold attribute annotations (first iteration:
+    // no feedback available).
+    let matcher_weights = learn_weights(corpus, kb, &gold_refs, None, &config.matcher_genetic);
+
+    // A first-iteration mapping to derive row features for training.
+    let mapping = match_corpus(corpus, kb, &matcher_weights, &config.schema, None);
+
+    // Row similarity model: pool pair datasets over all classes.
+    let mut row_dataset: Option<ltee_ml::Dataset> = None;
+    for gold in golds {
+        let rows = mapping.class_rows(corpus, gold.class);
+        let contexts = build_row_contexts(corpus, &mapping, &rows);
+        let phi = PhiTableVectors::build(corpus, &contexts);
+        let index = kb.label_index(gold.class);
+        let implicit = ImplicitAttributes::build(corpus, &mapping, kb, gold.class, &index);
+        let ds = build_pair_dataset(&contexts, gold, &config.row_metrics, &phi, &implicit, &config.row_training);
+        row_dataset = Some(match row_dataset {
+            None => ds,
+            Some(mut acc) => {
+                for s in ds.samples {
+                    acc.push(s);
+                }
+                acc
+            }
+        });
+    }
+    let row_dataset = row_dataset.expect("at least one gold standard required");
+    let row_model = train_row_model(&row_dataset, config.row_metrics.clone(), &config.row_training);
+
+    // Entity similarity model: entities fused from the gold clusters, paired
+    // with knowledge base candidates.
+    let mut entity_dataset: Option<ltee_ml::Dataset> = None;
+    for gold in golds {
+        let index = kb.label_index(gold.class);
+        let implicit = ImplicitAttributes::build(corpus, &mapping, kb, gold.class, &index);
+        let clusters: Vec<Vec<RowRef>> = gold.clusters.iter().map(|c| c.rows.clone()).collect();
+        let entities = create_entities(&clusters, corpus, &mapping, kb, gold.class, &config.fusion);
+        let contexts: Vec<EntityContext> =
+            entities.into_iter().map(|e| EntityContext::build(e, corpus, &implicit)).collect();
+        let truth: Vec<Option<ltee_kb::InstanceId>> =
+            gold.clusters.iter().map(|c| c.kb_instance).collect();
+        let ds = build_entity_pair_dataset(
+            &contexts,
+            &truth,
+            kb,
+            &index,
+            &config.entity_metrics,
+            &config.entity_training,
+        );
+        entity_dataset = Some(match entity_dataset {
+            None => ds,
+            Some(mut acc) => {
+                for s in ds.samples {
+                    acc.push(s);
+                }
+                acc
+            }
+        });
+    }
+    let entity_dataset = entity_dataset.expect("at least one gold standard required");
+    let entity_model =
+        train_entity_model(&entity_dataset, config.entity_metrics.clone(), &config.entity_training);
+
+    TrainedModels { matcher_weights, row_model, entity_model }
+}
+
+/// Output of the pipeline for one class.
+#[derive(Debug, Clone)]
+pub struct ClassOutput {
+    /// The class.
+    pub class: ClassKey,
+    /// The row clusters produced by the final iteration.
+    pub clusters: Vec<Vec<RowRef>>,
+    /// The entities created from those clusters (parallel to `clusters`).
+    pub entities: Vec<Entity>,
+    /// New detection results (parallel to `entities`).
+    pub results: Vec<NewDetectionResult>,
+}
+
+impl ClassOutput {
+    /// Outcomes parallel to `entities`.
+    pub fn outcomes(&self) -> Vec<NewDetectionOutcome> {
+        self.results.iter().map(|r| r.outcome).collect()
+    }
+
+    /// The entities classified as new.
+    pub fn new_entities(&self) -> Vec<&Entity> {
+        self.results
+            .iter()
+            .filter(|r| r.outcome.is_new())
+            .map(|r| &self.entities[r.entity])
+            .collect()
+    }
+
+    /// The entities matched to existing instances, with the instance ids.
+    pub fn existing_entities(&self) -> Vec<(&Entity, ltee_kb::InstanceId)> {
+        self.results
+            .iter()
+            .filter_map(|r| r.outcome.instance().map(|id| (&self.entities[r.entity], id)))
+            .collect()
+    }
+}
+
+/// Full pipeline output: the final schema mapping plus per-class outputs.
+#[derive(Debug, Clone)]
+pub struct PipelineOutput {
+    /// The schema mapping of the final iteration.
+    pub mapping: CorpusMapping,
+    /// Per-class outputs.
+    pub classes: Vec<ClassOutput>,
+}
+
+impl PipelineOutput {
+    /// The output for one class, if the corpus contained tables of it.
+    pub fn class(&self, class: ClassKey) -> Option<&ClassOutput> {
+        self.classes.iter().find(|c| c.class == class)
+    }
+}
+
+/// The LTEE pipeline.
+#[derive(Debug, Clone)]
+pub struct Pipeline<'a> {
+    kb: &'a KnowledgeBase,
+    models: TrainedModels,
+    config: PipelineConfig,
+}
+
+impl<'a> Pipeline<'a> {
+    /// Create a pipeline over a knowledge base with trained models.
+    pub fn new(kb: &'a KnowledgeBase, models: TrainedModels, config: PipelineConfig) -> Self {
+        Self { kb, models, config }
+    }
+
+    /// The trained models (e.g. to inspect metric importances).
+    pub fn models(&self) -> &TrainedModels {
+        &self.models
+    }
+
+    /// Run the pipeline over a corpus.
+    pub fn run(&self, corpus: &Corpus) -> PipelineOutput {
+        let mut feedback: Option<CorpusFeedback> = None;
+        let mut final_output: Option<PipelineOutput> = None;
+
+        for _iteration in 0..self.config.iterations.max(1) {
+            let mapping = match_corpus(
+                corpus,
+                self.kb,
+                &self.models.matcher_weights,
+                &self.config.schema,
+                feedback.as_ref(),
+            );
+
+            let mut classes = Vec::new();
+            let mut all_clusters: Vec<Vec<RowRef>> = Vec::new();
+            let mut cluster_instance: HashMap<usize, ltee_kb::InstanceId> = HashMap::new();
+
+            for class in CLASS_KEYS {
+                let rows = mapping.class_rows(corpus, class);
+                if rows.is_empty() {
+                    continue;
+                }
+                let contexts = build_row_contexts(corpus, &mapping, &rows);
+                let phi = PhiTableVectors::build(corpus, &contexts);
+                let index = self.kb.label_index(class);
+                let implicit = ImplicitAttributes::build(corpus, &mapping, self.kb, class, &index);
+
+                let clustering =
+                    cluster_rows(&contexts, &self.models.row_model, &phi, &implicit, &self.config.clustering);
+                let clusters = clustering.to_row_refs(&contexts);
+
+                let entities =
+                    create_entities(&clusters, corpus, &mapping, self.kb, class, &self.config.fusion);
+                let entity_contexts: Vec<EntityContext> = entities
+                    .iter()
+                    .cloned()
+                    .map(|e| EntityContext::build(e, corpus, &implicit))
+                    .collect();
+                let results = detect_new(
+                    &entity_contexts,
+                    self.kb,
+                    &index,
+                    &self.models.entity_model,
+                    &self.config.newdetect,
+                );
+
+                // Collect feedback for the next iteration.
+                for (result, cluster) in results.iter().zip(clusters.iter()) {
+                    let global_index = all_clusters.len();
+                    all_clusters.push(cluster.clone());
+                    if let Some(instance) = result.outcome.instance() {
+                        cluster_instance.insert(global_index, instance);
+                    }
+                }
+
+                classes.push(ClassOutput { class, clusters, entities, results });
+            }
+
+            feedback = Some(CorpusFeedback {
+                mapping: mapping.clone(),
+                clusters: all_clusters,
+                cluster_instance,
+            });
+            final_output = Some(PipelineOutput { mapping, classes });
+        }
+
+        final_output.expect("at least one iteration runs")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ltee_kb::{generate_world, GeneratorConfig, Scale};
+    use ltee_webtables::{generate_corpus, CorpusConfig};
+
+    fn run_tiny() -> (ltee_kb::World, Corpus, Vec<GoldStandard>, PipelineOutput) {
+        let world = generate_world(&GeneratorConfig::new(Scale::tiny(), 101));
+        let corpus = generate_corpus(&world, &CorpusConfig::tiny());
+        let golds: Vec<GoldStandard> =
+            CLASS_KEYS.iter().map(|&c| GoldStandard::build(&world, &corpus, c)).collect();
+        let config = PipelineConfig::fast();
+        let models = train_models(&corpus, world.kb(), &golds, &config);
+        let pipeline = Pipeline::new(world.kb(), models, config);
+        let output = pipeline.run(&corpus);
+        (world, corpus, golds, output)
+    }
+
+    #[test]
+    fn pipeline_produces_output_for_every_class() {
+        let (_, _, _, output) = run_tiny();
+        assert_eq!(output.classes.len(), 3);
+        for class_output in &output.classes {
+            assert!(!class_output.clusters.is_empty());
+            assert_eq!(class_output.clusters.len(), class_output.entities.len());
+            assert_eq!(class_output.entities.len(), class_output.results.len());
+        }
+    }
+
+    #[test]
+    fn pipeline_finds_new_and_existing_entities() {
+        let (_, _, _, output) = run_tiny();
+        let mut new_total = 0usize;
+        let mut existing_total = 0usize;
+        for class_output in &output.classes {
+            new_total += class_output.new_entities().len();
+            existing_total += class_output.existing_entities().len();
+        }
+        assert!(new_total > 0, "pipeline should find new entities");
+        assert!(existing_total > 0, "pipeline should link some entities to the KB");
+    }
+
+    #[test]
+    fn pipeline_new_detection_beats_chance_on_gold_clusters() {
+        let (_, _, golds, output) = run_tiny();
+        // For every produced entity that maps cleanly onto a gold cluster,
+        // check whether its new/existing classification agrees with the gold.
+        let mut correct = 0usize;
+        let mut total = 0usize;
+        for class_output in &output.classes {
+            let gold = golds.iter().find(|g| g.class == class_output.class).unwrap();
+            for (entity, result) in class_output.entities.iter().zip(class_output.results.iter()) {
+                if let Some(ci) = ltee_eval::instances::entity_gold_cluster(&entity.rows, gold) {
+                    total += 1;
+                    if gold.clusters[ci].is_new == result.outcome.is_new() {
+                        correct += 1;
+                    }
+                }
+            }
+        }
+        assert!(total > 20, "expected a reasonable number of evaluable entities, got {total}");
+        let acc = correct as f64 / total as f64;
+        assert!(acc > 0.6, "new/existing agreement {acc:.2}");
+    }
+
+    #[test]
+    fn clusters_partition_mapped_rows() {
+        let (_, corpus, _, output) = run_tiny();
+        for class_output in &output.classes {
+            let mapped_rows = output.mapping.class_rows(&corpus, class_output.class).len();
+            let clustered: usize = class_output.clusters.iter().map(|c| c.len()).sum();
+            assert_eq!(clustered, mapped_rows);
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! The entity produced from a row cluster.
+
+use ltee_kb::ClassKey;
+use ltee_types::Value;
+use ltee_webtables::RowRef;
+use serde::{Deserialize, Serialize};
+
+/// A candidate value for a property, before fusion.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CandidateValue {
+    /// The property the candidate belongs to.
+    pub property: String,
+    /// The candidate value.
+    pub value: Value,
+    /// The row the candidate came from.
+    pub row: RowRef,
+    /// The candidate's score (depends on the scoring method).
+    pub score: f64,
+}
+
+/// An entity created from a row cluster: labels plus fused facts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Entity {
+    /// The class of the entity.
+    pub class: ClassKey,
+    /// The rows the entity was created from.
+    pub rows: Vec<RowRef>,
+    /// Labels extracted from the label attribute of the rows, most frequent
+    /// first.
+    pub labels: Vec<String>,
+    /// Fused facts: property → (value, support score).
+    pub facts: Vec<(String, Value, f64)>,
+}
+
+impl Entity {
+    /// The canonical (most frequent) label.
+    pub fn canonical_label(&self) -> &str {
+        self.labels.first().map(String::as_str).unwrap_or("")
+    }
+
+    /// The fused value of a property, if present.
+    pub fn fact(&self, property: &str) -> Option<&Value> {
+        self.facts.iter().find(|(p, _, _)| p == property).map(|(_, v, _)| v)
+    }
+
+    /// Number of fused facts.
+    pub fn fact_count(&self) -> usize {
+        self.facts.len()
+    }
+
+    /// Number of rows backing the entity.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ltee_webtables::TableId;
+
+    #[test]
+    fn entity_accessors() {
+        let e = Entity {
+            class: ClassKey::Song,
+            rows: vec![RowRef::new(TableId(1), 0), RowRef::new(TableId(2), 3)],
+            labels: vec!["Hey Jude".into(), "Hey Jude (song)".into()],
+            facts: vec![("runtime".into(), Value::Quantity(431.0), 2.0)],
+        };
+        assert_eq!(e.canonical_label(), "Hey Jude");
+        assert_eq!(e.fact("runtime"), Some(&Value::Quantity(431.0)));
+        assert!(e.fact("genre").is_none());
+        assert_eq!(e.fact_count(), 1);
+        assert_eq!(e.row_count(), 2);
+    }
+
+    #[test]
+    fn empty_entity_is_harmless() {
+        let e = Entity { class: ClassKey::Settlement, rows: vec![], labels: vec![], facts: vec![] };
+        assert_eq!(e.canonical_label(), "");
+        assert_eq!(e.fact_count(), 0);
+    }
+}

@@ -1,0 +1,440 @@
+//! Candidate scoring, grouping, selection and fusion.
+
+use std::collections::{BTreeMap, HashMap};
+
+use ltee_kb::{ClassKey, KnowledgeBase};
+use ltee_matching::CorpusMapping;
+use ltee_types::{value_equivalent, DataType, EquivalenceConfig, Value};
+use ltee_webtables::{Corpus, RowRef, TableId};
+use serde::{Deserialize, Serialize};
+
+use crate::entity::{CandidateValue, Entity};
+
+/// The candidate scoring approaches of Section 3.3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ScoringMethod {
+    /// All candidate values receive an equal score of 1.0.
+    Voting,
+    /// Knowledge-Based-Trust: the trustworthiness of the source attribute
+    /// column, estimated as the proportion of its values that overlap with
+    /// knowledge base facts of the matched property.
+    Kbt,
+    /// The attribute-to-property correspondence score assigned by the
+    /// schema matching component.
+    Matching,
+}
+
+impl ScoringMethod {
+    /// All scoring methods in a stable order (Table 10 columns).
+    pub const ALL: [ScoringMethod; 3] = [ScoringMethod::Voting, ScoringMethod::Kbt, ScoringMethod::Matching];
+
+    /// Name as used in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            ScoringMethod::Voting => "VOTING",
+            ScoringMethod::Kbt => "KBT",
+            ScoringMethod::Matching => "MATCHING",
+        }
+    }
+}
+
+/// Configuration of entity creation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EntityCreationConfig {
+    /// The candidate scoring method.
+    pub scoring: ScoringMethod,
+    /// Equivalence configuration used for grouping equal candidates.
+    pub equivalence: EquivalenceConfig,
+}
+
+impl Default for EntityCreationConfig {
+    fn default() -> Self {
+        Self { scoring: ScoringMethod::Matching, equivalence: EquivalenceConfig::default() }
+    }
+}
+
+/// Knowledge-Based-Trust scores per (table, column): the fraction of the
+/// column's parsed values that overlap with any knowledge base value of the
+/// matched property.
+fn kbt_scores(corpus: &Corpus, mapping: &CorpusMapping, kb: &KnowledgeBase, class: ClassKey) -> HashMap<(TableId, usize), f64> {
+    let eq = EquivalenceConfig::default();
+    let mut scores = HashMap::new();
+    for tm in mapping.tables_of_class(class) {
+        let Some(table) = corpus.table(tm.table) else { continue };
+        for (col, m) in tm.matched_columns() {
+            let Some(prop) = kb.property_by_name(class, &m.property) else { continue };
+            let kb_values = kb.property_values(prop.id);
+            let sample: Vec<_> = kb_values.iter().take(300).collect();
+            let mut total = 0usize;
+            let mut hits = 0usize;
+            for cell in &table.columns[col].cells {
+                if cell.trim().is_empty() {
+                    continue;
+                }
+                total += 1;
+                if let Some(v) = ltee_types::parse_cell_as(cell, m.data_type) {
+                    if sample.iter().any(|kv| value_equivalent(&v, kv, m.data_type, &eq)) {
+                        hits += 1;
+                    }
+                }
+            }
+            let score = if total == 0 { 0.0 } else { hits as f64 / total as f64 };
+            scores.insert((tm.table, col), score);
+        }
+    }
+    scores
+}
+
+/// Create entities for every cluster of a clustering run.
+pub fn create_entities(
+    clusters: &[Vec<RowRef>],
+    corpus: &Corpus,
+    mapping: &CorpusMapping,
+    kb: &KnowledgeBase,
+    class: ClassKey,
+    config: &EntityCreationConfig,
+) -> Vec<Entity> {
+    let kbt = match config.scoring {
+        ScoringMethod::Kbt => Some(kbt_scores(corpus, mapping, kb, class)),
+        _ => None,
+    };
+    clusters
+        .iter()
+        .map(|rows| create_entity_inner(rows, corpus, mapping, kb, class, config, kbt.as_ref()))
+        .collect()
+}
+
+/// Create a single entity from a cluster of rows.
+pub fn create_entity(
+    rows: &[RowRef],
+    corpus: &Corpus,
+    mapping: &CorpusMapping,
+    kb: &KnowledgeBase,
+    class: ClassKey,
+    config: &EntityCreationConfig,
+) -> Entity {
+    let kbt = match config.scoring {
+        ScoringMethod::Kbt => Some(kbt_scores(corpus, mapping, kb, class)),
+        _ => None,
+    };
+    create_entity_inner(rows, corpus, mapping, kb, class, config, kbt.as_ref())
+}
+
+fn create_entity_inner(
+    rows: &[RowRef],
+    corpus: &Corpus,
+    mapping: &CorpusMapping,
+    kb: &KnowledgeBase,
+    class: ClassKey,
+    config: &EntityCreationConfig,
+    kbt: Option<&HashMap<(TableId, usize), f64>>,
+) -> Entity {
+    // --- Labels --------------------------------------------------------------
+    let mut label_counts: BTreeMap<String, usize> = BTreeMap::new();
+    for &row in rows {
+        let values = mapping.row_values(corpus, row);
+        if !values.label.is_empty() {
+            *label_counts.entry(values.label).or_insert(0) += 1;
+        }
+    }
+    let mut labels: Vec<(String, usize)> = label_counts.into_iter().collect();
+    labels.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    let labels: Vec<String> = labels.into_iter().map(|(l, _)| l).collect();
+
+    // --- Candidate collection and scoring ------------------------------------
+    let mut candidates: BTreeMap<String, Vec<CandidateValue>> = BTreeMap::new();
+    for &row in rows {
+        let Some(tm) = mapping.table(row.table) else { continue };
+        let Some(table) = corpus.table(row.table) else { continue };
+        for (col, m) in tm.matched_columns() {
+            let Some(cell) = table.cell(row.row, col) else { continue };
+            let Some(value) = ltee_types::parse_cell_as(cell, m.data_type) else { continue };
+            let score = match config.scoring {
+                ScoringMethod::Voting => 1.0,
+                ScoringMethod::Matching => m.score,
+                ScoringMethod::Kbt => {
+                    kbt.and_then(|k| k.get(&(row.table, col)).copied()).unwrap_or(0.5)
+                }
+            };
+            candidates.entry(m.property.clone()).or_default().push(CandidateValue {
+                property: m.property.clone(),
+                value,
+                row,
+                score,
+            });
+        }
+    }
+
+    // --- Group, select, fuse ---------------------------------------------------
+    let mut facts = Vec::new();
+    for (property, cands) in candidates {
+        let data_type = kb
+            .property_by_name(class, &property)
+            .map(|p| p.data_type)
+            .unwrap_or_else(|| cands[0].value.data_type());
+        if let Some((value, support)) = fuse_candidates(&cands, data_type, &config.equivalence) {
+            facts.push((property, value, support));
+        }
+    }
+
+    Entity { class, rows: rows.to_vec(), labels, facts }
+}
+
+/// Group equal candidates, select the group with the highest score sum, and
+/// fuse it into one value. Returns the fused value and the winning group's
+/// score sum.
+pub fn fuse_candidates(
+    candidates: &[CandidateValue],
+    data_type: DataType,
+    eq: &EquivalenceConfig,
+) -> Option<(Value, f64)> {
+    if candidates.is_empty() {
+        return None;
+    }
+    // Grouping.
+    let mut groups: Vec<Vec<&CandidateValue>> = Vec::new();
+    for cand in candidates {
+        match groups.iter_mut().find(|g| value_equivalent(&g[0].value, &cand.value, data_type, eq)) {
+            Some(group) => group.push(cand),
+            None => groups.push(vec![cand]),
+        }
+    }
+    // Selection: highest sum of scores; ties broken towards the larger group
+    // and then the first-seen group for determinism.
+    let best = groups
+        .iter()
+        .enumerate()
+        .max_by(|(ia, a), (ib, b)| {
+            let sa: f64 = a.iter().map(|c| c.score).sum();
+            let sb: f64 = b.iter().map(|c| c.score).sum();
+            sa.partial_cmp(&sb)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.len().cmp(&b.len()))
+                .then_with(|| ib.cmp(ia))
+        })
+        .map(|(_, g)| g)?;
+    let support: f64 = best.iter().map(|c| c.score).sum();
+
+    // Fusion.
+    let fused = match data_type {
+        DataType::Text | DataType::InstanceReference => majority_value(best),
+        DataType::NominalString | DataType::NominalInteger => best[0].value.clone(),
+        DataType::Quantity => Value::Quantity(weighted_median(
+            best.iter().filter_map(|c| c.value.as_f64().map(|v| (v, c.score))).collect(),
+        )?),
+        DataType::Date => {
+            // Weighted median over the dates' linearisation, then pick the
+            // candidate date closest to that median.
+            let median = weighted_median(
+                best.iter()
+                    .filter_map(|c| c.value.as_date().map(|d| (d.approximate_days(), c.score)))
+                    .collect(),
+            )?;
+            best.iter()
+                .filter_map(|c| c.value.as_date().map(|d| (c, (d.approximate_days() - median).abs())))
+                .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+                .map(|(c, _)| c.value.clone())?
+        }
+    };
+    Some((fused, support))
+}
+
+/// The most frequent value of a group (score-weighted), deterministic on ties.
+fn majority_value(group: &[&CandidateValue]) -> Value {
+    let mut weights: Vec<(String, f64, &Value)> = Vec::new();
+    for cand in group {
+        let key = cand.value.render();
+        match weights.iter_mut().find(|(k, _, _)| *k == key) {
+            Some((_, w, _)) => *w += cand.score,
+            None => weights.push((key, cand.score, &cand.value)),
+        }
+    }
+    weights
+        .into_iter()
+        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal).then_with(|| b.0.cmp(&a.0)))
+        .map(|(_, _, v)| v.clone())
+        .unwrap_or_else(|| group[0].value.clone())
+}
+
+/// Weighted median of `(value, weight)` pairs.
+fn weighted_median(mut pairs: Vec<(f64, f64)>) -> Option<f64> {
+    if pairs.is_empty() {
+        return None;
+    }
+    pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+    let total: f64 = pairs.iter().map(|(_, w)| w.max(0.0)).sum();
+    if total <= 0.0 {
+        return Some(pairs[pairs.len() / 2].0);
+    }
+    let mut acc = 0.0;
+    for (v, w) in &pairs {
+        acc += w.max(0.0);
+        if acc >= total / 2.0 {
+            return Some(*v);
+        }
+    }
+    Some(pairs[pairs.len() - 1].0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ltee_types::Date;
+    use ltee_webtables::TableId;
+
+    fn cand(property: &str, value: Value, score: f64, row: usize) -> CandidateValue {
+        CandidateValue { property: property.into(), value, row: RowRef::new(TableId(1), row), score }
+    }
+
+    #[test]
+    fn scoring_method_names() {
+        assert_eq!(ScoringMethod::Voting.name(), "VOTING");
+        assert_eq!(ScoringMethod::ALL.len(), 3);
+    }
+
+    #[test]
+    fn fuse_majority_for_instance_refs() {
+        let cands = vec![
+            cand("team", Value::InstanceRef("Packers".into()), 1.0, 0),
+            cand("team", Value::InstanceRef("Packers".into()), 1.0, 1),
+            cand("team", Value::InstanceRef("Bears".into()), 1.0, 2),
+        ];
+        let (v, support) =
+            fuse_candidates(&cands, DataType::InstanceReference, &EquivalenceConfig::default()).unwrap();
+        assert_eq!(v, Value::InstanceRef("Packers".into()));
+        assert_eq!(support, 2.0);
+    }
+
+    #[test]
+    fn fuse_respects_scores_over_counts() {
+        let cands = vec![
+            cand("team", Value::InstanceRef("Packers".into()), 0.1, 0),
+            cand("team", Value::InstanceRef("Packers".into()), 0.1, 1),
+            cand("team", Value::InstanceRef("Bears".into()), 0.9, 2),
+        ];
+        let (v, _) =
+            fuse_candidates(&cands, DataType::InstanceReference, &EquivalenceConfig::default()).unwrap();
+        assert_eq!(v, Value::InstanceRef("Bears".into()));
+    }
+
+    #[test]
+    fn fuse_weighted_median_for_quantities() {
+        let cands = vec![
+            cand("populationTotal", Value::Quantity(1000.0), 1.0, 0),
+            cand("populationTotal", Value::Quantity(1020.0), 1.0, 1),
+            cand("populationTotal", Value::Quantity(5000.0), 1.0, 2),
+        ];
+        // 1000 and 1020 group together (2% tolerance), 5000 is separate.
+        let (v, _) = fuse_candidates(&cands, DataType::Quantity, &EquivalenceConfig::default()).unwrap();
+        let q = v.as_f64().unwrap();
+        assert!((1000.0..=1020.0).contains(&q), "fused {q}");
+    }
+
+    #[test]
+    fn fuse_dates_picks_median_candidate() {
+        let cands = vec![
+            cand("releaseDate", Value::Date(Date::year(1999)), 1.0, 0),
+            cand("releaseDate", Value::Date(Date::year(1999)), 1.0, 1),
+            cand("releaseDate", Value::Date(Date::year(2005)), 1.0, 2),
+        ];
+        let (v, _) = fuse_candidates(&cands, DataType::Date, &EquivalenceConfig::default()).unwrap();
+        assert_eq!(v.as_date().unwrap().year, 1999);
+    }
+
+    #[test]
+    fn fuse_nominal_group_is_exact() {
+        let cands = vec![
+            cand("number", Value::NominalInt(12), 1.0, 0),
+            cand("number", Value::NominalInt(12), 1.0, 1),
+            cand("number", Value::NominalInt(7), 1.0, 2),
+        ];
+        let (v, support) =
+            fuse_candidates(&cands, DataType::NominalInteger, &EquivalenceConfig::default()).unwrap();
+        assert_eq!(v, Value::NominalInt(12));
+        assert_eq!(support, 2.0);
+    }
+
+    #[test]
+    fn fuse_empty_candidates_is_none() {
+        assert!(fuse_candidates(&[], DataType::Text, &EquivalenceConfig::default()).is_none());
+    }
+
+    #[test]
+    fn weighted_median_basics() {
+        assert_eq!(weighted_median(vec![(1.0, 1.0), (2.0, 1.0), (100.0, 1.0)]), Some(2.0));
+        assert_eq!(weighted_median(vec![(5.0, 1.0)]), Some(5.0));
+        assert_eq!(weighted_median(vec![]), None);
+        // Heavy weight pulls the median.
+        assert_eq!(weighted_median(vec![(1.0, 0.1), (2.0, 0.1), (10.0, 5.0)]), Some(10.0));
+    }
+
+    #[test]
+    fn end_to_end_entity_creation_produces_correct_facts() {
+        use ltee_kb::{generate_world, GeneratorConfig, Scale};
+        use ltee_matching::{match_corpus, MatcherWeights, SchemaMatchingConfig};
+        use ltee_webtables::{generate_corpus, CorpusConfig, GoldStandard};
+
+        let world = generate_world(&GeneratorConfig::new(Scale::tiny(), 61));
+        let corpus = generate_corpus(&world, &CorpusConfig::tiny());
+        let mapping = match_corpus(
+            &corpus,
+            world.kb(),
+            &MatcherWeights::default(),
+            &SchemaMatchingConfig::default(),
+            None,
+        );
+        let class = ClassKey::GridironFootballPlayer;
+        let gold = GoldStandard::build(&world, &corpus, class);
+
+        // Fuse the gold clusters directly (perfect clustering), then check
+        // that a decent share of fused facts match the world ground truth.
+        let clusters: Vec<Vec<RowRef>> = gold.clusters.iter().map(|c| c.rows.clone()).collect();
+        for method in ScoringMethod::ALL {
+            let config = EntityCreationConfig { scoring: method, ..Default::default() };
+            let entities = create_entities(&clusters, &corpus, &mapping, world.kb(), class, &config);
+            assert_eq!(entities.len(), clusters.len());
+
+            let eq = EquivalenceConfig::lenient();
+            let mut correct = 0usize;
+            let mut total = 0usize;
+            for (entity, cluster) in entities.iter().zip(gold.clusters.iter()) {
+                let world_entity = world.entity(cluster.entity).unwrap();
+                for (prop, value, _) in &entity.facts {
+                    let Some(truth) = world_entity.fact(prop) else { continue };
+                    total += 1;
+                    let dtype = world.kb().property_by_name(class, prop).unwrap().data_type;
+                    if value_equivalent(value, truth, dtype, &eq) {
+                        correct += 1;
+                    }
+                }
+            }
+            assert!(total > 30, "{method:?}: too few facts fused ({total})");
+            let acc = correct as f64 / total as f64;
+            assert!(acc > 0.6, "{method:?}: fused fact accuracy {acc:.2}");
+        }
+    }
+
+    #[test]
+    fn entities_have_labels_from_rows() {
+        use ltee_kb::{generate_world, GeneratorConfig, Scale};
+        use ltee_matching::{match_corpus, MatcherWeights, SchemaMatchingConfig};
+        use ltee_webtables::{generate_corpus, CorpusConfig, GoldStandard};
+
+        let world = generate_world(&GeneratorConfig::new(Scale::tiny(), 62));
+        let corpus = generate_corpus(&world, &CorpusConfig::tiny());
+        let mapping = match_corpus(
+            &corpus,
+            world.kb(),
+            &MatcherWeights::default(),
+            &SchemaMatchingConfig::default(),
+            None,
+        );
+        let class = ClassKey::Song;
+        let gold = GoldStandard::build(&world, &corpus, class);
+        let clusters: Vec<Vec<RowRef>> = gold.clusters.iter().map(|c| c.rows.clone()).collect();
+        let entities =
+            create_entities(&clusters, &corpus, &mapping, world.kb(), class, &EntityCreationConfig::default());
+        let with_labels = entities.iter().filter(|e| !e.labels.is_empty()).count();
+        assert!(with_labels as f64 > entities.len() as f64 * 0.9);
+    }
+}

@@ -1,0 +1,308 @@
+//! Token-level inverted index over labels with fuzzy top-k lookup.
+
+use std::collections::HashMap;
+
+use ltee_text::{levenshtein_similarity, normalize_label, tokenize};
+
+/// One indexed label.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LabelEntry {
+    /// Caller-provided identifier (row id, instance id, …).
+    pub id: u64,
+    /// The raw label as supplied.
+    pub raw: String,
+    /// The normalised label that forms the entry's block key.
+    pub normalized: String,
+}
+
+/// A candidate returned by a lookup.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabelMatch {
+    /// Identifier of the matched entry.
+    pub id: u64,
+    /// Normalised label of the matched entry.
+    pub normalized: String,
+    /// Ranking score in `[0, 1]`: fraction of query tokens found, softened
+    /// by per-token edit similarity for near-miss tokens.
+    pub score: f64,
+}
+
+/// Inverted index over labels.
+///
+/// The index stores each entry under its normalised label (the "block" key)
+/// and under every token of that label. Lookups tokenise the query, collect
+/// every entry sharing at least one exact token (plus entries sharing the
+/// full normalised label), score them, and return the top-k.
+#[derive(Debug, Default, Clone)]
+pub struct LabelIndex {
+    entries: Vec<LabelEntry>,
+    /// token → indices into `entries`.
+    postings: HashMap<String, Vec<u32>>,
+    /// normalised label → indices into `entries` (exact-label block).
+    by_label: HashMap<String, Vec<u32>>,
+}
+
+impl LabelIndex {
+    /// Create an empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create an index pre-populated from `(id, label)` pairs.
+    pub fn build<I, S>(items: I) -> Self
+    where
+        I: IntoIterator<Item = (u64, S)>,
+        S: AsRef<str>,
+    {
+        let mut idx = Self::new();
+        for (id, label) in items {
+            idx.insert(id, label.as_ref());
+        }
+        idx
+    }
+
+    /// Insert a label under the given identifier. Duplicate ids are allowed
+    /// (an instance can have several labels); each call adds one entry.
+    pub fn insert(&mut self, id: u64, label: &str) {
+        let normalized = normalize_label(label);
+        let entry_pos = self.entries.len() as u32;
+        for token in tokenize(&normalized) {
+            self.postings.entry(token).or_default().push(entry_pos);
+        }
+        self.by_label.entry(normalized.clone()).or_default().push(entry_pos);
+        self.entries.push(LabelEntry { id, raw: label.to_string(), normalized });
+    }
+
+    /// Number of indexed entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing has been indexed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// All entries whose normalised label is exactly equal to the normalised
+    /// query (the query's *block* in the paper's blocking scheme).
+    pub fn exact_block(&self, label: &str) -> Vec<&LabelEntry> {
+        let normalized = normalize_label(label);
+        self.by_label
+            .get(&normalized)
+            .map(|positions| positions.iter().map(|&p| &self.entries[p as usize]).collect())
+            .unwrap_or_default()
+    }
+
+    /// Fuzzy top-k lookup: return up to `k` distinct entry ids whose labels
+    /// are similar to the query label, most similar first.
+    ///
+    /// Candidates are gathered through the token postings (entries sharing at
+    /// least one token with the query); when the query has no tokens in the
+    /// index the result is empty. Scores combine exact token overlap with a
+    /// Levenshtein-based credit for near-miss tokens so that e.g.
+    /// "Jon Smith" still retrieves "John Smith".
+    pub fn lookup(&self, label: &str, k: usize) -> Vec<LabelMatch> {
+        if k == 0 || self.entries.is_empty() {
+            return Vec::new();
+        }
+        let normalized = normalize_label(label);
+        let query_tokens = tokenize(&normalized);
+        if query_tokens.is_empty() {
+            return Vec::new();
+        }
+
+        // Gather candidate entry positions with their exact-token hit counts.
+        let mut hits: HashMap<u32, usize> = HashMap::new();
+        for token in &query_tokens {
+            if let Some(postings) = self.postings.get(token) {
+                for &pos in postings {
+                    *hits.entry(pos).or_insert(0) += 1;
+                }
+            }
+        }
+        if hits.is_empty() {
+            return Vec::new();
+        }
+
+        let mut scored: Vec<LabelMatch> = hits
+            .into_iter()
+            .map(|(pos, exact_hits)| {
+                let entry = &self.entries[pos as usize];
+                let score = score_candidate(&query_tokens, &entry.normalized, exact_hits);
+                LabelMatch { id: entry.id, normalized: entry.normalized.clone(), score }
+            })
+            .collect();
+
+        // Deduplicate by id, keeping the best score per id.
+        scored.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.id.cmp(&b.id))
+        });
+        let mut seen = std::collections::HashSet::new();
+        scored.retain(|m| seen.insert(m.id));
+        scored.truncate(k);
+        scored
+    }
+
+    /// Convenience: ids of the top-k fuzzy matches.
+    pub fn lookup_ids(&self, label: &str, k: usize) -> Vec<u64> {
+        self.lookup(label, k).into_iter().map(|m| m.id).collect()
+    }
+}
+
+/// Score a candidate label against the query tokens.
+///
+/// Each query token contributes its best per-token similarity against the
+/// candidate tokens (1.0 for an exact hit); the mean over query tokens is
+/// then slightly penalised by the relative difference in token counts so
+/// that "paris" prefers "paris" over "paris hilton discography".
+fn score_candidate(query_tokens: &[String], candidate_normalized: &str, exact_hits: usize) -> f64 {
+    let candidate_tokens = tokenize(candidate_normalized);
+    if candidate_tokens.is_empty() {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for qt in query_tokens {
+        let mut best: f64 = 0.0;
+        for ct in &candidate_tokens {
+            let s = if qt == ct { 1.0 } else { levenshtein_similarity(qt, ct) };
+            if s > best {
+                best = s;
+            }
+            if best >= 1.0 {
+                break;
+            }
+        }
+        total += best;
+    }
+    let coverage = total / query_tokens.len() as f64;
+    let len_penalty = {
+        let q = query_tokens.len() as f64;
+        let c = candidate_tokens.len() as f64;
+        1.0 - (q - c).abs() / (q + c)
+    };
+    // Exact hits give a small additive bonus to stabilise the ordering among
+    // candidates that tie on coverage.
+    let bonus = exact_hits as f64 * 1e-6;
+    (coverage * 0.8 + len_penalty * 0.2 + bonus).min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample_index() -> LabelIndex {
+        LabelIndex::build(vec![
+            (1, "Tom Brady"),
+            (2, "Tom Brady Jr."),
+            (3, "Peyton Manning"),
+            (4, "Eli Manning"),
+            (5, "Paris"),
+            (6, "Paris, Texas"),
+            (7, "Yellow Submarine"),
+            (8, "Yellow Submarine (Remastered)"),
+        ])
+    }
+
+    #[test]
+    fn exact_block_groups_same_normalised_label() {
+        let idx = sample_index();
+        // "Yellow Submarine (Remastered)" normalises to "yellow submarine".
+        let block = idx.exact_block("yellow submarine");
+        let ids: Vec<u64> = block.iter().map(|e| e.id).collect();
+        assert!(ids.contains(&7));
+        assert!(ids.contains(&8));
+    }
+
+    #[test]
+    fn lookup_finds_exact_match_first() {
+        let idx = sample_index();
+        let matches = idx.lookup("Tom Brady", 3);
+        assert_eq!(matches[0].id, 1);
+        assert!(matches[0].score > matches[1].score);
+    }
+
+    #[test]
+    fn lookup_tolerates_typos() {
+        let idx = sample_index();
+        let ids = idx.lookup_ids("Peyton Maning", 2);
+        assert!(ids.contains(&3), "typo lookup should still find Peyton Manning, got {ids:?}");
+    }
+
+    #[test]
+    fn lookup_respects_k() {
+        let idx = sample_index();
+        assert!(idx.lookup("Manning", 1).len() <= 1);
+        assert!(idx.lookup("Manning", 10).len() >= 2);
+    }
+
+    #[test]
+    fn lookup_unknown_label_is_empty() {
+        let idx = sample_index();
+        assert!(idx.lookup("Zlatan Ibrahimovic", 5).is_empty());
+    }
+
+    #[test]
+    fn lookup_empty_query_is_empty() {
+        let idx = sample_index();
+        assert!(idx.lookup("   ", 5).is_empty());
+    }
+
+    #[test]
+    fn lookup_k_zero_is_empty() {
+        let idx = sample_index();
+        assert!(idx.lookup("Paris", 0).is_empty());
+    }
+
+    #[test]
+    fn duplicate_ids_are_deduplicated_in_results() {
+        let mut idx = LabelIndex::new();
+        idx.insert(42, "Abbey Road");
+        idx.insert(42, "Abbey Road (Album)");
+        let matches = idx.lookup("Abbey Road", 10);
+        assert_eq!(matches.len(), 1);
+        assert_eq!(matches[0].id, 42);
+    }
+
+    #[test]
+    fn shorter_query_prefers_closest_length_label() {
+        let idx = sample_index();
+        let matches = idx.lookup("Paris", 2);
+        assert_eq!(matches[0].id, 5, "bare 'Paris' should rank before 'Paris, Texas'");
+    }
+
+    #[test]
+    fn empty_index_lookup_is_empty() {
+        let idx = LabelIndex::new();
+        assert!(idx.lookup("anything", 5).is_empty());
+        assert!(idx.is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn lookup_never_exceeds_k(label in "[a-z ]{1,20}", k in 0usize..6) {
+            let idx = sample_index();
+            prop_assert!(idx.lookup(&label, k).len() <= k);
+        }
+
+        #[test]
+        fn scores_in_unit_interval(label in "[a-z ]{1,20}") {
+            let idx = sample_index();
+            for m in idx.lookup(&label, 8) {
+                prop_assert!((0.0..=1.0).contains(&m.score));
+            }
+        }
+
+        #[test]
+        fn indexed_label_always_retrievable(words in proptest::collection::vec("[a-z]{2,8}", 1..4)) {
+            let label = words.join(" ");
+            let mut idx = sample_index();
+            idx.insert(999, &label);
+            let ids = idx.lookup_ids(&label, 20);
+            prop_assert!(ids.contains(&999));
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! # ltee-index
+//!
+//! An inverted label index — the crate that stands in for the Apache Lucene
+//! index the paper uses in two places:
+//!
+//! * **Blocking** for row clustering (Section 3.2): "We first normalize the
+//!   labels of all rows and use them to build a Lucene index. Each label in
+//!   the index forms a block … For each row we use the index to retrieve a
+//!   number of labels similar to the row's label, and assign their blocks to
+//!   the row."
+//! * **Candidate selection** for new detection (Section 3.4): "We find a
+//!   list of candidate instances from the knowledge base using a Lucene
+//!   index built from the labels of knowledge base instances."
+//!
+//! Both uses are recall-oriented, approximate, top-k lookups over short
+//! labels, so the index is a straightforward token-level inverted index with
+//! a cheap ranking function (shared-token count, tie-broken by a normalised
+//! length-difference penalty). It is deliberately not a general-purpose
+//! search engine.
+
+pub mod label_index;
+
+pub use label_index::{LabelEntry, LabelIndex, LabelMatch};

@@ -1,0 +1,332 @@
+//! The in-memory knowledge base: classes, properties, instances and facts.
+
+use std::collections::HashMap;
+
+use ltee_index::LabelIndex;
+use ltee_types::{DataType, Value};
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{ClassId, InstanceId, PropertyId};
+use crate::schema::ClassKey;
+
+/// A class in the knowledge base with its position in the hierarchy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KnowledgeBaseClass {
+    /// Class identifier.
+    pub id: ClassId,
+    /// Which of the target classes this is.
+    pub key: ClassKey,
+    /// Class name.
+    pub name: String,
+    /// Names of all ancestor classes (most specific first, ending in Thing).
+    pub ancestors: Vec<String>,
+}
+
+/// A property of a knowledge base class.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Property {
+    /// Property identifier.
+    pub id: PropertyId,
+    /// Owning class.
+    pub class: ClassKey,
+    /// Property name (e.g. `birthDate`).
+    pub name: String,
+    /// Data type of the property's values.
+    pub data_type: DataType,
+    /// Human readable label (used by the KB-Label matcher).
+    pub label: String,
+}
+
+/// A fact: a typed value for one property of one instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fact {
+    /// The property the value belongs to.
+    pub property: PropertyId,
+    /// The value.
+    pub value: Value,
+}
+
+/// An instance of the knowledge base.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Instance {
+    /// Instance identifier.
+    pub id: InstanceId,
+    /// Class of the instance.
+    pub class: ClassKey,
+    /// Canonical label plus alternative labels (canonical first).
+    pub labels: Vec<String>,
+    /// A short textual abstract (used by the `BOW` entity-to-instance metric).
+    pub abstract_text: String,
+    /// Number of incoming page links (popularity proxy, used by the
+    /// `POPULARITY` metric).
+    pub page_links: u64,
+    /// The instance's facts.
+    pub facts: Vec<Fact>,
+}
+
+impl Instance {
+    /// The canonical (first) label.
+    pub fn canonical_label(&self) -> &str {
+        self.labels.first().map(String::as_str).unwrap_or("")
+    }
+
+    /// The fact value for a property, if present.
+    pub fn fact(&self, property: PropertyId) -> Option<&Value> {
+        self.facts.iter().find(|f| f.property == property).map(|f| &f.value)
+    }
+}
+
+/// The knowledge base: the DBpedia stand-in the pipeline extends.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct KnowledgeBase {
+    classes: Vec<KnowledgeBaseClass>,
+    properties: Vec<Property>,
+    instances: Vec<Instance>,
+    /// instance id -> index into `instances`.
+    #[serde(skip)]
+    instance_lookup: HashMap<InstanceId, usize>,
+    /// (class, property name) -> property id.
+    #[serde(skip)]
+    property_lookup: HashMap<(ClassKey, String), PropertyId>,
+}
+
+impl KnowledgeBase {
+    /// Create an empty knowledge base.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a class.
+    pub fn add_class(&mut self, key: ClassKey) -> ClassId {
+        let id = ClassId(self.classes.len() as u64);
+        self.classes.push(KnowledgeBaseClass {
+            id,
+            key,
+            name: key.name().to_string(),
+            ancestors: key.ancestors().iter().map(|s| s.to_string()).collect(),
+        });
+        id
+    }
+
+    /// Register a property of a class.
+    pub fn add_property(&mut self, class: ClassKey, name: &str, data_type: DataType, label: &str) -> PropertyId {
+        let id = PropertyId(self.properties.len() as u64);
+        self.properties.push(Property {
+            id,
+            class,
+            name: name.to_string(),
+            data_type,
+            label: label.to_string(),
+        });
+        self.property_lookup.insert((class, name.to_string()), id);
+        id
+    }
+
+    /// Add an instance (facts included) and return its id.
+    pub fn add_instance(
+        &mut self,
+        class: ClassKey,
+        labels: Vec<String>,
+        abstract_text: String,
+        page_links: u64,
+        facts: Vec<Fact>,
+    ) -> InstanceId {
+        let id = InstanceId(self.instances.len() as u64);
+        self.instance_lookup.insert(id, self.instances.len());
+        self.instances.push(Instance { id, class, labels, abstract_text, page_links, facts });
+        id
+    }
+
+    /// Rebuild the internal lookup tables (needed after deserialisation).
+    pub fn rebuild_lookups(&mut self) {
+        self.instance_lookup =
+            self.instances.iter().enumerate().map(|(i, inst)| (inst.id, i)).collect();
+        self.property_lookup = self
+            .properties
+            .iter()
+            .map(|p| ((p.class, p.name.clone()), p.id))
+            .collect();
+    }
+
+    /// All classes.
+    pub fn classes(&self) -> &[KnowledgeBaseClass] {
+        &self.classes
+    }
+
+    /// All properties.
+    pub fn properties(&self) -> &[Property] {
+        &self.properties
+    }
+
+    /// Properties of one class.
+    pub fn class_properties(&self, class: ClassKey) -> Vec<&Property> {
+        self.properties.iter().filter(|p| p.class == class).collect()
+    }
+
+    /// Look up a property by class and name.
+    pub fn property_by_name(&self, class: ClassKey, name: &str) -> Option<&Property> {
+        self.property_lookup
+            .get(&(class, name.to_string()))
+            .and_then(|id| self.properties.get(id.0 as usize))
+    }
+
+    /// Look up a property by id.
+    pub fn property(&self, id: PropertyId) -> Option<&Property> {
+        self.properties.get(id.0 as usize)
+    }
+
+    /// All instances.
+    pub fn instances(&self) -> &[Instance] {
+        &self.instances
+    }
+
+    /// Instances of one class.
+    pub fn class_instances(&self, class: ClassKey) -> Vec<&Instance> {
+        self.instances.iter().filter(|i| i.class == class).collect()
+    }
+
+    /// Look up an instance by id.
+    pub fn instance(&self, id: InstanceId) -> Option<&Instance> {
+        self.instance_lookup.get(&id).map(|&i| &self.instances[i])
+    }
+
+    /// Number of instances of a class.
+    pub fn class_instance_count(&self, class: ClassKey) -> usize {
+        self.instances.iter().filter(|i| i.class == class).count()
+    }
+
+    /// Number of facts of a class (across all its instances).
+    pub fn class_fact_count(&self, class: ClassKey) -> usize {
+        self.instances.iter().filter(|i| i.class == class).map(|i| i.facts.len()).sum()
+    }
+
+    /// Build a label index over all instances of a class (used by new
+    /// detection candidate selection and by the IMPLICIT_ATT metric).
+    pub fn label_index(&self, class: ClassKey) -> LabelIndex {
+        let mut idx = LabelIndex::new();
+        for inst in self.instances.iter().filter(|i| i.class == class) {
+            for label in &inst.labels {
+                idx.insert(inst.id.raw(), label);
+            }
+        }
+        idx
+    }
+
+    /// All distinct values of a property across the knowledge base, used by
+    /// the KB-Overlap matcher to test whether a column's values "generally
+    /// fit" a property.
+    pub fn property_values(&self, property: PropertyId) -> Vec<&Value> {
+        self.instances
+            .iter()
+            .flat_map(|i| i.facts.iter())
+            .filter(|f| f.property == property)
+            .map(|f| &f.value)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ltee_types::Date;
+
+    fn tiny_kb() -> KnowledgeBase {
+        let mut kb = KnowledgeBase::new();
+        kb.add_class(ClassKey::Song);
+        let artist = kb.add_property(ClassKey::Song, "musicalArtist", DataType::InstanceReference, "artist");
+        let runtime = kb.add_property(ClassKey::Song, "runtime", DataType::Quantity, "length");
+        kb.add_instance(
+            ClassKey::Song,
+            vec!["Yellow Submarine".into(), "Yellow Submarine (song)".into()],
+            "A song by the Beatles from 1966.".into(),
+            500,
+            vec![
+                Fact { property: artist, value: Value::InstanceRef("The Beatles".into()) },
+                Fact { property: runtime, value: Value::Quantity(159.0) },
+            ],
+        );
+        kb.add_instance(
+            ClassKey::Song,
+            vec!["Let It Be".into()],
+            "A song by the Beatles from 1970.".into(),
+            800,
+            vec![Fact { property: artist, value: Value::InstanceRef("The Beatles".into()) }],
+        );
+        kb
+    }
+
+    #[test]
+    fn counts_instances_and_facts() {
+        let kb = tiny_kb();
+        assert_eq!(kb.class_instance_count(ClassKey::Song), 2);
+        assert_eq!(kb.class_fact_count(ClassKey::Song), 3);
+        assert_eq!(kb.class_instance_count(ClassKey::Settlement), 0);
+    }
+
+    #[test]
+    fn property_lookup_by_name() {
+        let kb = tiny_kb();
+        let p = kb.property_by_name(ClassKey::Song, "runtime").unwrap();
+        assert_eq!(p.data_type, DataType::Quantity);
+        assert!(kb.property_by_name(ClassKey::Song, "nonexistent").is_none());
+    }
+
+    #[test]
+    fn instance_lookup_and_fact_access() {
+        let kb = tiny_kb();
+        let first = kb.instances()[0].id;
+        let inst = kb.instance(first).unwrap();
+        assert_eq!(inst.canonical_label(), "Yellow Submarine");
+        let runtime = kb.property_by_name(ClassKey::Song, "runtime").unwrap().id;
+        assert_eq!(inst.fact(runtime), Some(&Value::Quantity(159.0)));
+        let artist = kb.property_by_name(ClassKey::Song, "musicalArtist").unwrap().id;
+        assert!(inst.fact(artist).is_some());
+    }
+
+    #[test]
+    fn label_index_covers_alternative_labels() {
+        let kb = tiny_kb();
+        let idx = kb.label_index(ClassKey::Song);
+        assert_eq!(idx.len(), 3);
+        let ids = idx.lookup_ids("yellow submarine", 3);
+        assert!(ids.contains(&kb.instances()[0].id.raw()));
+    }
+
+    #[test]
+    fn property_values_collects_across_instances() {
+        let kb = tiny_kb();
+        let artist = kb.property_by_name(ClassKey::Song, "musicalArtist").unwrap().id;
+        assert_eq!(kb.property_values(artist).len(), 2);
+    }
+
+    #[test]
+    fn rebuild_lookups_restores_access() {
+        let mut kb = tiny_kb();
+        let id = kb.instances()[1].id;
+        kb.rebuild_lookups();
+        assert_eq!(kb.instance(id).unwrap().canonical_label(), "Let It Be");
+        assert!(kb.property_by_name(ClassKey::Song, "runtime").is_some());
+    }
+
+    #[test]
+    fn class_properties_filters_by_class() {
+        let kb = tiny_kb();
+        assert_eq!(kb.class_properties(ClassKey::Song).len(), 2);
+        assert!(kb.class_properties(ClassKey::Settlement).is_empty());
+    }
+
+    #[test]
+    fn facts_can_be_dates() {
+        let mut kb = tiny_kb();
+        let rel = kb.add_property(ClassKey::Song, "releaseDate", DataType::Date, "released");
+        kb.add_instance(
+            ClassKey::Song,
+            vec!["Hey Jude".into()],
+            String::new(),
+            900,
+            vec![Fact { property: rel, value: Value::Date(Date::year(1968)) }],
+        );
+        let inst = kb.instances().last().unwrap();
+        assert_eq!(inst.fact(rel).unwrap().as_date().unwrap().year, 1968);
+    }
+}

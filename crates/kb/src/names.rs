@@ -1,0 +1,192 @@
+//! Name pools used by the synthetic world generator.
+//!
+//! The pools are combinatorial: labels are assembled from parts so that the
+//! generator can create tens of thousands of distinct, plausible labels per
+//! class while still being able to deliberately create homonyms (identical
+//! labels for different entities, the main difficulty the paper reports for
+//! the Song class).
+
+/// First names used for football players and song writers.
+pub const FIRST_NAMES: &[&str] = &[
+    "James", "Michael", "Robert", "John", "David", "William", "Richard", "Joseph", "Thomas",
+    "Christopher", "Charles", "Daniel", "Matthew", "Anthony", "Mark", "Donald", "Steven", "Andrew",
+    "Paul", "Joshua", "Kenneth", "Kevin", "Brian", "Timothy", "Ronald", "Jason", "George", "Edward",
+    "Jeffrey", "Ryan", "Jacob", "Nicholas", "Gary", "Eric", "Jonathan", "Stephen", "Larry", "Justin",
+    "Scott", "Brandon", "Benjamin", "Samuel", "Gregory", "Alexander", "Patrick", "Frank", "Raymond",
+    "Jack", "Dennis", "Jerry", "Tyler", "Aaron", "Jose", "Adam", "Nathan", "Henry", "Zachary",
+    "Douglas", "Peter", "Kyle", "Noah", "Ethan", "Jeremy", "Walter", "Christian", "Keith", "Roger",
+    "Terry", "Austin", "Sean", "Gerald", "Carl", "Harold", "Dylan", "Arthur", "Lawrence", "Jordan",
+    "Jesse", "Bryan", "Billy", "Bruce", "Gabriel", "Joe", "Logan", "Alan", "Juan", "Albert",
+    "Willie", "Elijah", "Wayne", "Randy", "Vincent", "Mason", "Roy", "Ralph", "Bobby", "Russell",
+];
+
+/// Last names used for football players, writers and artists.
+pub const LAST_NAMES: &[&str] = &[
+    "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller", "Davis", "Rodriguez",
+    "Martinez", "Hernandez", "Lopez", "Gonzalez", "Wilson", "Anderson", "Thomas", "Taylor", "Moore",
+    "Jackson", "Martin", "Lee", "Perez", "Thompson", "White", "Harris", "Sanchez", "Clark",
+    "Ramirez", "Lewis", "Robinson", "Walker", "Young", "Allen", "King", "Wright", "Scott", "Torres",
+    "Nguyen", "Hill", "Flores", "Green", "Adams", "Nelson", "Baker", "Hall", "Rivera", "Campbell",
+    "Mitchell", "Carter", "Roberts", "Gomez", "Phillips", "Evans", "Turner", "Diaz", "Parker",
+    "Cruz", "Edwards", "Collins", "Reyes", "Stewart", "Morris", "Morales", "Murphy", "Cook",
+    "Rogers", "Gutierrez", "Ortiz", "Morgan", "Cooper", "Peterson", "Bailey", "Reed", "Kelly",
+    "Howard", "Ramos", "Kim", "Cox", "Ward", "Richardson", "Watson", "Brooks", "Chavez", "Wood",
+    "James", "Bennett", "Gray", "Mendoza", "Ruiz", "Hughes", "Price", "Alvarez", "Castillo",
+    "Sanders", "Patel", "Myers", "Long", "Ross", "Foster", "Jimenez",
+];
+
+/// Words used to assemble song titles.
+pub const SONG_TITLE_WORDS: &[&str] = &[
+    "Love", "Night", "Heart", "Dream", "Fire", "Rain", "Summer", "Dance", "Light", "Shadow",
+    "River", "Road", "Home", "Blue", "Golden", "Wild", "Broken", "Silent", "Electric", "Midnight",
+    "Forever", "Yesterday", "Tomorrow", "Angel", "Devil", "Ocean", "Mountain", "City", "Star",
+    "Moon", "Sun", "Storm", "Wind", "Ghost", "Echo", "Mirror", "Paradise", "Heaven", "Highway",
+    "Diamond", "Crystal", "Velvet", "Neon", "Winter", "Autumn", "Morning", "Evening", "Falling",
+    "Rising", "Running", "Waiting", "Burning", "Crying", "Singing", "Whisper", "Thunder", "Lonely",
+    "Sweet", "Bitter", "Lost", "Found", "Young", "Old", "Free", "Blind", "Holy", "Sacred",
+];
+
+/// Name stems used to assemble settlement names.
+pub const SETTLEMENT_STEMS: &[&str] = &[
+    "Spring", "Oak", "Maple", "Cedar", "Pine", "River", "Lake", "Hill", "Green", "Fair", "Mill",
+    "Stone", "Clear", "Bridge", "North", "South", "East", "West", "New", "Old", "Mount", "Glen",
+    "Ash", "Birch", "Elm", "Forest", "Meadow", "Brook", "Cliff", "Sand", "Rock", "Silver", "Gold",
+    "Iron", "Copper", "Salt", "Sun", "Moon", "Star", "Wolf", "Bear", "Eagle", "Deer", "Fox",
+    "Haven", "Harbor", "Port", "Bay", "Cross", "Church", "King", "Queen", "Bishop", "Abbot",
+];
+
+/// Name suffixes used to assemble settlement names.
+pub const SETTLEMENT_SUFFIXES: &[&str] = &[
+    "ville", "ton", "burg", "field", "wood", "dale", "ford", "port", "mouth", "stead", "ham",
+    "worth", "bury", "ridge", "crest", "view", "side", "creek", "falls", "springs", "heights",
+    "grove", "hollow", "landing", "crossing", "junction", "city", "town",
+];
+
+/// NFL-style team names (instance references for the `team` property).
+pub const TEAMS: &[&str] = &[
+    "Arrowhead Chiefs", "Bay Mariners", "Capital Senators", "Desert Scorpions", "Emerald Knights",
+    "Frontier Rangers", "Granite Bears", "Harbor Sharks", "Ironclad Titans", "Jetstream Hawks",
+    "Keystone Stags", "Lakeside Wolves", "Midland Mustangs", "Northern Lights", "Oakland Raptors",
+    "Prairie Bison", "Quarry Miners", "Ridgeline Cougars", "Summit Eagles", "Tidewater Dolphins",
+    "Union Pioneers", "Valley Vipers", "Westgate Warriors", "Yellowstone Grizzlies",
+    "Zenith Falcons", "Copper Canyon Coyotes", "Steel City Forgers", "Gulf Coast Pelicans",
+    "Twin Rivers Otters", "High Plains Drifters", "Crescent City Cranes", "Redwood Giants",
+];
+
+/// College names (instance references for the `college` property).
+pub const COLLEGES: &[&str] = &[
+    "Ashford State University", "Blue Ridge College", "Carverton University", "Dunmore State",
+    "Eastlake University", "Fairmont College", "Grandview State University", "Hollis University",
+    "Ironwood State", "Jasper College", "Kingsbridge University", "Lakewood State",
+    "Merribrook University", "Northfield State", "Oakhurst College", "Pinecrest University",
+    "Quincy State", "Riverbend University", "Stonewall College", "Thornton State University",
+    "Umberland University", "Vandorn College", "Westbrook State", "Yarrow University",
+    "Zephyr State College", "Millbrook Tech", "Harborview A&M", "Summit Valley University",
+];
+
+/// Player positions (nominal strings for the `position` property).
+pub const POSITIONS: &[&str] = &[
+    "QB", "RB", "FB", "WR", "TE", "OT", "OG", "C", "DE", "DT", "LB", "CB", "S", "K", "P", "LS",
+];
+
+/// Musical artists (instance references for the `musicalArtist` property).
+pub const ARTISTS: &[&str] = &[
+    "The Midnight Ramblers", "Silver Lining", "Echo Chamber", "The Velvet Crows", "Neon Harvest",
+    "Paper Lanterns", "The Rust Belt Revival", "Glass Animals Club", "Hollow Pines",
+    "The Electric Prophets", "Marigold Parade", "Static Bloom", "The Northern Sons",
+    "Cobalt Skies", "The Wandering Minstrels", "Ivory Coastline", "The Broken Compass",
+    "Scarlet Monsoon", "The Drifting Embers", "Crystal Canyon", "The Late Night Owls",
+    "Amber Waves", "The Quiet Storm Collective", "Prairie Fire", "The Lunar Tides",
+    "Golden Hour Band", "The Restless Hearts", "Sapphire Rain", "The Vagabond Kings",
+    "Willow and the Wisps", "The Falling Leaves", "Harbor Lights Orchestra",
+];
+
+/// Record labels (instance references for the `recordLabel` property).
+pub const RECORD_LABELS: &[&str] = &[
+    "Sunburst Records", "Bluebird Music", "Crescent Records", "Darkwater Recordings",
+    "Evergreen Sound", "Foxglove Records", "Galaxy Music Group", "Horizon Records",
+    "Indigo Recordings", "Juniper Music", "Keystone Sound", "Lighthouse Records",
+    "Monarch Music", "Nightingale Records", "Orchard Lane Music", "Paramount Hill Records",
+];
+
+/// Music genres (nominal strings for the `genre` property).
+pub const GENRES: &[&str] = &[
+    "Rock", "Pop", "Country", "Hip hop", "Jazz", "Blues", "Folk", "Electronic", "R&B", "Soul",
+    "Indie rock", "Alternative rock", "Punk rock", "Heavy metal", "Reggae", "Gospel", "Funk",
+    "Disco", "House", "Ambient",
+];
+
+/// Album title prefixes (instance references for the `album` property are
+/// assembled from these plus a numeric suffix).
+pub const ALBUM_WORDS: &[&str] = &[
+    "Chronicles", "Reflections", "Horizons", "Departures", "Arrivals", "Fragments", "Monuments",
+    "Postcards", "Souvenirs", "Wanderlust", "Aftermath", "Origins", "Echoes", "Mosaic", "Tapestry",
+    "Odyssey", "Voyages", "Seasons", "Elements", "Visions",
+];
+
+/// Countries (instance references for the `country` property).
+pub const COUNTRIES: &[&str] = &[
+    "United States", "Canada", "United Kingdom", "Germany", "France", "Italy", "Spain", "Poland",
+    "Sweden", "Norway", "Austria", "Switzerland", "Australia", "New Zealand", "Ireland",
+    "Netherlands", "Belgium", "Portugal", "Czech Republic", "Hungary",
+];
+
+/// Regions / administrative units (instance references for `isPartOf`).
+pub const REGIONS: &[&str] = &[
+    "Clearwater County", "Highland Region", "Ostmark District", "Lakeland Province",
+    "Northgate County", "Southfield Region", "Western Territory", "Eastvale Province",
+    "Midland County", "Redstone District", "Bluewater Region", "Greenfield Province",
+    "Stonebridge County", "Fairhaven District", "Silverlake Region", "Oakmont Province",
+    "Riverside County", "Hillcrest District", "Maplewood Region", "Pinehurst Province",
+    "Ashford County", "Brookside District", "Cedarvale Region", "Dovermoor Province",
+];
+
+/// Cities used as birth places (instance references for `birthPlace`).
+pub const BIRTH_CITIES: &[&str] = &[
+    "Springfield", "Riverton", "Fairview", "Georgetown", "Salem", "Madison", "Clinton",
+    "Franklin", "Arlington", "Centerville", "Lebanon", "Ashland", "Burlington", "Manchester",
+    "Oxford", "Clayton", "Jackson", "Milton", "Auburn", "Dayton", "Lexington", "Milford",
+    "Newport", "Kingston", "Dover", "Hudson", "Trenton", "Bristol", "Florence", "Troy",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pools_are_nonempty_and_deduplicated() {
+        for (name, pool) in [
+            ("FIRST_NAMES", FIRST_NAMES),
+            ("LAST_NAMES", LAST_NAMES),
+            ("SONG_TITLE_WORDS", SONG_TITLE_WORDS),
+            ("SETTLEMENT_STEMS", SETTLEMENT_STEMS),
+            ("SETTLEMENT_SUFFIXES", SETTLEMENT_SUFFIXES),
+            ("TEAMS", TEAMS),
+            ("COLLEGES", COLLEGES),
+            ("POSITIONS", POSITIONS),
+            ("ARTISTS", ARTISTS),
+            ("RECORD_LABELS", RECORD_LABELS),
+            ("GENRES", GENRES),
+            ("ALBUM_WORDS", ALBUM_WORDS),
+            ("COUNTRIES", COUNTRIES),
+            ("REGIONS", REGIONS),
+            ("BIRTH_CITIES", BIRTH_CITIES),
+        ] {
+            assert!(!pool.is_empty(), "{name} is empty");
+            let distinct: std::collections::HashSet<_> = pool.iter().collect();
+            assert_eq!(distinct.len(), pool.len(), "{name} has duplicates");
+        }
+    }
+
+    #[test]
+    fn player_name_space_is_large_enough_for_profiling_scale() {
+        // first x last gives ~10k combinations before suffixes; the generator
+        // additionally appends disambiguating middle initials when needed.
+        assert!(FIRST_NAMES.len() * LAST_NAMES.len() >= 9_000);
+    }
+
+    #[test]
+    fn settlement_name_space_is_large() {
+        assert!(SETTLEMENT_STEMS.len() * SETTLEMENT_SUFFIXES.len() >= 1_000);
+    }
+}

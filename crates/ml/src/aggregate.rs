@@ -1,0 +1,359 @@
+//! Aggregation of similarity metrics into a single pairwise match score.
+//!
+//! The paper evaluates three aggregation approaches (Sections 3.2, 3.4):
+//!
+//! 1. a learned **weighted average** over the similarity scores (confidence
+//!    scores ignored) with a learned threshold,
+//! 2. a **random forest regression tree** over similarity *and* confidence
+//!    scores with targets −1.0 / 1.0,
+//! 3. a **combination** of both, mixed by a learned weighted average.
+//!
+//! All three are wrapped behind [`PairwiseModel`], whose output is a score
+//! in `[-1, 1]` where positive means "same instance" — exactly the form the
+//! correlation clustering fitness function and the new-detection classifier
+//! consume. The module also computes the **metric importance** reported in
+//! Tables 7 and 8: "the average of the relative importance of the metric
+//! inside the learned random forest regression tree and the weights in the
+//! learned weighted average function".
+
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::{Dataset, Sample};
+use crate::forest::{RandomForest, RandomForestConfig};
+use crate::genetic::GeneticConfig;
+use crate::weighted::WeightedAverageModel;
+
+/// Which aggregation approach to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AggregationMethod {
+    /// Learned weighted average over similarity scores only.
+    WeightedAverage,
+    /// Random forest regression over similarity and confidence scores.
+    RandomForest,
+    /// Learned mix of the two (the paper's best-performing setting).
+    Combined,
+}
+
+impl AggregationMethod {
+    /// All aggregation methods in a stable order.
+    pub const ALL: [AggregationMethod; 3] = [
+        AggregationMethod::WeightedAverage,
+        AggregationMethod::RandomForest,
+        AggregationMethod::Combined,
+    ];
+
+    /// Human readable name used in experiment output.
+    pub fn name(self) -> &'static str {
+        match self {
+            AggregationMethod::WeightedAverage => "weighted_average",
+            AggregationMethod::RandomForest => "random_forest",
+            AggregationMethod::Combined => "combined",
+        }
+    }
+}
+
+/// Importance of one metric in the final aggregated model (Tables 7/8).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricImportance {
+    /// Metric (feature) name.
+    pub name: String,
+    /// Average of the random-forest relative importance and the
+    /// weighted-average weight.
+    pub importance: f64,
+}
+
+/// Hyperparameters shared by pairwise model training.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PairwiseTrainingConfig {
+    /// Genetic algorithm settings for the weighted average.
+    pub genetic: GeneticConfig,
+    /// Random forest settings.
+    pub forest: RandomForestConfig,
+    /// Seed for balanced upsampling.
+    pub upsample_seed: u64,
+}
+
+impl Default for PairwiseTrainingConfig {
+    fn default() -> Self {
+        Self { genetic: GeneticConfig::default(), forest: RandomForestConfig::default(), upsample_seed: 77 }
+    }
+}
+
+/// A trained pairwise matching model.
+///
+/// The feature layout is: the first `num_similarities` features are
+/// similarity scores in `[0, 1]`; any remaining features are confidence
+/// scores (used only by the random forest, mirroring the paper where "in
+/// this case, attached confidence scores are not considered" for the
+/// weighted average).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PairwiseModel {
+    method: AggregationMethod,
+    num_similarities: usize,
+    weighted: Option<WeightedAverageModel>,
+    forest: Option<RandomForest>,
+    /// Mixing weight of the weighted-average branch in the combined model.
+    combine_weight: f64,
+    feature_names: Vec<String>,
+}
+
+/// A combined model alias kept for API clarity.
+pub type CombinedModel = PairwiseModel;
+
+impl PairwiseModel {
+    /// Train a pairwise model.
+    ///
+    /// * `dataset` — full feature vectors (similarities then confidences),
+    ///   targets `1.0` (match) / `0.0` or `-1.0` (non-match).
+    /// * `num_similarities` — how many leading features are similarity
+    ///   scores; must be at least 1 and at most the total feature count.
+    pub fn train(
+        dataset: &Dataset,
+        num_similarities: usize,
+        method: AggregationMethod,
+        config: &PairwiseTrainingConfig,
+    ) -> Self {
+        assert!(!dataset.is_empty(), "cannot train a pairwise model on an empty dataset");
+        assert!(
+            (1..=dataset.num_features()).contains(&num_similarities),
+            "num_similarities must be within the feature count"
+        );
+        let balanced = dataset.upsampled_balanced(config.upsample_seed);
+
+        let weighted = if method != AggregationMethod::RandomForest {
+            // Weighted average sees only the similarity features, with 0/1 targets.
+            let mut sim_ds = Dataset::new(balanced.feature_names[..num_similarities].to_vec());
+            for s in &balanced.samples {
+                sim_ds.push(Sample::new(
+                    s.features[..num_similarities].to_vec(),
+                    if s.is_positive() { 1.0 } else { 0.0 },
+                ));
+            }
+            Some(WeightedAverageModel::learn(&sim_ds, &config.genetic))
+        } else {
+            None
+        };
+
+        let forest = if method != AggregationMethod::WeightedAverage {
+            // Random forest sees all features, with -1/1 targets.
+            let mut rf_ds = Dataset::new(balanced.feature_names.clone());
+            for s in &balanced.samples {
+                rf_ds.push(Sample::new(s.features.clone(), if s.is_positive() { 1.0 } else { -1.0 }));
+            }
+            Some(RandomForest::train(&rf_ds, &config.forest))
+        } else {
+            None
+        };
+
+        // Mixing weight for the combined model: learned by a tiny line search
+        // over the balanced training data (the paper learns it with the same
+        // weighted-average machinery; a direct search over one scalar is
+        // equivalent and cheaper).
+        let combine_weight = match (&weighted, &forest) {
+            (Some(w), Some(f)) => {
+                let mut best = (0.5, f64::MIN);
+                for step in 0..=10 {
+                    let alpha = step as f64 / 10.0;
+                    let mut tp = 0usize;
+                    let mut fp = 0usize;
+                    let mut fn_ = 0usize;
+                    for s in &balanced.samples {
+                        let score = alpha * w.normalized_score(&s.features[..num_similarities])
+                            + (1.0 - alpha) * f.predict(&s.features);
+                        let predicted = score > 0.0;
+                        match (predicted, s.is_positive()) {
+                            (true, true) => tp += 1,
+                            (true, false) => fp += 1,
+                            (false, true) => fn_ += 1,
+                            _ => {}
+                        }
+                    }
+                    let f1 = if tp == 0 {
+                        0.0
+                    } else {
+                        let p = tp as f64 / (tp + fp) as f64;
+                        let r = tp as f64 / (tp + fn_) as f64;
+                        2.0 * p * r / (p + r)
+                    };
+                    if f1 > best.1 {
+                        best = (alpha, f1);
+                    }
+                }
+                best.0
+            }
+            _ => 1.0,
+        };
+
+        Self {
+            method,
+            num_similarities,
+            weighted,
+            forest,
+            combine_weight,
+            feature_names: dataset.feature_names.clone(),
+        }
+    }
+
+    /// The aggregation method this model was trained with.
+    pub fn method(&self) -> AggregationMethod {
+        self.method
+    }
+
+    /// Score a feature vector; the result is in `[-1, 1]`, positive meaning
+    /// the pair matches.
+    pub fn score(&self, features: &[f64]) -> f64 {
+        match self.method {
+            AggregationMethod::WeightedAverage => self
+                .weighted
+                .as_ref()
+                .map(|w| w.normalized_score(&features[..self.num_similarities.min(features.len())]))
+                .unwrap_or(0.0),
+            AggregationMethod::RandomForest => {
+                self.forest.as_ref().map(|f| f.predict(features).clamp(-1.0, 1.0)).unwrap_or(0.0)
+            }
+            AggregationMethod::Combined => {
+                let w_score = self
+                    .weighted
+                    .as_ref()
+                    .map(|w| w.normalized_score(&features[..self.num_similarities.min(features.len())]))
+                    .unwrap_or(0.0);
+                let f_score =
+                    self.forest.as_ref().map(|f| f.predict(features).clamp(-1.0, 1.0)).unwrap_or(0.0);
+                self.combine_weight * w_score + (1.0 - self.combine_weight) * f_score
+            }
+        }
+    }
+
+    /// Whether the pair is classified as a match (score above zero).
+    pub fn is_match(&self, features: &[f64]) -> bool {
+        self.score(features) > 0.0
+    }
+
+    /// Metric importance per *similarity* feature: the average of the
+    /// forest's relative importance and the weighted-average weight
+    /// (whichever of the two exist for this aggregation method).
+    pub fn metric_importances(&self) -> Vec<MetricImportance> {
+        let n = self.num_similarities;
+        let weights: Option<&[f64]> = self.weighted.as_ref().map(|w| w.weights.as_slice());
+        let forest_importances: Option<Vec<f64>> = self.forest.as_ref().map(|f| {
+            let all = f.feature_importances();
+            // Renormalise over the similarity features only so weights and
+            // importances live on the same scale.
+            let slice = &all[..n.min(all.len())];
+            let sum: f64 = slice.iter().sum();
+            if sum > 0.0 {
+                slice.iter().map(|v| v / sum).collect()
+            } else {
+                vec![0.0; n]
+            }
+        });
+
+        (0..n)
+            .map(|i| {
+                let mut parts = 0usize;
+                let mut total = 0.0;
+                if let Some(w) = weights {
+                    total += w.get(i).copied().unwrap_or(0.0);
+                    parts += 1;
+                }
+                if let Some(fi) = &forest_importances {
+                    total += fi.get(i).copied().unwrap_or(0.0);
+                    parts += 1;
+                }
+                MetricImportance {
+                    name: self.feature_names.get(i).cloned().unwrap_or_else(|| format!("f{i}")),
+                    importance: if parts > 0 { total / parts as f64 } else { 0.0 },
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Sample;
+
+    /// Pairwise data where similarity feature 0 is decisive and feature 1 is
+    /// noise; one confidence feature is appended.
+    fn pair_data(n: usize) -> Dataset {
+        let mut ds = Dataset::new(["label_sim", "noise_sim", "confidence"]);
+        for i in 0..n {
+            let x = (i % 100) as f64 / 100.0;
+            let noise = ((i * 31 + 5) % 83) as f64 / 83.0;
+            let conf = ((i * 17) % 10) as f64;
+            let target = if x > 0.6 { 1.0 } else { 0.0 };
+            ds.push(Sample::new(vec![x, noise, conf], target));
+        }
+        ds
+    }
+
+    fn quick_cfg() -> PairwiseTrainingConfig {
+        PairwiseTrainingConfig {
+            genetic: GeneticConfig { population: 20, generations: 15, seed: 5, ..Default::default() },
+            forest: RandomForestConfig { num_trees: 15, max_depth: 6, ..Default::default() },
+            upsample_seed: 3,
+        }
+    }
+
+    #[test]
+    fn weighted_average_model_learns() {
+        let ds = pair_data(200);
+        let m = PairwiseModel::train(&ds, 2, AggregationMethod::WeightedAverage, &quick_cfg());
+        assert!(m.score(&[0.95, 0.5, 0.0]) > 0.0);
+        assert!(m.score(&[0.05, 0.5, 0.0]) < 0.0);
+    }
+
+    #[test]
+    fn random_forest_model_learns() {
+        let ds = pair_data(200);
+        let m = PairwiseModel::train(&ds, 2, AggregationMethod::RandomForest, &quick_cfg());
+        assert!(m.score(&[0.95, 0.5, 0.0]) > 0.0);
+        assert!(m.score(&[0.05, 0.5, 0.0]) < 0.0);
+    }
+
+    #[test]
+    fn combined_model_learns() {
+        let ds = pair_data(200);
+        let m = PairwiseModel::train(&ds, 2, AggregationMethod::Combined, &quick_cfg());
+        assert!(m.is_match(&[0.9, 0.5, 1.0]));
+        assert!(!m.is_match(&[0.1, 0.5, 1.0]));
+    }
+
+    #[test]
+    fn scores_bounded() {
+        let ds = pair_data(150);
+        for method in AggregationMethod::ALL {
+            let m = PairwiseModel::train(&ds, 2, method, &quick_cfg());
+            for x in [0.0, 0.3, 0.7, 1.0] {
+                let s = m.score(&[x, 0.5, 2.0]);
+                assert!((-1.0..=1.0).contains(&s), "{method:?} score {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn importances_cover_similarity_features_only() {
+        let ds = pair_data(200);
+        let m = PairwiseModel::train(&ds, 2, AggregationMethod::Combined, &quick_cfg());
+        let imps = m.metric_importances();
+        assert_eq!(imps.len(), 2);
+        assert_eq!(imps[0].name, "label_sim");
+        assert!(imps[0].importance > imps[1].importance, "{imps:?}");
+    }
+
+    #[test]
+    fn method_is_reported() {
+        let ds = pair_data(100);
+        let m = PairwiseModel::train(&ds, 2, AggregationMethod::RandomForest, &quick_cfg());
+        assert_eq!(m.method(), AggregationMethod::RandomForest);
+        assert_eq!(AggregationMethod::RandomForest.name(), "random_forest");
+    }
+
+    #[test]
+    #[should_panic(expected = "num_similarities")]
+    fn invalid_similarity_count_rejected() {
+        let ds = pair_data(20);
+        PairwiseModel::train(&ds, 9, AggregationMethod::Combined, &quick_cfg());
+    }
+}

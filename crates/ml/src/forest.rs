@@ -1,0 +1,401 @@
+//! Random forest regression trees.
+//!
+//! The paper trains random forest regression trees (via WEKA) over
+//! similarity and confidence features, with targets `1.0` / `-1.0` for
+//! matching / non-matching pairs, and tunes hyperparameters "by using the
+//! out-of-bag error with different out-of-bag rates on the learning set"
+//! (Section 3.2). This module implements the same learner from scratch:
+//! bagged CART-style regression trees with random feature subsets at each
+//! split, variance-reduction split criterion, out-of-bag error estimation
+//! and impurity-based feature importances.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::Dataset;
+
+/// Hyperparameters of the random forest.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RandomForestConfig {
+    /// Number of trees.
+    pub num_trees: usize,
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Minimum number of samples required to attempt a split.
+    pub min_samples_split: usize,
+    /// Number of candidate features per split; `None` means `sqrt(#features)`.
+    pub features_per_split: Option<usize>,
+    /// Fraction of the training set sampled (with replacement) per tree.
+    pub bootstrap_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RandomForestConfig {
+    fn default() -> Self {
+        Self {
+            num_trees: 60,
+            max_depth: 10,
+            min_samples_split: 4,
+            features_per_split: None,
+            bootstrap_fraction: 1.0,
+            seed: 13,
+        }
+    }
+}
+
+/// A node of a regression tree, stored in a flat arena.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum Node {
+    Leaf {
+        prediction: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        /// Variance reduction achieved by this split, weighted by the number
+        /// of samples reaching the node — accumulated into feature
+        /// importances.
+        gain: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// A single regression tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Tree {
+    nodes: Vec<Node>,
+}
+
+impl Tree {
+    fn predict(&self, features: &[f64]) -> f64 {
+        let mut idx = 0usize;
+        loop {
+            match &self.nodes[idx] {
+                Node::Leaf { prediction } => return *prediction,
+                Node::Split { feature, threshold, left, right, .. } => {
+                    let v = features.get(*feature).copied().unwrap_or(0.0);
+                    idx = if v <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    fn accumulate_importance(&self, importances: &mut [f64]) {
+        for node in &self.nodes {
+            if let Node::Split { feature, gain, .. } = node {
+                importances[*feature] += *gain;
+            }
+        }
+    }
+}
+
+/// A trained random forest regressor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RandomForest {
+    config: RandomForestConfig,
+    trees: Vec<Tree>,
+    feature_names: Vec<String>,
+    oob_error: f64,
+}
+
+impl RandomForest {
+    /// Train a forest on the dataset.
+    ///
+    /// Panics if the dataset is empty — callers are expected to guard
+    /// against training on nothing.
+    pub fn train(dataset: &Dataset, config: &RandomForestConfig) -> Self {
+        assert!(!dataset.is_empty(), "cannot train a random forest on an empty dataset");
+        let n = dataset.len();
+        let num_features = dataset.num_features();
+        let features_per_split = config
+            .features_per_split
+            .unwrap_or_else(|| ((num_features as f64).sqrt().ceil() as usize).max(1))
+            .min(num_features.max(1));
+
+        let tree_seeds: Vec<u64> = (0..config.num_trees).map(|t| config.seed.wrapping_add(t as u64 * 7919)).collect();
+
+        let built: Vec<(Tree, Vec<bool>)> = tree_seeds
+            .par_iter()
+            .map(|&seed| {
+                let mut rng = ChaCha8Rng::seed_from_u64(seed);
+                let sample_count = ((n as f64) * config.bootstrap_fraction).ceil().max(1.0) as usize;
+                let mut in_bag = vec![false; n];
+                let mut indices = Vec::with_capacity(sample_count);
+                for _ in 0..sample_count {
+                    let i = rng.gen_range(0..n);
+                    in_bag[i] = true;
+                    indices.push(i);
+                }
+                let mut builder = TreeBuilder {
+                    dataset,
+                    config,
+                    features_per_split,
+                    rng,
+                    nodes: Vec::new(),
+                };
+                builder.build(&indices, 0);
+                (Tree { nodes: builder.nodes }, in_bag)
+            })
+            .collect();
+
+        // Out-of-bag error: for every sample, average predictions of the
+        // trees that did not see it, and compute mean squared error.
+        let mut oob_sq_err = 0.0;
+        let mut oob_count = 0usize;
+        for (i, sample) in dataset.samples.iter().enumerate() {
+            let mut sum = 0.0;
+            let mut cnt = 0usize;
+            for (tree, in_bag) in &built {
+                if !in_bag[i] {
+                    sum += tree.predict(&sample.features);
+                    cnt += 1;
+                }
+            }
+            if cnt > 0 {
+                let pred = sum / cnt as f64;
+                oob_sq_err += (pred - sample.target).powi(2);
+                oob_count += 1;
+            }
+        }
+        let oob_error = if oob_count > 0 { oob_sq_err / oob_count as f64 } else { 0.0 };
+
+        RandomForest {
+            config: config.clone(),
+            trees: built.into_iter().map(|(t, _)| t).collect(),
+            feature_names: dataset.feature_names.clone(),
+            oob_error,
+        }
+    }
+
+    /// Predict the regression target for a feature vector (average over
+    /// trees).
+    pub fn predict(&self, features: &[f64]) -> f64 {
+        if self.trees.is_empty() {
+            return 0.0;
+        }
+        let sum: f64 = self.trees.iter().map(|t| t.predict(features)).sum();
+        sum / self.trees.len() as f64
+    }
+
+    /// Mean squared out-of-bag error measured during training.
+    pub fn oob_error(&self) -> f64 {
+        self.oob_error
+    }
+
+    /// Normalised impurity-based feature importances (sums to 1 when any
+    /// split exists).
+    pub fn feature_importances(&self) -> Vec<f64> {
+        let mut importances = vec![0.0; self.feature_names.len()];
+        for tree in &self.trees {
+            tree.accumulate_importance(&mut importances);
+        }
+        let total: f64 = importances.iter().sum();
+        if total > 0.0 {
+            for v in &mut importances {
+                *v /= total;
+            }
+        }
+        importances
+    }
+
+    /// Names of the features the forest was trained on.
+    pub fn feature_names(&self) -> &[String] {
+        &self.feature_names
+    }
+}
+
+struct TreeBuilder<'a> {
+    dataset: &'a Dataset,
+    config: &'a RandomForestConfig,
+    features_per_split: usize,
+    rng: ChaCha8Rng,
+    nodes: Vec<Node>,
+}
+
+impl TreeBuilder<'_> {
+    /// Recursively build the tree for the samples at `indices`; returns the
+    /// index of the created node.
+    fn build(&mut self, indices: &[usize], depth: usize) -> usize {
+        let mean = mean_target(self.dataset, indices);
+        if depth >= self.config.max_depth
+            || indices.len() < self.config.min_samples_split
+            || variance_target(self.dataset, indices, mean) < 1e-12
+        {
+            return self.push(Node::Leaf { prediction: mean });
+        }
+
+        let num_features = self.dataset.num_features();
+        // Sample a random subset of features without replacement.
+        let mut candidates: Vec<usize> = (0..num_features).collect();
+        for i in 0..self.features_per_split.min(num_features) {
+            let j = self.rng.gen_range(i..num_features);
+            candidates.swap(i, j);
+        }
+        candidates.truncate(self.features_per_split);
+
+        let parent_var = variance_target(self.dataset, indices, mean) * indices.len() as f64;
+        let mut best: Option<(usize, f64, f64, Vec<usize>, Vec<usize>)> = None;
+
+        for &feature in &candidates {
+            let mut values: Vec<f64> = indices
+                .iter()
+                .map(|&i| self.dataset.samples[i].features.get(feature).copied().unwrap_or(0.0))
+                .collect();
+            values.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            values.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+            if values.len() < 2 {
+                continue;
+            }
+            // Candidate thresholds: midpoints between consecutive distinct values.
+            for w in values.windows(2) {
+                let threshold = (w[0] + w[1]) / 2.0;
+                let (left, right): (Vec<usize>, Vec<usize>) = indices.iter().partition(|&&i| {
+                    self.dataset.samples[i].features.get(feature).copied().unwrap_or(0.0) <= threshold
+                });
+                if left.is_empty() || right.is_empty() {
+                    continue;
+                }
+                let lm = mean_target(self.dataset, &left);
+                let rm = mean_target(self.dataset, &right);
+                let child_var = variance_target(self.dataset, &left, lm) * left.len() as f64
+                    + variance_target(self.dataset, &right, rm) * right.len() as f64;
+                let gain = parent_var - child_var;
+                if best.as_ref().map(|b| gain > b.2).unwrap_or(gain > 1e-12) {
+                    best = Some((feature, threshold, gain, left, right));
+                }
+            }
+        }
+
+        match best {
+            Some((feature, threshold, gain, left, right)) => {
+                let node_idx = self.push(Node::Split { feature, threshold, gain, left: 0, right: 0 });
+                let left_idx = self.build(&left, depth + 1);
+                let right_idx = self.build(&right, depth + 1);
+                if let Node::Split { left: l, right: r, .. } = &mut self.nodes[node_idx] {
+                    *l = left_idx;
+                    *r = right_idx;
+                }
+                node_idx
+            }
+            None => self.push(Node::Leaf { prediction: mean }),
+        }
+    }
+
+    fn push(&mut self, node: Node) -> usize {
+        self.nodes.push(node);
+        self.nodes.len() - 1
+    }
+}
+
+fn mean_target(dataset: &Dataset, indices: &[usize]) -> f64 {
+    if indices.is_empty() {
+        return 0.0;
+    }
+    indices.iter().map(|&i| dataset.samples[i].target).sum::<f64>() / indices.len() as f64
+}
+
+fn variance_target(dataset: &Dataset, indices: &[usize], mean: f64) -> f64 {
+    if indices.is_empty() {
+        return 0.0;
+    }
+    indices.iter().map(|&i| (dataset.samples[i].target - mean).powi(2)).sum::<f64>() / indices.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Sample;
+    use proptest::prelude::*;
+
+    /// Dataset where the first feature alone decides the target.
+    fn separable(n: usize) -> Dataset {
+        let mut ds = Dataset::new(["signal", "noise"]);
+        for i in 0..n {
+            let x = i as f64 / n as f64;
+            let noise = ((i * 37 + 11) % 17) as f64 / 17.0;
+            let target = if x > 0.5 { 1.0 } else { -1.0 };
+            ds.push(Sample::new(vec![x, noise], target));
+        }
+        ds
+    }
+
+    fn small_config() -> RandomForestConfig {
+        RandomForestConfig { num_trees: 20, max_depth: 6, ..Default::default() }
+    }
+
+    #[test]
+    fn learns_a_separable_function() {
+        let ds = separable(200);
+        let forest = RandomForest::train(&ds, &small_config());
+        assert!(forest.predict(&[0.9, 0.5]) > 0.5);
+        assert!(forest.predict(&[0.1, 0.5]) < -0.5);
+    }
+
+    #[test]
+    fn importance_identifies_the_signal_feature() {
+        let ds = separable(200);
+        let forest = RandomForest::train(&ds, &small_config());
+        let imp = forest.feature_importances();
+        assert!(imp[0] > imp[1], "signal importance {} should exceed noise {}", imp[0], imp[1]);
+        assert!((imp.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn oob_error_is_small_on_easy_data() {
+        let ds = separable(300);
+        let forest = RandomForest::train(&ds, &small_config());
+        assert!(forest.oob_error() < 0.5, "oob error {}", forest.oob_error());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let ds = separable(100);
+        let a = RandomForest::train(&ds, &small_config());
+        let b = RandomForest::train(&ds, &small_config());
+        assert_eq!(a.predict(&[0.3, 0.3]), b.predict(&[0.3, 0.3]));
+    }
+
+    #[test]
+    fn constant_target_predicts_constant() {
+        let mut ds = Dataset::new(["x"]);
+        for i in 0..20 {
+            ds.push(Sample::new(vec![i as f64], 0.7));
+        }
+        let forest = RandomForest::train(&ds, &small_config());
+        assert!((forest.predict(&[5.0]) - 0.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn missing_features_treated_as_zero() {
+        let ds = separable(100);
+        let forest = RandomForest::train(&ds, &small_config());
+        // Too-short feature vector does not panic.
+        let _ = forest.predict(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn training_on_empty_dataset_panics() {
+        let ds = Dataset::new(["x"]);
+        RandomForest::train(&ds, &RandomForestConfig::default());
+    }
+
+    proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(8))]
+        #[test]
+        fn predictions_stay_within_target_range(n in 30usize..80, seed in 0u64..5) {
+            let ds = separable(n);
+            let cfg = RandomForestConfig { num_trees: 10, seed, ..Default::default() };
+            let forest = RandomForest::train(&ds, &cfg);
+            for x in [0.0, 0.25, 0.5, 0.75, 1.0] {
+                let p = forest.predict(&[x, 0.5]);
+                prop_assert!((-1.0..=1.0).contains(&p));
+            }
+        }
+    }
+}

@@ -1,0 +1,283 @@
+//! Candidate selection and new/existing classification.
+
+use ltee_index::LabelIndex;
+use ltee_kb::{InstanceId, KnowledgeBase};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use crate::metrics::{EntityContext, EntitySimilarityModel, InstanceContext};
+
+/// Configuration of the new detection component.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NewDetectionConfig {
+    /// Number of candidate instances retrieved per entity.
+    pub candidates: usize,
+    /// Minimum label score for a candidate to be considered at all.
+    pub min_candidate_label_score: f64,
+    /// Margin on the aggregated score above which an entity is linked to the
+    /// best candidate (scores below `-margin`… `margin` around zero are kept
+    /// conservative: the model score must exceed this to classify as
+    /// existing, and fall below its negation to be confidently new; scores
+    /// in between default to new, which matches the paper's observation that
+    /// errors are dominated by entities wrongly classified as new).
+    pub existing_margin: f64,
+}
+
+impl Default for NewDetectionConfig {
+    fn default() -> Self {
+        Self { candidates: 10, min_candidate_label_score: 0.35, existing_margin: 0.0 }
+    }
+}
+
+/// Classification outcome for one entity.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum NewDetectionOutcome {
+    /// The entity describes an instance not present in the knowledge base.
+    New,
+    /// The entity corresponds to the given existing instance.
+    Existing(InstanceId),
+}
+
+impl NewDetectionOutcome {
+    /// Whether the outcome is `New`.
+    pub fn is_new(&self) -> bool {
+        matches!(self, NewDetectionOutcome::New)
+    }
+
+    /// The matched instance, if existing.
+    pub fn instance(&self) -> Option<InstanceId> {
+        match self {
+            NewDetectionOutcome::Existing(id) => Some(*id),
+            NewDetectionOutcome::New => None,
+        }
+    }
+}
+
+/// The result of new detection for one entity.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NewDetectionResult {
+    /// Index of the entity in the input slice.
+    pub entity: usize,
+    /// Classification outcome.
+    pub outcome: NewDetectionOutcome,
+    /// The best candidate's aggregated score (0.0 when no candidate existed).
+    pub best_score: f64,
+    /// Number of candidates considered.
+    pub candidate_count: usize,
+}
+
+/// Run new detection over a set of created entities.
+///
+/// `label_index` must be a label index over the knowledge base instances of
+/// the entity's class (built via [`KnowledgeBase::label_index`]).
+pub fn detect_new(
+    entities: &[EntityContext],
+    kb: &KnowledgeBase,
+    label_index: &LabelIndex,
+    model: &EntitySimilarityModel,
+    config: &NewDetectionConfig,
+) -> Vec<NewDetectionResult> {
+    entities
+        .par_iter()
+        .enumerate()
+        .map(|(idx, entity)| {
+            let candidates = candidate_instances(entity, kb, label_index, config);
+            if candidates.is_empty() {
+                return NewDetectionResult {
+                    entity: idx,
+                    outcome: NewDetectionOutcome::New,
+                    best_score: 0.0,
+                    candidate_count: 0,
+                };
+            }
+            let mut best: Option<(InstanceId, f64)> = None;
+            for (instance_ctx, popularity) in &candidates {
+                let score = model.score(entity, instance_ctx, *popularity);
+                if best.map(|(_, s)| score > s).unwrap_or(true) {
+                    best = Some((instance_ctx.id, score));
+                }
+            }
+            let (instance, score) = best.expect("candidates non-empty");
+            let outcome = if score > config.existing_margin {
+                NewDetectionOutcome::Existing(instance)
+            } else {
+                NewDetectionOutcome::New
+            };
+            NewDetectionResult { entity: idx, outcome, best_score: score, candidate_count: candidates.len() }
+        })
+        .collect()
+}
+
+/// Retrieve and rank the candidate instances of an entity: label-index
+/// lookups for every entity label, filtered by class compatibility, with a
+/// rank-based popularity score attached.
+fn candidate_instances(
+    entity: &EntityContext,
+    kb: &KnowledgeBase,
+    label_index: &LabelIndex,
+    config: &NewDetectionConfig,
+) -> Vec<(InstanceContext, f64)> {
+    let mut ids: Vec<InstanceId> = Vec::new();
+    for label in &entity.entity.labels {
+        for m in label_index.lookup(label, config.candidates) {
+            if m.score < config.min_candidate_label_score {
+                continue;
+            }
+            let id = InstanceId(m.id);
+            if !ids.contains(&id) {
+                ids.push(id);
+            }
+        }
+        if ids.len() >= config.candidates {
+            break;
+        }
+    }
+    ids.truncate(config.candidates);
+
+    // Candidates must share the class (the label index is per class already,
+    // but keep the check for robustness) or a parent class.
+    let mut contexts: Vec<InstanceContext> = ids
+        .into_iter()
+        .filter_map(|id| kb.instance(id))
+        .filter(|inst| {
+            inst.class == entity.entity.class
+                || inst
+                    .class
+                    .ancestors()
+                    .iter()
+                    .any(|a| entity.entity.class.ancestors().contains(a))
+        })
+        .map(|inst| InstanceContext::build(inst, kb))
+        .collect();
+
+    // Popularity: rank by page links, score = 1/rank; single candidate → 1.0.
+    contexts.sort_by(|a, b| b.page_links.cmp(&a.page_links));
+    let n = contexts.len();
+    contexts
+        .into_iter()
+        .enumerate()
+        .map(|(rank, ctx)| {
+            let score = if n == 1 { 1.0 } else { 1.0 / (rank + 1) as f64 };
+            (ctx, score)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{entity_metric_feature_names, EntityMetricKind};
+    use ltee_fusion::Entity;
+    use ltee_kb::{generate_world, ClassKey, GeneratorConfig, Scale};
+    use ltee_ml::{AggregationMethod, Dataset, PairwiseModel, PairwiseTrainingConfig, Sample};
+    use ltee_text::BowVector;
+    use ltee_webtables::{RowRef, TableId};
+
+    /// A hand-trained model over LABEL only: match iff label similarity is
+    /// very high.
+    fn label_model() -> EntitySimilarityModel {
+        let metrics = vec![EntityMetricKind::Label];
+        let mut ds = Dataset::new(entity_metric_feature_names(&metrics));
+        for i in 0..40 {
+            let x = i as f64 / 40.0;
+            ds.push(Sample::new(vec![x], if x > 0.85 { 1.0 } else { 0.0 }));
+        }
+        let model = PairwiseModel::train(
+            &ds,
+            1,
+            AggregationMethod::WeightedAverage,
+            &PairwiseTrainingConfig {
+                genetic: ltee_ml::GeneticConfig { population: 20, generations: 15, seed: 2, ..Default::default() },
+                ..Default::default()
+            },
+        );
+        EntitySimilarityModel { metrics, model }
+    }
+
+    fn entity_for(class: ClassKey, label: &str) -> EntityContext {
+        EntityContext {
+            entity: Entity {
+                class,
+                rows: vec![RowRef::new(TableId(1), 0)],
+                labels: vec![label.to_string()],
+                facts: vec![],
+            },
+            bow: BowVector::from_text(label),
+            implicit: vec![],
+        }
+    }
+
+    #[test]
+    fn known_label_is_classified_existing_and_unknown_as_new() {
+        let world = generate_world(&GeneratorConfig::new(Scale::tiny(), 71));
+        let kb = world.kb();
+        let class = ClassKey::GridironFootballPlayer;
+        let index = kb.label_index(class);
+        let model = label_model();
+
+        let head = &world.head_of_class(class)[0];
+        let entities = vec![
+            entity_for(class, &head.canonical_label),
+            entity_for(class, "Zxqwy Unheardof"),
+        ];
+        let results = detect_new(&entities, kb, &index, &model, &NewDetectionConfig::default());
+        assert_eq!(results.len(), 2);
+        // The head entity must be linked to its KB instance.
+        let expected_instance = world.instance_for_entity(head.id).unwrap();
+        assert_eq!(results[0].outcome, NewDetectionOutcome::Existing(expected_instance));
+        assert!(results[0].best_score > 0.0);
+        // The made-up entity has no candidates and is new.
+        assert!(results[1].outcome.is_new());
+        assert_eq!(results[1].candidate_count, 0);
+    }
+
+    #[test]
+    fn long_tail_entities_are_classified_new() {
+        let world = generate_world(&GeneratorConfig::new(Scale::tiny(), 72));
+        let kb = world.kb();
+        let class = ClassKey::Settlement;
+        let index = kb.label_index(class);
+        let model = label_model();
+
+        // Long-tail settlements are not in the KB; unless they collide with a
+        // head label (homonym) they must be classified as new.
+        let tails = world.long_tail_of_class(class);
+        let head_labels: std::collections::HashSet<String> = world
+            .head_of_class(class)
+            .iter()
+            .map(|e| ltee_text::normalize_label(&e.canonical_label))
+            .collect();
+        let non_homonym: Vec<_> = tails
+            .iter()
+            .filter(|e| !head_labels.contains(&ltee_text::normalize_label(&e.canonical_label)))
+            .take(10)
+            .collect();
+        let entities: Vec<EntityContext> =
+            non_homonym.iter().map(|e| entity_for(class, &e.canonical_label)).collect();
+        let results = detect_new(&entities, kb, &index, &model, &NewDetectionConfig::default());
+        let new_count = results.iter().filter(|r| r.outcome.is_new()).count();
+        assert!(
+            new_count as f64 >= entities.len() as f64 * 0.8,
+            "only {new_count}/{} tail entities classified as new",
+            entities.len()
+        );
+    }
+
+    #[test]
+    fn outcome_accessors() {
+        assert!(NewDetectionOutcome::New.is_new());
+        assert!(NewDetectionOutcome::New.instance().is_none());
+        let e = NewDetectionOutcome::Existing(InstanceId(4));
+        assert!(!e.is_new());
+        assert_eq!(e.instance(), Some(InstanceId(4)));
+    }
+
+    #[test]
+    fn empty_entity_list_is_fine() {
+        let world = generate_world(&GeneratorConfig::new(Scale::tiny(), 73));
+        let kb = world.kb();
+        let index = kb.label_index(ClassKey::Song);
+        let results = detect_new(&[], kb, &index, &label_model(), &NewDetectionConfig::default());
+        assert!(results.is_empty());
+    }
+}

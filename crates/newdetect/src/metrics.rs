@@ -1,0 +1,409 @@
+//! Entity-to-instance similarity metrics.
+
+use ltee_fusion::Entity;
+use ltee_kb::{Instance, KnowledgeBase};
+use ltee_ml::PairwiseModel;
+use ltee_text::{cosine_similarity, monge_elkan_similarity, normalize_label, BowVector};
+use ltee_types::{value_similarity, Value};
+use ltee_webtables::Corpus;
+use serde::{Deserialize, Serialize};
+
+use ltee_clustering::ImplicitAttributes;
+
+/// The six entity-to-instance similarity metrics of paper Section 3.4, in
+/// feature order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EntityMetricKind {
+    /// Monge-Elkan similarity between entity labels and instance labels.
+    Label,
+    /// Overlap between the entity's class (plus ancestors) and the
+    /// candidate instance's class hierarchy.
+    Type,
+    /// Cosine similarity between the entity's combined bag-of-words vector
+    /// and a vector built from the instance's labels, abstract and facts.
+    Bow,
+    /// Equality of overlapping facts (with a confidence equal to the number
+    /// of overlapping properties).
+    Attribute,
+    /// Agreement between the entity-level implicit attributes and the
+    /// instance's facts.
+    ImplicitAtt,
+    /// Rank-based popularity score of the candidate among all candidates.
+    Popularity,
+}
+
+impl EntityMetricKind {
+    /// All metrics in the order of the Table 8 ablation.
+    pub const ALL: [EntityMetricKind; 6] = [
+        EntityMetricKind::Label,
+        EntityMetricKind::Type,
+        EntityMetricKind::Bow,
+        EntityMetricKind::Attribute,
+        EntityMetricKind::ImplicitAtt,
+        EntityMetricKind::Popularity,
+    ];
+
+    /// Stable feature name.
+    pub fn name(self) -> &'static str {
+        match self {
+            EntityMetricKind::Label => "LABEL",
+            EntityMetricKind::Type => "TYPE",
+            EntityMetricKind::Bow => "BOW",
+            EntityMetricKind::Attribute => "ATTRIBUTE",
+            EntityMetricKind::ImplicitAtt => "IMPLICIT_ATT",
+            EntityMetricKind::Popularity => "POPULARITY",
+        }
+    }
+
+    /// Whether this metric carries a confidence feature.
+    pub fn has_confidence(self) -> bool {
+        matches!(self, EntityMetricKind::Attribute | EntityMetricKind::ImplicitAtt)
+    }
+}
+
+/// Precomputed view of a created entity used by the metrics.
+#[derive(Debug, Clone)]
+pub struct EntityContext {
+    /// The created entity.
+    pub entity: Entity,
+    /// Combined bag-of-words vector of all the entity's rows.
+    pub bow: BowVector,
+    /// Entity-level implicit attributes: (property, value, confidence).
+    pub implicit: Vec<(String, Value, f64)>,
+}
+
+impl EntityContext {
+    /// Build the context of an entity from the corpus and the table-level
+    /// implicit attributes.
+    pub fn build(entity: Entity, corpus: &Corpus, implicit: &ImplicitAttributes) -> Self {
+        let mut bow = BowVector::new();
+        for row in &entity.rows {
+            for cell in corpus.row_cells(*row) {
+                bow.add_text(cell);
+            }
+        }
+        // Entity-level implicit attributes: sum the table-level confidence of
+        // equal (property, value) combinations over the entity's rows and
+        // divide by the number of rows.
+        let mut acc: Vec<(String, Value, f64)> = Vec::new();
+        for row in &entity.rows {
+            for (prop, value, score) in implicit.of_table(row.table) {
+                match acc.iter_mut().find(|(p, v, _)| p == prop && v.render() == value.render()) {
+                    Some((_, _, s)) => *s += score,
+                    None => acc.push((prop.clone(), value.clone(), *score)),
+                }
+            }
+        }
+        let rows = entity.rows.len().max(1) as f64;
+        for (_, _, s) in &mut acc {
+            *s /= rows;
+        }
+        acc.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
+        Self { entity, bow, implicit: acc }
+    }
+}
+
+/// Precomputed view of a knowledge base instance used by the metrics.
+#[derive(Debug, Clone)]
+pub struct InstanceContext {
+    /// Normalised labels of the instance.
+    pub labels: Vec<String>,
+    /// Bag-of-words vector over labels, abstract and facts.
+    pub bow: BowVector,
+    /// Class ancestors (including the class itself).
+    pub class_hierarchy: Vec<String>,
+    /// Facts of the instance: (property name, value).
+    pub facts: Vec<(String, Value)>,
+    /// Page-link popularity.
+    pub page_links: u64,
+    /// The instance id.
+    pub id: ltee_kb::InstanceId,
+}
+
+impl InstanceContext {
+    /// Build the context for an instance.
+    pub fn build(instance: &Instance, kb: &KnowledgeBase) -> Self {
+        let mut bow = BowVector::new();
+        for label in &instance.labels {
+            bow.add_text(label);
+        }
+        bow.add_text(&instance.abstract_text);
+        let mut facts = Vec::new();
+        for fact in &instance.facts {
+            bow.add_text(&fact.value.render());
+            if let Some(prop) = kb.property(fact.property) {
+                facts.push((prop.name.clone(), fact.value.clone()));
+            }
+        }
+        let mut class_hierarchy = vec![instance.class.name().to_string()];
+        class_hierarchy.extend(instance.class.ancestors().iter().map(|s| s.to_string()));
+        Self {
+            labels: instance.labels.iter().map(|l| normalize_label(l)).collect(),
+            bow,
+            class_hierarchy,
+            facts,
+            page_links: instance.page_links,
+            id: instance.id,
+        }
+    }
+
+    /// The fact value for a property.
+    pub fn fact(&self, property: &str) -> Option<&Value> {
+        self.facts.iter().find(|(p, _)| p == property).map(|(_, v)| v)
+    }
+}
+
+/// Compute one metric for an entity / candidate-instance pair.
+///
+/// `popularity_score` is the rank-based score of this candidate among the
+/// entity's candidate set (1.0 when it is the only candidate).
+pub fn entity_metric_score(
+    kind: EntityMetricKind,
+    entity: &EntityContext,
+    instance: &InstanceContext,
+    popularity_score: f64,
+) -> (f64, f64) {
+    match kind {
+        EntityMetricKind::Label => {
+            let mut best: f64 = 0.0;
+            for el in &entity.entity.labels {
+                let el_n = normalize_label(el);
+                for il in &instance.labels {
+                    best = best.max(monge_elkan_similarity(&el_n, il));
+                }
+            }
+            (best, 1.0)
+        }
+        EntityMetricKind::Type => {
+            // The entity's class hierarchy (class + ancestors) vs the
+            // instance's: fraction of the entity's hierarchy present in the
+            // instance's hierarchy.
+            let mut entity_hierarchy = vec![entity.entity.class.name().to_string()];
+            entity_hierarchy.extend(entity.entity.class.ancestors().iter().map(|s| s.to_string()));
+            let overlap = entity_hierarchy
+                .iter()
+                .filter(|c| instance.class_hierarchy.contains(c))
+                .count();
+            (overlap as f64 / entity_hierarchy.len().max(1) as f64, 1.0)
+        }
+        EntityMetricKind::Bow => (cosine_similarity(&entity.bow, &instance.bow), 1.0),
+        EntityMetricKind::Attribute => {
+            let mut compared = 0usize;
+            let mut total = 0.0;
+            for (prop, value, _) in &entity.entity.facts {
+                if let Some(fact) = instance.fact(prop) {
+                    let dtype = fact.data_type();
+                    total += if value_similarity(value, fact, dtype) >= 0.95 { 1.0 } else { 0.0 };
+                    compared += 1;
+                }
+            }
+            if compared == 0 {
+                (0.0, 0.0)
+            } else {
+                (total / compared as f64, compared as f64)
+            }
+        }
+        EntityMetricKind::ImplicitAtt => {
+            let mut compared = 0usize;
+            let mut total = 0.0;
+            let mut confidence = 0.0;
+            for (prop, value, score) in &entity.implicit {
+                if let Some(fact) = instance.fact(prop) {
+                    let dtype = fact.data_type();
+                    total += if value_similarity(value, fact, dtype) >= 0.95 { 1.0 } else { 0.0 };
+                    confidence += score;
+                    compared += 1;
+                }
+            }
+            if compared == 0 {
+                (0.0, 0.0)
+            } else {
+                (total / compared as f64, confidence)
+            }
+        }
+        EntityMetricKind::Popularity => (popularity_score, 1.0),
+    }
+}
+
+/// Full feature vector (similarities then confidences) for a pair.
+pub fn entity_metric_features(
+    metrics: &[EntityMetricKind],
+    entity: &EntityContext,
+    instance: &InstanceContext,
+    popularity_score: f64,
+) -> Vec<f64> {
+    let mut sims = Vec::with_capacity(metrics.len() + 2);
+    let mut confs = Vec::new();
+    for &kind in metrics {
+        let (sim, conf) = entity_metric_score(kind, entity, instance, popularity_score);
+        sims.push(sim);
+        if kind.has_confidence() {
+            confs.push(conf);
+        }
+    }
+    sims.extend(confs);
+    sims
+}
+
+/// Feature names corresponding to [`entity_metric_features`].
+pub fn entity_metric_feature_names(metrics: &[EntityMetricKind]) -> Vec<String> {
+    let mut names: Vec<String> = metrics.iter().map(|m| m.name().to_string()).collect();
+    for m in metrics {
+        if m.has_confidence() {
+            names.push(format!("{}_confidence", m.name()));
+        }
+    }
+    names
+}
+
+/// A trained entity-to-instance similarity model.
+#[derive(Debug, Clone)]
+pub struct EntitySimilarityModel {
+    /// The metrics used, in feature order.
+    pub metrics: Vec<EntityMetricKind>,
+    /// The aggregation model; positive score means "same instance".
+    pub model: PairwiseModel,
+}
+
+impl EntitySimilarityModel {
+    /// Score an entity / candidate pair in `[-1, 1]`.
+    pub fn score(&self, entity: &EntityContext, instance: &InstanceContext, popularity_score: f64) -> f64 {
+        let features = entity_metric_features(&self.metrics, entity, instance, popularity_score);
+        self.model.score(&features)
+    }
+
+    /// Metric importances (Table 8 MI column).
+    pub fn metric_importances(&self) -> Vec<(EntityMetricKind, f64)> {
+        self.model
+            .metric_importances()
+            .into_iter()
+            .zip(self.metrics.iter())
+            .map(|(mi, &kind)| (kind, mi.importance))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ltee_kb::ClassKey;
+    use ltee_webtables::{RowRef, TableId};
+
+    fn entity_ctx(class: ClassKey, label: &str, facts: Vec<(&str, Value)>) -> EntityContext {
+        let entity = Entity {
+            class,
+            rows: vec![RowRef::new(TableId(1), 0)],
+            labels: vec![label.to_string()],
+            facts: facts.into_iter().map(|(p, v)| (p.to_string(), v, 1.0)).collect(),
+        };
+        EntityContext { entity, bow: BowVector::from_text(label), implicit: vec![] }
+    }
+
+    fn instance_ctx(class: ClassKey, label: &str, facts: Vec<(&str, Value)>, links: u64) -> InstanceContext {
+        let mut bow = BowVector::from_text(label);
+        for (_, v) in &facts {
+            bow.add_text(&v.render());
+        }
+        let mut class_hierarchy = vec![class.name().to_string()];
+        class_hierarchy.extend(class.ancestors().iter().map(|s| s.to_string()));
+        InstanceContext {
+            labels: vec![normalize_label(label)],
+            bow,
+            class_hierarchy,
+            facts: facts.into_iter().map(|(p, v)| (p.to_string(), v)).collect(),
+            page_links: links,
+            id: ltee_kb::InstanceId(0),
+        }
+    }
+
+    #[test]
+    fn label_metric_distinguishes_matching_labels() {
+        let e = entity_ctx(ClassKey::Song, "Hey Jude", vec![]);
+        let same = instance_ctx(ClassKey::Song, "Hey Jude", vec![], 10);
+        let other = instance_ctx(ClassKey::Song, "Yellow Submarine", vec![], 10);
+        let (s1, _) = entity_metric_score(EntityMetricKind::Label, &e, &same, 1.0);
+        let (s2, _) = entity_metric_score(EntityMetricKind::Label, &e, &other, 1.0);
+        assert!(s1 > 0.95);
+        assert!(s2 < 0.6);
+    }
+
+    #[test]
+    fn type_metric_full_for_same_class() {
+        let e = entity_ctx(ClassKey::Settlement, "Springfield", vec![]);
+        let same = instance_ctx(ClassKey::Settlement, "Springfield", vec![], 1);
+        let (s, _) = entity_metric_score(EntityMetricKind::Type, &e, &same, 1.0);
+        assert!((s - 1.0).abs() < 1e-12);
+        let diff = instance_ctx(ClassKey::Song, "Springfield", vec![], 1);
+        let (s2, _) = entity_metric_score(EntityMetricKind::Type, &e, &diff, 1.0);
+        assert!(s2 < s);
+    }
+
+    #[test]
+    fn attribute_metric_counts_overlapping_facts() {
+        let e = entity_ctx(
+            ClassKey::Song,
+            "Hey Jude",
+            vec![("runtime", Value::Quantity(431.0)), ("genre", Value::Nominal("Rock".into()))],
+        );
+        let inst = instance_ctx(
+            ClassKey::Song,
+            "Hey Jude",
+            vec![("runtime", Value::Quantity(431.0)), ("genre", Value::Nominal("Pop".into()))],
+            5,
+        );
+        let (sim, conf) = entity_metric_score(EntityMetricKind::Attribute, &e, &inst, 1.0);
+        assert!((sim - 0.5).abs() < 1e-12);
+        assert_eq!(conf, 2.0);
+    }
+
+    #[test]
+    fn attribute_metric_zero_confidence_without_overlap() {
+        let e = entity_ctx(ClassKey::Song, "Hey Jude", vec![("runtime", Value::Quantity(431.0))]);
+        let inst = instance_ctx(ClassKey::Song, "Hey Jude", vec![("genre", Value::Nominal("Rock".into()))], 5);
+        let (sim, conf) = entity_metric_score(EntityMetricKind::Attribute, &e, &inst, 1.0);
+        assert_eq!(sim, 0.0);
+        assert_eq!(conf, 0.0);
+    }
+
+    #[test]
+    fn bow_metric_rewards_shared_terms() {
+        let e = entity_ctx(ClassKey::Song, "Hey Jude Beatles", vec![]);
+        let close = instance_ctx(ClassKey::Song, "Hey Jude", vec![("musicalArtist", Value::InstanceRef("Beatles".into()))], 1);
+        let far = instance_ctx(ClassKey::Song, "Completely Different Title", vec![], 1);
+        let (s1, _) = entity_metric_score(EntityMetricKind::Bow, &e, &close, 1.0);
+        let (s2, _) = entity_metric_score(EntityMetricKind::Bow, &e, &far, 1.0);
+        assert!(s1 > s2);
+    }
+
+    #[test]
+    fn popularity_metric_passes_through_rank_score() {
+        let e = entity_ctx(ClassKey::Song, "Hey Jude", vec![]);
+        let inst = instance_ctx(ClassKey::Song, "Hey Jude", vec![], 1);
+        assert_eq!(entity_metric_score(EntityMetricKind::Popularity, &e, &inst, 0.5).0, 0.5);
+    }
+
+    #[test]
+    fn feature_layout_matches_names() {
+        let metrics = EntityMetricKind::ALL.to_vec();
+        let names = entity_metric_feature_names(&metrics);
+        assert_eq!(names.len(), 8);
+        let e = entity_ctx(ClassKey::Song, "Hey Jude", vec![]);
+        let inst = instance_ctx(ClassKey::Song, "Hey Jude", vec![], 1);
+        assert_eq!(entity_metric_features(&metrics, &e, &inst, 1.0).len(), 8);
+    }
+
+    #[test]
+    fn implicit_metric_uses_entity_level_attributes() {
+        let mut e = entity_ctx(ClassKey::Song, "Hey Jude", vec![]);
+        e.implicit = vec![("musicalArtist".into(), Value::InstanceRef("The Beatles".into()), 0.8)];
+        let matching = instance_ctx(
+            ClassKey::Song,
+            "Hey Jude",
+            vec![("musicalArtist", Value::InstanceRef("The Beatles".into()))],
+            1,
+        );
+        let (sim, conf) = entity_metric_score(EntityMetricKind::ImplicitAtt, &e, &matching, 1.0);
+        assert_eq!(sim, 1.0);
+        assert!((conf - 0.8).abs() < 1e-12);
+    }
+}

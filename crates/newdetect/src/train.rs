@@ -1,0 +1,241 @@
+//! Training the entity-to-instance similarity model from gold clusters.
+
+use ltee_index::LabelIndex;
+use ltee_kb::{InstanceId, KnowledgeBase};
+use ltee_ml::{AggregationMethod, Dataset, PairwiseModel, PairwiseTrainingConfig, Sample};
+use serde::{Deserialize, Serialize};
+
+use crate::metrics::{
+    entity_metric_feature_names, entity_metric_features, EntityContext, EntityMetricKind,
+    EntitySimilarityModel, InstanceContext,
+};
+
+/// Training configuration for the entity similarity model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EntityModelTrainingConfig {
+    /// Aggregation approach.
+    pub aggregation: AggregationMethod,
+    /// Candidates retrieved per entity when building training pairs.
+    pub candidates: usize,
+    /// Underlying pairwise training configuration.
+    pub pairwise: PairwiseTrainingConfig,
+}
+
+impl Default for EntityModelTrainingConfig {
+    fn default() -> Self {
+        Self { aggregation: AggregationMethod::Combined, candidates: 8, pairwise: PairwiseTrainingConfig::default() }
+    }
+}
+
+impl EntityModelTrainingConfig {
+    /// Fast settings for tests and small experiments.
+    pub fn fast() -> Self {
+        Self {
+            aggregation: AggregationMethod::Combined,
+            candidates: 6,
+            pairwise: PairwiseTrainingConfig {
+                genetic: ltee_ml::GeneticConfig { population: 20, generations: 15, ..Default::default() },
+                forest: ltee_ml::RandomForestConfig { num_trees: 20, max_depth: 8, ..Default::default() },
+                upsample_seed: 23,
+            },
+        }
+    }
+}
+
+/// Build a training dataset of (entity, candidate instance) pairs.
+///
+/// `truth` gives, per entity (by index), the knowledge base instance the
+/// entity truly corresponds to (`None` for new entities). Positive samples
+/// are (entity, true instance) pairs; negative samples are (entity, other
+/// candidate) pairs.
+pub fn build_entity_pair_dataset(
+    entities: &[EntityContext],
+    truth: &[Option<InstanceId>],
+    kb: &KnowledgeBase,
+    label_index: &LabelIndex,
+    metrics: &[EntityMetricKind],
+    config: &EntityModelTrainingConfig,
+) -> Dataset {
+    assert_eq!(entities.len(), truth.len(), "one truth entry per entity");
+    let mut dataset = Dataset::new(entity_metric_feature_names(metrics));
+
+    for (entity, true_instance) in entities.iter().zip(truth.iter()) {
+        // Candidate instances via the label index (as at detection time).
+        let mut ids: Vec<InstanceId> = Vec::new();
+        for label in &entity.entity.labels {
+            for m in label_index.lookup(label, config.candidates) {
+                let id = InstanceId(m.id);
+                if !ids.contains(&id) {
+                    ids.push(id);
+                }
+            }
+        }
+        // Ensure the true instance is among the pairs even if the index
+        // missed it (it is a legitimate positive example).
+        if let Some(t) = true_instance {
+            if !ids.contains(t) {
+                ids.push(*t);
+            }
+        }
+        if ids.is_empty() {
+            continue;
+        }
+        let mut contexts: Vec<InstanceContext> =
+            ids.iter().filter_map(|id| kb.instance(*id)).map(|i| InstanceContext::build(i, kb)).collect();
+        contexts.sort_by(|a, b| b.page_links.cmp(&a.page_links));
+        let n = contexts.len();
+        for (rank, ctx) in contexts.iter().enumerate() {
+            let popularity = if n == 1 { 1.0 } else { 1.0 / (rank + 1) as f64 };
+            let features = entity_metric_features(metrics, entity, ctx, popularity);
+            let target = if Some(ctx.id) == *true_instance { 1.0 } else { 0.0 };
+            dataset.push(Sample::new(features, target));
+        }
+    }
+    dataset
+}
+
+/// Train the entity similarity model.
+pub fn train_entity_model(
+    dataset: &Dataset,
+    metrics: Vec<EntityMetricKind>,
+    config: &EntityModelTrainingConfig,
+) -> EntitySimilarityModel {
+    let model = PairwiseModel::train(dataset, metrics.len(), config.aggregation, &config.pairwise);
+    EntitySimilarityModel { metrics, model }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detect::{detect_new, NewDetectionConfig};
+    use ltee_clustering::ImplicitAttributes;
+    use ltee_fusion::Entity;
+    use ltee_kb::{generate_world, ClassKey, GeneratorConfig, Scale, World};
+    use ltee_text::BowVector;
+    use ltee_webtables::{RowRef, TableId};
+
+    fn entity_from_world(world: &World, e: &ltee_kb::WorldEntity) -> EntityContext {
+        // Build an entity straight from the world's ground truth — a stand-in
+        // for "perfect clustering and fusion" used to test new detection in
+        // isolation.
+        let facts = e.facts.iter().map(|(p, v)| (p.clone(), v.clone(), 1.0)).collect();
+        let entity = Entity {
+            class: e.class,
+            rows: vec![RowRef::new(TableId(e.id.raw()), 0)],
+            labels: vec![e.canonical_label.clone()],
+            facts,
+        };
+        let mut bow = BowVector::from_text(&e.canonical_label);
+        for (_, v) in &e.facts {
+            bow.add_text(&v.render());
+        }
+        let _ = world;
+        EntityContext { entity, bow, implicit: vec![] }
+    }
+
+    #[test]
+    fn trained_model_beats_trivial_on_head_vs_tail_classification() {
+        let world = generate_world(&GeneratorConfig::new(Scale::tiny(), 81));
+        let kb = world.kb();
+        let class = ClassKey::GridironFootballPlayer;
+        let index = kb.label_index(class);
+
+        // Training set: half heads (existing) + half tails (new).
+        let heads = world.head_of_class(class);
+        let tails = world.long_tail_of_class(class);
+        let mut entities = Vec::new();
+        let mut truth = Vec::new();
+        for e in heads.iter().take(20) {
+            entities.push(entity_from_world(&world, e));
+            truth.push(world.instance_for_entity(e.id));
+        }
+        for e in tails.iter().take(15) {
+            entities.push(entity_from_world(&world, e));
+            truth.push(None);
+        }
+
+        let metrics = EntityMetricKind::ALL.to_vec();
+        let config = EntityModelTrainingConfig::fast();
+        let ds = build_entity_pair_dataset(&entities, &truth, kb, &index, &metrics, &config);
+        assert!(ds.positives() > 5, "need positive pairs, got {}", ds.positives());
+        assert!(ds.negatives() > 5, "need negative pairs, got {}", ds.negatives());
+        let model = train_entity_model(&ds, metrics, &config);
+
+        // Evaluate on a held-out slice.
+        let mut eval_entities = Vec::new();
+        let mut eval_new = Vec::new();
+        let mut eval_instance = Vec::new();
+        for e in heads.iter().skip(20).take(10) {
+            eval_entities.push(entity_from_world(&world, e));
+            eval_new.push(false);
+            eval_instance.push(world.instance_for_entity(e.id));
+        }
+        for e in tails.iter().skip(15).take(8) {
+            eval_entities.push(entity_from_world(&world, e));
+            eval_new.push(true);
+            eval_instance.push(None);
+        }
+        let results = detect_new(&eval_entities, kb, &index, &model, &NewDetectionConfig::default());
+        let mut correct = 0usize;
+        for (r, (is_new, instance)) in results.iter().zip(eval_new.iter().zip(eval_instance.iter())) {
+            let ok = if *is_new {
+                r.outcome.is_new()
+            } else {
+                r.outcome.instance() == *instance
+            };
+            if ok {
+                correct += 1;
+            }
+        }
+        let acc = correct as f64 / results.len() as f64;
+        assert!(acc > 0.6, "new-detection accuracy {acc:.2}");
+    }
+
+    #[test]
+    fn dataset_arity_matches_metric_features() {
+        let world = generate_world(&GeneratorConfig::new(Scale::tiny(), 82));
+        let kb = world.kb();
+        let class = ClassKey::Song;
+        let index = kb.label_index(class);
+        let heads = world.head_of_class(class);
+        let entities: Vec<EntityContext> =
+            heads.iter().take(5).map(|e| entity_from_world(&world, e)).collect();
+        let truth: Vec<Option<InstanceId>> =
+            heads.iter().take(5).map(|e| world.instance_for_entity(e.id)).collect();
+        let metrics = vec![EntityMetricKind::Label, EntityMetricKind::Attribute];
+        let ds = build_entity_pair_dataset(&entities, &truth, kb, &index, &metrics, &EntityModelTrainingConfig::fast());
+        assert_eq!(ds.num_features(), 3); // 2 sims + 1 confidence
+        assert!(!ds.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "one truth entry per entity")]
+    fn mismatched_truth_length_panics() {
+        let world = generate_world(&GeneratorConfig::new(Scale::tiny(), 83));
+        let kb = world.kb();
+        let index = kb.label_index(ClassKey::Song);
+        build_entity_pair_dataset(
+            &[],
+            &[None],
+            kb,
+            &index,
+            &[EntityMetricKind::Label],
+            &EntityModelTrainingConfig::fast(),
+        );
+    }
+
+    #[test]
+    fn entity_context_build_aggregates_implicit_attributes() {
+        let world = generate_world(&GeneratorConfig::new(Scale::tiny(), 84));
+        let corpus = ltee_webtables::generate_corpus(&world, &ltee_webtables::CorpusConfig::tiny());
+        let entity = Entity {
+            class: ClassKey::Song,
+            rows: vec![RowRef::new(corpus.tables()[0].id, 0)],
+            labels: vec!["Something".into()],
+            facts: vec![],
+        };
+        let ctx = EntityContext::build(entity, &corpus, &ImplicitAttributes::default());
+        assert!(!ctx.bow.is_empty());
+        assert!(ctx.implicit.is_empty());
+    }
+}

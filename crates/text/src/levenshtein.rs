@@ -1,0 +1,124 @@
+//! Levenshtein edit distance and its normalised similarity.
+//!
+//! Used as the inner similarity function of [Monge-Elkan](crate::monge_elkan)
+//! when comparing labels of rows, entities and knowledge base instances.
+
+/// Compute the Levenshtein (edit) distance between two strings, counted in
+/// Unicode scalar values.
+///
+/// The implementation uses the classic two-row dynamic program, which keeps
+/// memory at `O(min(|a|, |b|))`.
+pub fn levenshtein_distance(a: &str, b: &str) -> usize {
+    let a_chars: Vec<char> = a.chars().collect();
+    let b_chars: Vec<char> = b.chars().collect();
+    // Iterate over the longer string and keep the DP row for the shorter one.
+    let (long, short) = if a_chars.len() >= b_chars.len() {
+        (&a_chars, &b_chars)
+    } else {
+        (&b_chars, &a_chars)
+    };
+    if short.is_empty() {
+        return long.len();
+    }
+
+    let mut prev: Vec<usize> = (0..=short.len()).collect();
+    let mut curr: Vec<usize> = vec![0; short.len() + 1];
+
+    for (i, lc) in long.iter().enumerate() {
+        curr[0] = i + 1;
+        for (j, sc) in short.iter().enumerate() {
+            let cost = usize::from(lc != sc);
+            curr[j + 1] = (prev[j + 1] + 1).min(curr[j] + 1).min(prev[j] + cost);
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[short.len()]
+}
+
+/// Levenshtein similarity normalised to `[0, 1]`:
+/// `1 - distance / max(|a|, |b|)`. Two empty strings are fully similar.
+pub fn levenshtein_similarity(a: &str, b: &str) -> f64 {
+    let len_a = a.chars().count();
+    let len_b = b.chars().count();
+    let max_len = len_a.max(len_b);
+    if max_len == 0 {
+        return 1.0;
+    }
+    let dist = levenshtein_distance(a, b);
+    1.0 - dist as f64 / max_len as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identical_strings_have_zero_distance() {
+        assert_eq!(levenshtein_distance("smith", "smith"), 0);
+    }
+
+    #[test]
+    fn empty_vs_nonempty() {
+        assert_eq!(levenshtein_distance("", "abc"), 3);
+        assert_eq!(levenshtein_distance("abc", ""), 3);
+    }
+
+    #[test]
+    fn classic_kitten_sitting() {
+        assert_eq!(levenshtein_distance("kitten", "sitting"), 3);
+    }
+
+    #[test]
+    fn unicode_counted_as_scalars() {
+        assert_eq!(levenshtein_distance("café", "cafe"), 1);
+    }
+
+    #[test]
+    fn similarity_of_identical_is_one() {
+        assert_eq!(levenshtein_similarity("paris", "paris"), 1.0);
+    }
+
+    #[test]
+    fn similarity_of_disjoint_is_zero() {
+        assert_eq!(levenshtein_similarity("aaa", "bbb"), 0.0);
+    }
+
+    #[test]
+    fn similarity_of_two_empties_is_one() {
+        assert_eq!(levenshtein_similarity("", ""), 1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn distance_is_symmetric(a in ".{0,30}", b in ".{0,30}") {
+            prop_assert_eq!(levenshtein_distance(&a, &b), levenshtein_distance(&b, &a));
+        }
+
+        #[test]
+        fn distance_zero_iff_equal(a in ".{0,30}", b in ".{0,30}") {
+            let d = levenshtein_distance(&a, &b);
+            prop_assert_eq!(d == 0, a == b);
+        }
+
+        #[test]
+        fn distance_bounded_by_longer_length(a in ".{0,30}", b in ".{0,30}") {
+            let d = levenshtein_distance(&a, &b);
+            prop_assert!(d <= a.chars().count().max(b.chars().count()));
+        }
+
+        #[test]
+        fn similarity_in_unit_interval(a in ".{0,30}", b in ".{0,30}") {
+            let s = levenshtein_similarity(&a, &b);
+            prop_assert!((0.0..=1.0).contains(&s));
+        }
+
+        #[test]
+        fn triangle_inequality(a in "[a-c]{0,12}", b in "[a-c]{0,12}", c in "[a-c]{0,12}") {
+            let ab = levenshtein_distance(&a, &b);
+            let bc = levenshtein_distance(&b, &c);
+            let ac = levenshtein_distance(&a, &c);
+            prop_assert!(ac <= ab + bc);
+        }
+    }
+}

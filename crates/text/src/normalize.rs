@@ -1,0 +1,170 @@
+//! Shared text normalisation and tokenisation.
+//!
+//! Web table cells and knowledge base labels arrive in wildly different
+//! shapes ("J. Smith", "Smith, John", "john  SMITH  (QB)"). Every component
+//! of the pipeline that compares strings first pushes them through the same
+//! normalisation so that superficial differences (case, punctuation,
+//! bracketed qualifiers, redundant whitespace) do not dominate the
+//! similarity scores.
+
+/// Normalise a label for comparison and indexing.
+///
+/// Lower-cases, strips bracketed qualifiers (`"Paris (Texas)"` → `"paris"`
+/// keeps only the part outside parentheses when there is text outside them),
+/// replaces punctuation with spaces and collapses whitespace runs.
+pub fn normalize_label(label: &str) -> String {
+    let without_brackets = strip_bracketed(label);
+    let source = if without_brackets.trim().is_empty() {
+        label
+    } else {
+        &without_brackets
+    };
+    let mut out = String::with_capacity(source.len());
+    let mut last_space = true;
+    for ch in source.chars() {
+        let mapped = if ch.is_alphanumeric() {
+            Some(ch.to_lowercase().next().unwrap_or(ch))
+        } else if ch.is_whitespace() || ch.is_ascii_punctuation() {
+            None
+        } else {
+            // Keep other unicode symbols as-is but lower-cased.
+            Some(ch.to_lowercase().next().unwrap_or(ch))
+        };
+        match mapped {
+            Some(c) => {
+                out.push(c);
+                last_space = false;
+            }
+            None => {
+                if !last_space {
+                    out.push(' ');
+                    last_space = true;
+                }
+            }
+        }
+    }
+    out.trim().to_string()
+}
+
+/// Remove bracketed qualifiers: `(...)`, `[...]` are dropped entirely.
+fn strip_bracketed(label: &str) -> String {
+    let mut out = String::with_capacity(label.len());
+    let mut depth = 0usize;
+    for ch in label.chars() {
+        match ch {
+            '(' | '[' => depth += 1,
+            ')' | ']' => depth = depth.saturating_sub(1),
+            _ if depth == 0 => out.push(ch),
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Clean a raw web table cell value: trim, collapse whitespace, drop
+/// surrounding quotes and trailing footnote markers such as `*` or `†`.
+pub fn clean_label(raw: &str) -> String {
+    let trimmed = raw
+        .trim()
+        .trim_matches(|c| c == '"' || c == '\'' || c == '*' || c == '†');
+    let mut out = String::with_capacity(trimmed.len());
+    let mut last_space = false;
+    for ch in trimmed.chars() {
+        if ch.is_whitespace() {
+            if !last_space && !out.is_empty() {
+                out.push(' ');
+            }
+            last_space = true;
+        } else {
+            out.push(ch);
+            last_space = false;
+        }
+    }
+    while out.ends_with(' ') {
+        out.pop();
+    }
+    out
+}
+
+/// Tokenise an already cleaned string into lower-cased alphanumeric tokens.
+///
+/// This is the tokenisation used to build bag-of-words vectors and blocking
+/// keys. Tokens of length zero are never produced.
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut current = String::new();
+    for ch in text.chars() {
+        if ch.is_alphanumeric() {
+            for lc in ch.to_lowercase() {
+                current.push(lc);
+            }
+        } else if !current.is_empty() {
+            tokens.push(std::mem::take(&mut current));
+        }
+    }
+    if !current.is_empty() {
+        tokens.push(current);
+    }
+    tokens
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_lowercases_and_collapses() {
+        assert_eq!(normalize_label("  John   SMITH "), "john smith");
+    }
+
+    #[test]
+    fn normalize_strips_punctuation() {
+        assert_eq!(normalize_label("O'Neill, J.R."), "o neill j r");
+    }
+
+    #[test]
+    fn normalize_strips_bracketed_qualifier() {
+        assert_eq!(normalize_label("Paris (Texas)"), "paris");
+    }
+
+    #[test]
+    fn normalize_keeps_label_when_only_bracketed() {
+        // A label that is entirely bracketed should not normalise to "".
+        assert_eq!(normalize_label("(1998)"), "1998");
+    }
+
+    #[test]
+    fn normalize_empty_is_empty() {
+        assert_eq!(normalize_label(""), "");
+    }
+
+    #[test]
+    fn clean_trims_and_unquotes() {
+        assert_eq!(clean_label("  \"Abbey Road\"  "), "Abbey Road");
+    }
+
+    #[test]
+    fn clean_drops_footnote_markers() {
+        assert_eq!(clean_label("Tom Brady*"), "Tom Brady");
+    }
+
+    #[test]
+    fn clean_collapses_internal_whitespace() {
+        assert_eq!(clean_label("New   York\tCity"), "New York City");
+    }
+
+    #[test]
+    fn tokenize_splits_on_non_alphanumeric() {
+        assert_eq!(tokenize("hey-you 42"), vec!["hey", "you", "42"]);
+    }
+
+    #[test]
+    fn tokenize_empty() {
+        assert!(tokenize("  --  ").is_empty());
+    }
+
+    #[test]
+    fn tokenize_lowercases() {
+        assert_eq!(tokenize("ABBA Gold"), vec!["abba", "gold"]);
+    }
+}

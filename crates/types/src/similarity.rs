@@ -1,0 +1,319 @@
+//! Data-type specific value similarity and equivalence.
+//!
+//! "Each type has a corresponding similarity function, and an equivalence
+//! threshold, which is used to determine if the compared values are equal"
+//! (paper Section 3.1). The similarity functions are used by the
+//! duplicate-based schema matchers, the `ATTRIBUTE` metrics, the fusion
+//! grouping step and the facts-found evaluation (which additionally uses a
+//! learned tolerance range for quantities).
+
+use ltee_text::{clamp_unit, monge_elkan_similarity, normalize_label};
+use serde::{Deserialize, Serialize};
+
+use crate::datatype::DataType;
+use crate::value::{DateGranularity, Value};
+
+/// Thresholds and tolerances controlling when two values of a given data
+/// type are considered *equivalent*.
+///
+/// The defaults mirror the behaviour described in the paper; the quantity
+/// tolerance is the knob the facts-found evaluation learns per property
+/// ("a learned tolerance range", Section 4.2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EquivalenceConfig {
+    /// Minimum Monge-Elkan similarity for two text values to be equivalent.
+    pub text_threshold: f64,
+    /// Relative tolerance for quantities: values are equivalent when
+    /// `|a - b| <= quantity_tolerance * max(|a|, |b|)`.
+    pub quantity_tolerance: f64,
+    /// Tolerance in days when comparing two day-granularity dates.
+    pub date_day_tolerance_days: f64,
+}
+
+impl Default for EquivalenceConfig {
+    fn default() -> Self {
+        Self {
+            text_threshold: 0.85,
+            quantity_tolerance: 0.02,
+            date_day_tolerance_days: 1.0,
+        }
+    }
+}
+
+impl EquivalenceConfig {
+    /// A strict configuration (exact matches only, no tolerances), useful in
+    /// tests and for nominal-heavy properties.
+    pub fn strict() -> Self {
+        Self {
+            text_threshold: 1.0,
+            quantity_tolerance: 0.0,
+            date_day_tolerance_days: 0.0,
+        }
+    }
+
+    /// A lenient configuration used when comparing noisy web-table-derived
+    /// facts against possibly outdated knowledge base facts.
+    pub fn lenient() -> Self {
+        Self {
+            text_threshold: 0.75,
+            quantity_tolerance: 0.10,
+            date_day_tolerance_days: 31.0,
+        }
+    }
+}
+
+/// Similarity of two values under the comparison type `dtype`, in `[0, 1]`.
+///
+/// Values whose payloads cannot be interpreted under `dtype` score `0.0`.
+pub fn value_similarity(a: &Value, b: &Value, dtype: DataType) -> f64 {
+    match dtype {
+        DataType::Text => match (a.as_str(), b.as_str()) {
+            (Some(x), Some(y)) => {
+                clamp_unit(monge_elkan_similarity(&normalize_label(x), &normalize_label(y)))
+            }
+            _ => 0.0,
+        },
+        DataType::NominalString | DataType::InstanceReference => match (a.as_str(), b.as_str()) {
+            (Some(x), Some(y)) => {
+                if normalize_label(x) == normalize_label(y) {
+                    1.0
+                } else if dtype == DataType::InstanceReference {
+                    // Instance references are compared by label; allow a high
+                    // text similarity to count partially so that e.g.
+                    // "Green Bay Packers" vs "Packers" is not a hard zero.
+                    let s = monge_elkan_similarity(&normalize_label(x), &normalize_label(y));
+                    if s >= 0.9 {
+                        s
+                    } else {
+                        0.0
+                    }
+                } else {
+                    0.0
+                }
+            }
+            _ => 0.0,
+        },
+        DataType::Date => match (a.as_date(), b.as_date()) {
+            (Some(x), Some(y)) => {
+                if x.granularity == DateGranularity::Year || y.granularity == DateGranularity::Year {
+                    if x.year == y.year {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                } else {
+                    let diff = (x.approximate_days() - y.approximate_days()).abs();
+                    if diff < f64::EPSILON {
+                        1.0
+                    } else if diff <= 31.0 {
+                        // Same month neighbourhood: decay linearly.
+                        1.0 - diff / 62.0
+                    } else {
+                        0.0
+                    }
+                }
+            }
+            _ => 0.0,
+        },
+        DataType::Quantity => match (a.as_f64(), b.as_f64()) {
+            (Some(x), Some(y)) => {
+                let max = x.abs().max(y.abs());
+                if max < f64::EPSILON {
+                    return 1.0;
+                }
+                let rel = (x - y).abs() / max;
+                clamp_unit(1.0 - rel)
+            }
+            _ => 0.0,
+        },
+        DataType::NominalInteger => match (a.as_f64(), b.as_f64()) {
+            (Some(x), Some(y)) => {
+                if (x.round() - y.round()).abs() < f64::EPSILON {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            _ => 0.0,
+        },
+    }
+}
+
+/// Whether two values are *equivalent* under the comparison type `dtype`
+/// given the equivalence configuration.
+pub fn value_equivalent(a: &Value, b: &Value, dtype: DataType, cfg: &EquivalenceConfig) -> bool {
+    match dtype {
+        DataType::Text => value_similarity(a, b, dtype) >= cfg.text_threshold,
+        DataType::NominalString | DataType::InstanceReference => {
+            match (a.as_str(), b.as_str()) {
+                (Some(x), Some(y)) => normalize_label(x) == normalize_label(y),
+                _ => false,
+            }
+        }
+        DataType::Date => match (a.as_date(), b.as_date()) {
+            (Some(x), Some(y)) => {
+                if x.granularity == DateGranularity::Year || y.granularity == DateGranularity::Year {
+                    x.year == y.year
+                } else {
+                    (x.approximate_days() - y.approximate_days()).abs() <= cfg.date_day_tolerance_days
+                }
+            }
+            _ => false,
+        },
+        DataType::Quantity => match (a.as_f64(), b.as_f64()) {
+            (Some(x), Some(y)) => {
+                let max = x.abs().max(y.abs());
+                if max < f64::EPSILON {
+                    true
+                } else {
+                    (x - y).abs() / max <= cfg.quantity_tolerance
+                }
+            }
+            _ => false,
+        },
+        DataType::NominalInteger => match (a.as_f64(), b.as_f64()) {
+            (Some(x), Some(y)) => (x.round() - y.round()).abs() < f64::EPSILON,
+            _ => false,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Date;
+    use proptest::prelude::*;
+
+    fn cfg() -> EquivalenceConfig {
+        EquivalenceConfig::default()
+    }
+
+    #[test]
+    fn text_similarity_tolerates_small_edits() {
+        let a = Value::Text("Tom Brady".into());
+        let b = Value::Text("Tom Bradey".into());
+        assert!(value_similarity(&a, &b, DataType::Text) > 0.85);
+        assert!(value_equivalent(&a, &b, DataType::Text, &cfg()));
+    }
+
+    #[test]
+    fn text_dissimilar_not_equivalent() {
+        let a = Value::Text("Tom Brady".into());
+        let b = Value::Text("Peyton Manning".into());
+        assert!(!value_equivalent(&a, &b, DataType::Text, &cfg()));
+    }
+
+    #[test]
+    fn nominal_requires_exact_normalised_match() {
+        let a = Value::Nominal("54321".into());
+        let b = Value::Nominal("54322".into());
+        assert_eq!(value_similarity(&a, &b, DataType::NominalString), 0.0);
+        assert!(!value_equivalent(&a, &b, DataType::NominalString, &cfg()));
+        let c = Value::Nominal("  54321 ".into());
+        assert!(value_equivalent(&a, &c, DataType::NominalString, &cfg()));
+    }
+
+    #[test]
+    fn instance_ref_matches_by_normalised_label() {
+        let a = Value::InstanceRef("Green Bay Packers".into());
+        let b = Value::InstanceRef("green bay packers".into());
+        assert!(value_equivalent(&a, &b, DataType::InstanceReference, &cfg()));
+    }
+
+    #[test]
+    fn year_dates_compare_on_year_only() {
+        let a = Value::Date(Date::year(1995));
+        let b = Value::Date(Date::day(1995, 6, 1));
+        assert!(value_equivalent(&a, &b, DataType::Date, &cfg()));
+        let c = Value::Date(Date::year(1996));
+        assert!(!value_equivalent(&a, &c, DataType::Date, &cfg()));
+    }
+
+    #[test]
+    fn day_dates_allow_small_tolerance() {
+        let a = Value::Date(Date::day(1987, 3, 14));
+        let b = Value::Date(Date::day(1987, 3, 15));
+        assert!(value_equivalent(&a, &b, DataType::Date, &cfg()));
+        let c = Value::Date(Date::day(1987, 5, 15));
+        assert!(!value_equivalent(&a, &c, DataType::Date, &cfg()));
+    }
+
+    #[test]
+    fn quantity_relative_tolerance() {
+        let a = Value::Quantity(10_000.0);
+        let b = Value::Quantity(10_150.0);
+        assert!(value_equivalent(&a, &b, DataType::Quantity, &cfg()));
+        let c = Value::Quantity(12_000.0);
+        assert!(!value_equivalent(&a, &c, DataType::Quantity, &cfg()));
+    }
+
+    #[test]
+    fn quantity_zero_equals_zero() {
+        let a = Value::Quantity(0.0);
+        assert!(value_equivalent(&a, &a, DataType::Quantity, &cfg()));
+    }
+
+    #[test]
+    fn nominal_integer_adjacent_numbers_not_related() {
+        let a = Value::NominalInt(3);
+        let b = Value::NominalInt(4);
+        assert_eq!(value_similarity(&a, &b, DataType::NominalInteger), 0.0);
+        assert!(!value_equivalent(&a, &b, DataType::NominalInteger, &cfg()));
+        assert!(value_equivalent(&a, &a, DataType::NominalInteger, &cfg()));
+    }
+
+    #[test]
+    fn mismatched_payloads_score_zero() {
+        let a = Value::Text("abc".into());
+        let b = Value::Quantity(4.0);
+        assert_eq!(value_similarity(&a, &b, DataType::Quantity), 0.0);
+        assert!(!value_equivalent(&a, &b, DataType::Quantity, &cfg()));
+    }
+
+    #[test]
+    fn strict_config_rejects_near_quantities() {
+        let a = Value::Quantity(100.0);
+        let b = Value::Quantity(100.5);
+        assert!(!value_equivalent(&a, &b, DataType::Quantity, &EquivalenceConfig::strict()));
+    }
+
+    #[test]
+    fn lenient_config_accepts_outdated_population() {
+        let a = Value::Quantity(10_000.0);
+        let b = Value::Quantity(10_900.0);
+        assert!(value_equivalent(&a, &b, DataType::Quantity, &EquivalenceConfig::lenient()));
+    }
+
+    proptest! {
+        #[test]
+        fn similarity_in_unit_interval(x in -1e6f64..1e6, y in -1e6f64..1e6) {
+            let a = Value::Quantity(x);
+            let b = Value::Quantity(y);
+            let s = value_similarity(&a, &b, DataType::Quantity);
+            prop_assert!((0.0..=1.0).contains(&s));
+        }
+
+        #[test]
+        fn quantity_similarity_symmetric(x in -1e6f64..1e6, y in -1e6f64..1e6) {
+            let a = Value::Quantity(x);
+            let b = Value::Quantity(y);
+            let ab = value_similarity(&a, &b, DataType::Quantity);
+            let ba = value_similarity(&b, &a, DataType::Quantity);
+            prop_assert!((ab - ba).abs() < 1e-12);
+        }
+
+        #[test]
+        fn equivalence_is_reflexive_for_quantities(x in -1e6f64..1e6) {
+            let a = Value::Quantity(x);
+            prop_assert!(value_equivalent(&a, &a, DataType::Quantity, &EquivalenceConfig::default()));
+        }
+
+        #[test]
+        fn text_similarity_reflexive(s in "[a-zA-Z ]{1,20}") {
+            prop_assume!(!ltee_text::tokenize(&s).is_empty());
+            let v = Value::Text(s.clone());
+            let sim = value_similarity(&v, &v, DataType::Text);
+            prop_assert!(sim > 0.999);
+        }
+    }
+}

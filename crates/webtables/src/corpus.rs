@@ -1,0 +1,155 @@
+//! A corpus of web tables.
+
+use std::collections::HashMap;
+
+use ltee_kb::ClassKey;
+use serde::{Deserialize, Serialize};
+
+use crate::table::{RowRef, TableId, WebTable};
+
+/// A corpus of web tables, the unit the pipeline operates on.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Corpus {
+    tables: Vec<WebTable>,
+    #[serde(skip)]
+    by_id: HashMap<TableId, usize>,
+}
+
+impl Corpus {
+    /// Create an empty corpus.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build a corpus from tables.
+    pub fn from_tables(tables: Vec<WebTable>) -> Self {
+        let by_id = tables.iter().enumerate().map(|(i, t)| (t.id, i)).collect();
+        Self { tables, by_id }
+    }
+
+    /// Add a table.
+    pub fn push(&mut self, table: WebTable) {
+        self.by_id.insert(table.id, self.tables.len());
+        self.tables.push(table);
+    }
+
+    /// Rebuild the id lookup (after deserialisation).
+    pub fn rebuild_lookups(&mut self) {
+        self.by_id = self.tables.iter().enumerate().map(|(i, t)| (t.id, i)).collect();
+    }
+
+    /// All tables.
+    pub fn tables(&self) -> &[WebTable] {
+        &self.tables
+    }
+
+    /// Number of tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// True when the corpus holds no tables.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+
+    /// Look up a table by id.
+    pub fn table(&self, id: TableId) -> Option<&WebTable> {
+        self.by_id.get(&id).map(|&i| &self.tables[i])
+    }
+
+    /// The raw cells of a row.
+    pub fn row_cells(&self, row: RowRef) -> Vec<&str> {
+        self.table(row.table).map(|t| t.row_cells(row.row)).unwrap_or_default()
+    }
+
+    /// Tables whose ground truth says they are about `class`.
+    ///
+    /// Used by the corpus-level experiments to partition work per class; the
+    /// pipeline's own table-to-class matching does not read the truth.
+    pub fn tables_of_class(&self, class: ClassKey) -> Vec<&WebTable> {
+        self.tables.iter().filter(|t| t.truth.class == class).collect()
+    }
+
+    /// Total number of rows across all tables.
+    pub fn total_rows(&self) -> usize {
+        self.tables.iter().map(|t| t.num_rows()).sum()
+    }
+
+    /// Total number of rows in tables of one class (by ground truth).
+    pub fn total_rows_of_class(&self, class: ClassKey) -> usize {
+        self.tables_of_class(class).iter().map(|t| t.num_rows()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::{Column, TableTruth};
+    use ltee_kb::EntityId;
+
+    fn table(id: u64, class: ClassKey, rows: usize) -> WebTable {
+        WebTable {
+            id: TableId(id),
+            columns: vec![Column {
+                header: "name".into(),
+                cells: (0..rows).map(|r| format!("entity {r}")).collect(),
+            }],
+            truth: TableTruth {
+                class,
+                label_column: 0,
+                column_property: vec![None],
+                row_entity: (0..rows).map(|r| EntityId(r as u64)).collect(),
+            },
+        }
+    }
+
+    #[test]
+    fn from_tables_builds_lookup() {
+        let corpus = Corpus::from_tables(vec![table(1, ClassKey::Song, 2), table(2, ClassKey::Settlement, 3)]);
+        assert_eq!(corpus.len(), 2);
+        assert_eq!(corpus.table(TableId(2)).unwrap().num_rows(), 3);
+        assert!(corpus.table(TableId(9)).is_none());
+    }
+
+    #[test]
+    fn push_keeps_lookup_consistent() {
+        let mut corpus = Corpus::new();
+        corpus.push(table(5, ClassKey::Song, 1));
+        assert!(corpus.table(TableId(5)).is_some());
+    }
+
+    #[test]
+    fn class_partition_and_row_counts() {
+        let corpus = Corpus::from_tables(vec![
+            table(1, ClassKey::Song, 2),
+            table(2, ClassKey::Song, 4),
+            table(3, ClassKey::Settlement, 3),
+        ]);
+        assert_eq!(corpus.tables_of_class(ClassKey::Song).len(), 2);
+        assert_eq!(corpus.total_rows(), 9);
+        assert_eq!(corpus.total_rows_of_class(ClassKey::Song), 6);
+    }
+
+    #[test]
+    fn row_cells_resolves_through_corpus() {
+        let corpus = Corpus::from_tables(vec![table(1, ClassKey::Song, 2)]);
+        assert_eq!(corpus.row_cells(RowRef::new(TableId(1), 1)), vec!["entity 1"]);
+        assert!(corpus.row_cells(RowRef::new(TableId(7), 0)).is_empty());
+    }
+
+    #[test]
+    fn rebuild_lookups_restores_access() {
+        let mut corpus = Corpus::from_tables(vec![table(1, ClassKey::Song, 1)]);
+        corpus.by_id.clear();
+        corpus.rebuild_lookups();
+        assert!(corpus.table(TableId(1)).is_some());
+    }
+
+    #[test]
+    fn empty_corpus_reports_empty() {
+        let corpus = Corpus::new();
+        assert!(corpus.is_empty());
+        assert_eq!(corpus.total_rows(), 0);
+    }
+}

@@ -1,0 +1,733 @@
+//! Synthetic web table corpus generator.
+//!
+//! The generator renders entities of a [`World`] into small relational
+//! tables with the heterogeneity and noise characteristics that make the
+//! paper's task hard: header synonyms, label variants and typos, diverging
+//! value formats, missing cells, outdated values, off-topic noise columns
+//! and tables about confusable sibling-class entities.
+
+use std::collections::HashMap;
+
+use ltee_kb::{class_schema, ClassKey, EntityId, World, CLASS_KEYS};
+use ltee_types::{DateGranularity, Value};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::corpus::Corpus;
+use crate::table::{Column, TableId, TableTruth, WebTable};
+
+/// Noise knobs of the corpus generator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NoiseConfig {
+    /// Probability that a label cell contains a typo.
+    pub label_typo_rate: f64,
+    /// Probability that a label cell uses an alternative label instead of
+    /// the canonical one.
+    pub label_variant_rate: f64,
+    /// Probability that a value cell is left empty.
+    pub missing_cell_rate: f64,
+    /// Probability that a value cell carries a wrong or outdated value.
+    pub wrong_value_rate: f64,
+    /// Probability that a table gets an additional off-topic noise column.
+    pub noise_column_rate: f64,
+}
+
+impl Default for NoiseConfig {
+    fn default() -> Self {
+        Self {
+            label_typo_rate: 0.05,
+            label_variant_rate: 0.15,
+            missing_cell_rate: 0.12,
+            wrong_value_rate: 0.08,
+            noise_column_rate: 0.30,
+        }
+    }
+}
+
+impl NoiseConfig {
+    /// A noise-free configuration, useful for tests that need clean data.
+    pub fn clean() -> Self {
+        Self {
+            label_typo_rate: 0.0,
+            label_variant_rate: 0.0,
+            missing_cell_rate: 0.0,
+            wrong_value_rate: 0.0,
+            noise_column_rate: 0.0,
+        }
+    }
+}
+
+/// Configuration of the corpus generator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CorpusConfig {
+    /// Number of tables generated per class.
+    pub tables_per_class: usize,
+    /// Minimum rows per table.
+    pub min_rows: usize,
+    /// Maximum rows per table.
+    pub max_rows: usize,
+    /// Target fraction of rows that describe long-tail (non-KB) entities.
+    pub long_tail_row_share: f64,
+    /// Fraction of tables that are predominantly about confusable
+    /// sibling-class entities (table-to-class noise).
+    pub confusable_table_rate: f64,
+    /// Noise configuration.
+    pub noise: NoiseConfig,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        Self::gold()
+    }
+}
+
+impl CorpusConfig {
+    /// Gold-standard sized corpus (paper Table 5 magnitude).
+    pub fn gold() -> Self {
+        Self {
+            tables_per_class: 70,
+            min_rows: 2,
+            max_rows: 12,
+            long_tail_row_share: 0.45,
+            confusable_table_rate: 0.05,
+            noise: NoiseConfig::default(),
+            seed: 4242,
+        }
+    }
+
+    /// Profiling-scale corpus used by the Table 11/12 experiments.
+    pub fn profiling() -> Self {
+        Self {
+            tables_per_class: 400,
+            min_rows: 2,
+            max_rows: 20,
+            long_tail_row_share: 0.45,
+            confusable_table_rate: 0.05,
+            noise: NoiseConfig::default(),
+            seed: 777,
+        }
+    }
+
+    /// A very small configuration for fast unit tests.
+    pub fn tiny() -> Self {
+        Self {
+            tables_per_class: 12,
+            min_rows: 2,
+            max_rows: 6,
+            long_tail_row_share: 0.4,
+            confusable_table_rate: 0.08,
+            noise: NoiseConfig::default(),
+            seed: 5,
+        }
+    }
+}
+
+/// Properties a table can be *themed* on: all rows of a themed table share
+/// the same value for the theme property, and the theme column is usually
+/// omitted — that shared value is the implicit attribute the `IMPLICIT_ATT`
+/// metric recovers.
+fn theme_properties(class: ClassKey) -> &'static [&'static str] {
+    match class {
+        ClassKey::GridironFootballPlayer => &["team", "college", "draftYear", "position"],
+        ClassKey::Song => &["musicalArtist", "album", "genre"],
+        ClassKey::Settlement => &["isPartOf", "country"],
+    }
+}
+
+/// Generate a corpus from a world.
+pub fn generate_corpus(world: &World, config: &CorpusConfig) -> Corpus {
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let mut corpus = Corpus::new();
+    let mut next_table_id: u64 = 0;
+
+    for class in CLASS_KEYS {
+        let heads = world.head_of_class(class);
+        let tails = world.long_tail_of_class(class);
+        let confusables = world.confusables_of_class(class);
+        // Index of entities by (theme property, rendered theme value).
+        let mut theme_index: HashMap<(String, String), Vec<EntityId>> = HashMap::new();
+        for e in heads.iter().chain(tails.iter()) {
+            for theme in theme_properties(class) {
+                if let Some(v) = e.fact(theme) {
+                    theme_index.entry((theme.to_string(), v.render())).or_default().push(e.id);
+                }
+            }
+        }
+        // Track how often each long-tail entity has been used so they end up
+        // in multiple tables (clusterable).
+        let mut tail_usage: HashMap<EntityId, usize> = tails.iter().map(|e| (e.id, 0usize)).collect();
+
+        for _ in 0..config.tables_per_class {
+            let id = TableId(next_table_id);
+            next_table_id += 1;
+            let is_confusable_table =
+                !confusables.is_empty() && rng.gen::<f64>() < config.confusable_table_rate;
+            let table = if is_confusable_table {
+                generate_confusable_table(world, class, id, config, &mut rng)
+            } else {
+                generate_class_table(
+                    world,
+                    class,
+                    id,
+                    config,
+                    &theme_index,
+                    &mut tail_usage,
+                    &mut rng,
+                )
+            };
+            debug_assert!(table.validate().is_ok(), "generated table must be consistent");
+            corpus.push(table);
+        }
+    }
+    corpus
+}
+
+/// Generate a regular table about `class`.
+#[allow(clippy::too_many_arguments)]
+fn generate_class_table(
+    world: &World,
+    class: ClassKey,
+    id: TableId,
+    config: &CorpusConfig,
+    theme_index: &HashMap<(String, String), Vec<EntityId>>,
+    tail_usage: &mut HashMap<EntityId, usize>,
+    rng: &mut ChaCha8Rng,
+) -> WebTable {
+    let num_rows = rng.gen_range(config.min_rows..=config.max_rows);
+
+    // Pick a theme (or none) and collect the candidate entity pool.
+    let themed = rng.gen::<f64>() < 0.7;
+    let mut theme: Option<(String, String)> = None;
+    let mut pool: Vec<EntityId> = Vec::new();
+    if themed {
+        // Choose a theme key that has enough members.
+        let mut keys: Vec<&(String, String)> = theme_index.keys().collect();
+        keys.sort();
+        keys.shuffle(rng);
+        for key in keys {
+            if theme_index[key].len() >= config.min_rows.max(2) {
+                theme = Some(key.clone());
+                pool = theme_index[key].clone();
+                break;
+            }
+        }
+    }
+    if pool.is_empty() {
+        pool = world.entities_of_class(class).iter().map(|e| e.id).collect();
+    }
+
+    // Select rows. Long-tail entities fill `long_tail_row_share` of the rows;
+    // to make sure long-tail clusters of size > 1 exist (the paper's gold
+    // standard "ensured that for some labels, we select at least five rows"),
+    // tail picks preferentially re-use entities that already appear in other
+    // tables instead of spreading usage uniformly.
+    let tail_target = ((num_rows as f64) * config.long_tail_row_share).round() as usize;
+    let tail_candidates: Vec<EntityId> =
+        pool.iter().copied().filter(|e| tail_usage.contains_key(e)).collect();
+    let mut selected: Vec<EntityId> = Vec::new();
+    for _ in 0..tail_target {
+        let already_used: Vec<EntityId> = tail_candidates
+            .iter()
+            .copied()
+            .filter(|e| tail_usage.get(e).copied().unwrap_or(0) > 0 && !selected.contains(e))
+            .collect();
+        let fresh: Vec<EntityId> = tail_candidates
+            .iter()
+            .copied()
+            .filter(|e| tail_usage.get(e).copied().unwrap_or(0) == 0 && !selected.contains(e))
+            .collect();
+        let pick = if !already_used.is_empty() && (fresh.is_empty() || rng.gen::<f64>() < 0.7) {
+            already_used.choose(rng).copied()
+        } else {
+            fresh.choose(rng).copied()
+        };
+        let Some(e) = pick else { break };
+        selected.push(e);
+        *tail_usage.entry(e).or_insert(0) += 1;
+    }
+    let mut others: Vec<EntityId> =
+        pool.iter().copied().filter(|e| !selected.contains(e)).collect();
+    others.shuffle(rng);
+    for e in others {
+        if selected.len() >= num_rows {
+            break;
+        }
+        selected.push(e);
+        if let Some(c) = tail_usage.get_mut(&e) {
+            *c += 1;
+        }
+    }
+    // A table never describes the same entity twice (SAME_TABLE assumption),
+    // so if the pool was too small we simply emit fewer rows.
+    selected.truncate(num_rows);
+    selected.shuffle(rng);
+
+    // Choose the published property columns.
+    let schema = class_schema(class);
+    let mut published: Vec<&str> = Vec::new();
+    for spec in schema {
+        let mut p = spec.table_density;
+        // The theme property is usually left implicit.
+        if let Some((theme_prop, _)) = &theme {
+            if theme_prop == spec.name && rng.gen::<f64>() < 0.6 {
+                p = 0.0;
+            }
+        }
+        if rng.gen::<f64>() < p {
+            published.push(spec.name);
+        }
+    }
+    // Ensure at least one value column so the table is useful.
+    if published.is_empty() {
+        let weights: Vec<f64> = schema.iter().map(|s| s.table_density).collect();
+        let total: f64 = weights.iter().sum();
+        let mut pick = rng.gen::<f64>() * total.max(1e-9);
+        let mut chosen = schema[0].name;
+        for (spec, w) in schema.iter().zip(weights) {
+            if pick <= w {
+                chosen = spec.name;
+                break;
+            }
+            pick -= w;
+        }
+        published.push(chosen);
+    }
+
+    build_table(world, class, id, &selected, &published, config, rng)
+}
+
+/// Generate a table about confusable sibling-class entities (plus a few real
+/// ones), the source of table-to-class matching errors.
+fn generate_confusable_table(
+    world: &World,
+    class: ClassKey,
+    id: TableId,
+    config: &CorpusConfig,
+    rng: &mut ChaCha8Rng,
+) -> WebTable {
+    let confusables = world.confusables_of_class(class);
+    let real = world.entities_of_class(class);
+    let num_rows = rng.gen_range(config.min_rows..=config.max_rows.min(8));
+    let mut selected: Vec<EntityId> = Vec::new();
+    for e in confusables.iter() {
+        if selected.len() >= num_rows.saturating_sub(1) {
+            break;
+        }
+        selected.push(e.id);
+    }
+    if let Some(extra) = real.choose(rng) {
+        selected.push(extra.id);
+    }
+    selected.shuffle(rng);
+
+    // Confusable tables publish whatever the confusable entities have.
+    let published: Vec<&str> = match class {
+        ClassKey::GridironFootballPlayer => vec!["number", "height"],
+        ClassKey::Song => vec!["musicalArtist", "releaseDate"],
+        ClassKey::Settlement => vec!["country", "elevation"],
+    };
+    build_table(world, class, id, &selected, &published, config, rng)
+}
+
+/// Render a set of entities into a table with the published properties.
+fn build_table(
+    world: &World,
+    class: ClassKey,
+    id: TableId,
+    entities: &[EntityId],
+    published: &[&str],
+    config: &CorpusConfig,
+    rng: &mut ChaCha8Rng,
+) -> WebTable {
+    let schema = class_schema(class);
+    let noise = &config.noise;
+
+    // Label column header.
+    let label_header = match class {
+        ClassKey::GridironFootballPlayer => ["player", "name", "athlete"].choose(rng).copied().unwrap_or("name"),
+        ClassKey::Song => ["song", "title", "track"].choose(rng).copied().unwrap_or("title"),
+        ClassKey::Settlement => ["settlement", "place", "town", "name"].choose(rng).copied().unwrap_or("place"),
+    };
+
+    let mut label_cells: Vec<String> = Vec::with_capacity(entities.len());
+    for &eid in entities {
+        let entity = world.entity(eid).expect("entity exists in world");
+        let mut label = if !entity.alt_labels.is_empty() && rng.gen::<f64>() < noise.label_variant_rate {
+            entity.alt_labels.choose(rng).cloned().unwrap_or_else(|| entity.canonical_label.clone())
+        } else {
+            entity.canonical_label.clone()
+        };
+        if rng.gen::<f64>() < noise.label_typo_rate {
+            label = apply_typo(&label, rng);
+        }
+        label_cells.push(label);
+    }
+
+    let mut columns = vec![Column { header: label_header.to_string(), cells: label_cells }];
+    let mut column_property: Vec<Option<String>> = vec![None];
+
+    // Per-column formatting decisions are made once per column so that a
+    // column is internally consistent (like real web tables).
+    for prop in published {
+        let spec = schema.iter().find(|s| s.name == *prop).expect("published property is in schema");
+        let header = spec.header_labels.choose(rng).copied().unwrap_or(spec.name).to_string();
+        let date_format = rng.gen_range(0..3u8);
+        let runtime_as_duration = rng.gen::<f64>() < 0.5;
+        let mut cells = Vec::with_capacity(entities.len());
+        for &eid in entities {
+            let entity = world.entity(eid).expect("entity exists in world");
+            let cell = match entity.fact(prop) {
+                Some(value) if rng.gen::<f64>() >= noise.missing_cell_rate => {
+                    let value = if rng.gen::<f64>() < noise.wrong_value_rate {
+                        corrupt_value(value, rng)
+                    } else {
+                        value.clone()
+                    };
+                    render_value(&value, prop, date_format, runtime_as_duration)
+                }
+                _ => String::new(),
+            };
+            cells.push(cell);
+        }
+        columns.push(Column { header, cells });
+        column_property.push(Some((*prop).to_string()));
+    }
+
+    // Off-topic noise column.
+    if rng.gen::<f64>() < noise.noise_column_rate {
+        let headers = ["rank", "notes", "source", "updated"];
+        let header = headers.choose(rng).copied().unwrap_or("notes").to_string();
+        let cells = (0..entities.len())
+            .map(|i| match header.as_str() {
+                "rank" => (i + 1).to_string(),
+                "updated" => format!("201{}", i % 5),
+                _ => format!("ref {}", rng.gen_range(1..100)),
+            })
+            .collect();
+        columns.push(Column { header, cells });
+        column_property.push(None);
+    }
+
+    WebTable {
+        id,
+        columns,
+        truth: TableTruth {
+            class,
+            label_column: 0,
+            column_property,
+            row_entity: entities.to_vec(),
+        },
+    }
+}
+
+/// Introduce a small typo: swap two adjacent characters or drop one.
+fn apply_typo(label: &str, rng: &mut ChaCha8Rng) -> String {
+    let chars: Vec<char> = label.chars().collect();
+    if chars.len() < 3 {
+        return label.to_string();
+    }
+    let pos = rng.gen_range(1..chars.len() - 1);
+    let mut out = chars.clone();
+    if rng.gen::<bool>() {
+        out.swap(pos, pos - 1);
+    } else {
+        out.remove(pos);
+    }
+    out.into_iter().collect()
+}
+
+/// Produce a wrong/outdated variant of a value.
+fn corrupt_value(value: &Value, rng: &mut ChaCha8Rng) -> Value {
+    match value {
+        Value::Quantity(q) => {
+            // Outdated numbers: off by 5-40 %.
+            let factor = 1.0 + rng.gen_range(0.05..0.40) * if rng.gen::<bool>() { 1.0 } else { -1.0 };
+            Value::Quantity((q * factor).round())
+        }
+        Value::NominalInt(i) => Value::NominalInt(i + rng.gen_range(1..=3)),
+        Value::Date(d) => {
+            let mut nd = *d;
+            nd.year += rng.gen_range(1..=2);
+            Value::Date(nd)
+        }
+        Value::Text(s) | Value::Nominal(s) | Value::InstanceRef(s) => {
+            // Truncate or garble string payloads.
+            let mut s = s.clone();
+            if s.len() > 4 {
+                s.truncate(s.len() - 2);
+            } else {
+                s.push('x');
+            }
+            match value {
+                Value::Nominal(_) => Value::Nominal(s),
+                Value::InstanceRef(_) => Value::InstanceRef(s),
+                _ => Value::Text(s),
+            }
+        }
+    }
+}
+
+/// Render a value into a web table cell with format variation.
+fn render_value(value: &Value, property: &str, date_format: u8, runtime_as_duration: bool) -> String {
+    match value {
+        Value::Date(d) => match d.granularity {
+            DateGranularity::Year => d.year.to_string(),
+            DateGranularity::Day => match date_format {
+                0 => format!("{:04}-{:02}-{:02}", d.year, d.month, d.day),
+                1 => format!("{:02}/{:02}/{:04}", d.month, d.day, d.year),
+                _ => {
+                    const MONTHS: [&str; 12] = [
+                        "January", "February", "March", "April", "May", "June", "July", "August",
+                        "September", "October", "November", "December",
+                    ];
+                    format!("{} {}, {}", MONTHS[(d.month as usize - 1).min(11)], d.day, d.year)
+                }
+            },
+        },
+        Value::Quantity(q) if property == "runtime" && runtime_as_duration => {
+            let total = q.round() as i64;
+            format!("{}:{:02}", total / 60, total % 60)
+        }
+        Value::Quantity(q) if property == "populationTotal" => {
+            // Thousands separators.
+            let raw = format!("{}", q.round() as i64);
+            let mut out = String::new();
+            for (i, c) in raw.chars().rev().enumerate() {
+                if i > 0 && i % 3 == 0 {
+                    out.push(',');
+                }
+                out.push(c);
+            }
+            out.chars().rev().collect()
+        }
+        other => other.render(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ltee_kb::{generate_world, GeneratorConfig, Scale};
+
+    fn tiny_setup() -> (World, Corpus) {
+        let world = generate_world(&GeneratorConfig::new(Scale::tiny(), 11));
+        let corpus = generate_corpus(&world, &CorpusConfig::tiny());
+        (world, corpus)
+    }
+
+    #[test]
+    fn corpus_has_expected_table_count() {
+        let (_, corpus) = tiny_setup();
+        assert_eq!(corpus.len(), CorpusConfig::tiny().tables_per_class * 3);
+        for class in CLASS_KEYS {
+            assert_eq!(corpus.tables_of_class(class).len(), CorpusConfig::tiny().tables_per_class);
+        }
+    }
+
+    #[test]
+    fn tables_are_internally_consistent() {
+        let (_, corpus) = tiny_setup();
+        for table in corpus.tables() {
+            table.validate().expect("valid table");
+            assert!(table.num_rows() >= 1);
+            assert!(table.num_columns() >= 2, "a table needs a label and at least one value column");
+        }
+    }
+
+    #[test]
+    fn rows_never_repeat_an_entity_within_a_table() {
+        let (_, corpus) = tiny_setup();
+        for table in corpus.tables() {
+            let mut seen = std::collections::HashSet::new();
+            for e in &table.truth.row_entity {
+                assert!(seen.insert(*e), "entity repeated within table {}", table.id.raw());
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let world = generate_world(&GeneratorConfig::new(Scale::tiny(), 11));
+        let a = generate_corpus(&world, &CorpusConfig::tiny());
+        let b = generate_corpus(&world, &CorpusConfig::tiny());
+        assert_eq!(a.tables(), b.tables());
+    }
+
+    #[test]
+    fn long_tail_entities_appear_in_multiple_tables() {
+        let (world, corpus) = tiny_setup();
+        // Count tables per long-tail entity; a healthy share must appear >= 2
+        // times or clustering new entities would be impossible.
+        let mut counts: HashMap<EntityId, usize> = HashMap::new();
+        for table in corpus.tables() {
+            for e in &table.truth.row_entity {
+                *counts.entry(*e).or_insert(0) += 1;
+            }
+        }
+        for class in CLASS_KEYS {
+            let tails = world.long_tail_of_class(class);
+            let multi = tails.iter().filter(|e| counts.get(&e.id).copied().unwrap_or(0) >= 2).count();
+            assert!(
+                multi >= 3,
+                "{class}: only {multi}/{} long-tail entities appear in >= 2 tables",
+                tails.len()
+            );
+        }
+    }
+
+    #[test]
+    fn corpus_contains_long_tail_rows() {
+        let (world, corpus) = tiny_setup();
+        let mut tail_rows = 0usize;
+        let mut total_rows = 0usize;
+        for table in corpus.tables() {
+            for e in &table.truth.row_entity {
+                total_rows += 1;
+                let entity = world.entity(*e).unwrap();
+                if !entity.in_kb && !entity.confusable {
+                    tail_rows += 1;
+                }
+            }
+        }
+        let share = tail_rows as f64 / total_rows as f64;
+        assert!(share > 0.2 && share < 0.8, "long-tail row share {share}");
+    }
+
+    #[test]
+    fn value_columns_mostly_match_ground_truth_facts() {
+        // With default noise, a clear majority of non-empty cells should
+        // parse back to something equivalent to the entity's true fact.
+        let (world, corpus) = tiny_setup();
+        let mut correct = 0usize;
+        let mut checked = 0usize;
+        for table in corpus.tables() {
+            for (ci, col) in table.columns.iter().enumerate() {
+                let Some(prop) = table.truth.column_property[ci].as_deref() else { continue };
+                for (ri, cell) in col.cells.iter().enumerate() {
+                    if cell.is_empty() {
+                        continue;
+                    }
+                    let entity = world.entity(table.truth.row_entity[ri]).unwrap();
+                    let Some(truth) = entity.fact(prop) else { continue };
+                    checked += 1;
+                    if cell_matches(cell, truth) {
+                        correct += 1;
+                    }
+                }
+            }
+        }
+        assert!(checked > 100, "expected a reasonable number of value cells, got {checked}");
+        let ratio = correct as f64 / checked as f64;
+        assert!(ratio > 0.75, "only {ratio:.2} of cells match the ground truth");
+    }
+
+    /// Loose check that a rendered cell corresponds to the true value.
+    fn cell_matches(cell: &str, truth: &Value) -> bool {
+        match truth {
+            Value::Quantity(q) => {
+                let parsed = ltee_types::detect::parse_quantity(cell)
+                    .or_else(|| ltee_types::detect::parse_date(cell).map(|d| d.year as f64));
+                parsed.map(|p| (p - q).abs() / q.abs().max(1.0) < 0.5).unwrap_or(false)
+            }
+            Value::NominalInt(i) => ltee_types::detect::parse_quantity(cell)
+                .map(|p| (p - *i as f64).abs() < 4.0)
+                .unwrap_or(false),
+            Value::Date(d) => ltee_types::detect::parse_date(cell)
+                .map(|p| (p.year - d.year).abs() <= 2)
+                .unwrap_or(false),
+            other => {
+                let t = other.render().to_lowercase();
+                let c = cell.to_lowercase();
+                c.contains(&t[..t.len().min(4)]) || t.contains(&c[..c.len().min(4)])
+            }
+        }
+    }
+
+    #[test]
+    fn noise_free_corpus_has_no_empty_value_cells_or_typos() {
+        let world = generate_world(&GeneratorConfig::new(Scale::tiny(), 3));
+        let mut config = CorpusConfig::tiny();
+        config.noise = NoiseConfig::clean();
+        let corpus = generate_corpus(&world, &config);
+        for table in corpus.tables() {
+            let label_col = &table.columns[table.truth.label_column];
+            for (ri, cell) in label_col.cells.iter().enumerate() {
+                let entity = world.entity(table.truth.row_entity[ri]).unwrap();
+                assert_eq!(cell, &entity.canonical_label, "clean corpus must use canonical labels");
+            }
+        }
+    }
+
+    #[test]
+    fn some_tables_describe_confusable_entities() {
+        let (world, corpus) = tiny_setup();
+        let mut confusable_rows = 0usize;
+        for table in corpus.tables() {
+            for e in &table.truth.row_entity {
+                if world.entity(*e).unwrap().confusable {
+                    confusable_rows += 1;
+                }
+            }
+        }
+        assert!(confusable_rows > 0, "corpus should contain confusable rows for table-to-class noise");
+    }
+
+    #[test]
+    fn typo_changes_but_preserves_length_roughly() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let label = "Tom Brady";
+        let mut changed = false;
+        for _ in 0..10 {
+            let t = apply_typo(label, &mut rng);
+            assert!(t.chars().count() >= label.chars().count() - 1);
+            if t != label {
+                changed = true;
+            }
+        }
+        assert!(changed);
+    }
+
+    #[test]
+    fn short_labels_are_not_typoed() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        assert_eq!(apply_typo("ab", &mut rng), "ab");
+    }
+
+    #[test]
+    fn corrupt_value_changes_payload() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        assert_ne!(corrupt_value(&Value::Quantity(1000.0), &mut rng), Value::Quantity(1000.0));
+        assert_ne!(corrupt_value(&Value::NominalInt(5), &mut rng), Value::NominalInt(5));
+        let d = Value::Date(ltee_types::Date::year(2000));
+        assert_ne!(corrupt_value(&d, &mut rng), d);
+        assert_ne!(
+            corrupt_value(&Value::InstanceRef("Springfield".into()), &mut rng),
+            Value::InstanceRef("Springfield".into())
+        );
+    }
+
+    #[test]
+    fn render_population_uses_thousands_separators() {
+        let s = render_value(&Value::Quantity(1234567.0), "populationTotal", 0, false);
+        assert_eq!(s, "1,234,567");
+    }
+
+    #[test]
+    fn render_runtime_duration_format() {
+        let s = render_value(&Value::Quantity(225.0), "runtime", 0, true);
+        assert_eq!(s, "3:45");
+    }
+
+    #[test]
+    fn render_dates_in_three_formats() {
+        let d = Value::Date(ltee_types::Date::day(1987, 3, 14));
+        assert_eq!(render_value(&d, "birthDate", 0, false), "1987-03-14");
+        assert_eq!(render_value(&d, "birthDate", 1, false), "03/14/1987");
+        assert_eq!(render_value(&d, "birthDate", 2, false), "March 14, 1987");
+    }
+}

@@ -1,0 +1,117 @@
+//! Integration tests of the experiment harness: every paper table can be
+//! regenerated and has the expected shape.
+
+use ltee_core::prelude::*;
+
+fn config() -> ExperimentConfig {
+    ExperimentConfig::tiny()
+}
+
+#[test]
+fn tables_1_to_5_have_expected_shapes() {
+    let cfg = config();
+    let (world, corpus) = cfg.materialize();
+
+    let t1 = experiments::table01_kb_profile(&world);
+    assert_eq!(t1.len(), 3);
+    assert!(t1.iter().all(|r| r.instances > 0 && r.facts > 0));
+
+    let t2 = experiments::table02_property_density(&world);
+    assert_eq!(t2.len(), 23, "11 + 7 + 5 properties");
+    assert!(t2.iter().all(|r| (0.0..=1.0).contains(&r.density)));
+
+    let t3 = experiments::table03_corpus_stats(&corpus);
+    assert_eq!(t3.tables, corpus.len());
+    assert!(t3.rows.average >= t3.rows.min as f64);
+    assert!(t3.rows.max >= t3.rows.min);
+
+    let mapping = ltee_matching::match_corpus(
+        &corpus,
+        world.kb(),
+        &ltee_matching::MatcherWeights::default(),
+        &Default::default(),
+        None,
+    );
+    let t4 = experiments::table04_value_correspondences(&corpus, &mapping);
+    assert_eq!(t4.len(), 3);
+    assert!(t4.iter().map(|r| r.matched_values).sum::<usize>() > 0);
+
+    let t5 = experiments::table05_gold_standard(&world, &corpus);
+    assert_eq!(t5.len(), 3);
+    for row in &t5 {
+        assert!(row.stats.correct_value_present <= row.stats.value_groups);
+        assert!(row.stats.new_clusters > 0);
+    }
+}
+
+#[test]
+fn table7_ablation_produces_six_rows_with_sane_scores() {
+    let rows = experiments::table07_row_clustering_ablation(&config());
+    assert_eq!(rows.len(), 6);
+    assert_eq!(rows[0].added_metric, "LABEL");
+    assert_eq!(rows[5].added_metric, "SAME_TABLE");
+    for row in &rows {
+        assert!((0.0..=1.0).contains(&row.pcp), "{row:?}");
+        assert!((0.0..=1.0).contains(&row.ar), "{row:?}");
+        assert!((0.0..=1.0).contains(&row.f1), "{row:?}");
+    }
+    // The full-metric run must produce a usable clustering.
+    assert!(rows[5].f1 > 0.4, "full-metric clustering F1 {:.2}", rows[5].f1);
+}
+
+#[test]
+fn table8_ablation_produces_six_rows_with_sane_scores() {
+    let rows = experiments::table08_new_detection_ablation(&config());
+    assert_eq!(rows.len(), 6);
+    assert_eq!(rows[0].added_metric, "LABEL");
+    assert_eq!(rows[5].added_metric, "POPULARITY");
+    for row in &rows {
+        assert!((0.0..=1.0).contains(&row.accuracy), "{row:?}");
+        assert!((0.0..=1.0).contains(&row.f1_existing), "{row:?}");
+        assert!((0.0..=1.0).contains(&row.f1_new), "{row:?}");
+    }
+    assert!(rows[5].accuracy > 0.5, "full-metric accuracy {:.2}", rows[5].accuracy);
+}
+
+#[test]
+fn tables_9_and_10_cover_all_classes_and_settings() {
+    let (t9, t10) = experiments::table09_10_end_to_end(&config());
+    // Per class: GS and ALL rows, plus the average row.
+    assert_eq!(t9.len(), 3 * 2 + 1);
+    assert!(t9.iter().all(|r| (0.0..=1.0).contains(&r.f1)));
+    let avg = t9.last().unwrap();
+    assert_eq!(avg.class, "Average");
+
+    assert_eq!(t10.len(), 3 * 2);
+    for row in &t10 {
+        assert!((0.0..=1.0).contains(&row.f1_voting));
+        assert!((0.0..=1.0).contains(&row.f1_kbt));
+        assert!((0.0..=1.0).contains(&row.f1_matching));
+    }
+}
+
+#[test]
+fn profiling_tables_11_and_12_report_new_entities_and_densities() {
+    let result = experiments::table11_12_profiling(&config());
+    assert_eq!(result.table11.len(), 3);
+    let total_new: usize = result.table11.iter().map(|r| r.new_entities).sum();
+    assert!(total_new > 0, "profiling run should report new entities");
+    for row in &result.table11 {
+        assert!((0.0..=1.0).contains(&row.new_entity_accuracy));
+        assert!((0.0..=1.0).contains(&row.new_fact_accuracy));
+        assert!(row.matched_kb_instances <= row.existing_entities.max(1) * 2);
+    }
+    assert!(!result.table12.is_empty());
+    for row in &result.table12 {
+        assert!(row.density >= 0.0);
+    }
+}
+
+#[test]
+fn ranked_evaluation_is_within_bounds() {
+    let eval = experiments::ranked_set_expansion_eval(&config());
+    assert!((0.0..=1.0).contains(&eval.map));
+    assert!((0.0..=1.0).contains(&eval.p_at_5));
+    assert!((0.0..=1.0).contains(&eval.p_at_20));
+    assert_eq!(eval.cutoff, 256);
+}
