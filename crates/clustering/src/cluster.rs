@@ -197,7 +197,11 @@ fn refine_klj(
                 row_cluster.insert(m, ci);
             }
         }
-        let all_rows: Vec<usize> = row_cluster.keys().copied().collect();
+        // Process rows in index order: KLj moves depend on the moves made
+        // before them, so iterating the map's keys in hash order would make
+        // the final clustering differ from process to process.
+        let mut all_rows: Vec<usize> = row_cluster.keys().copied().collect();
+        all_rows.sort_unstable();
         for row in all_rows {
             let current = row_cluster[&row];
             let current_score =

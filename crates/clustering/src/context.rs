@@ -101,21 +101,27 @@ impl ImplicitAttributes {
                     entry.1 += 1;
                 }
             }
-            let mut implicit: Vec<(String, Value, f64)> = combo_rows
+            let mut implicit: Vec<(String, Value, f64, String)> = combo_rows
                 .into_iter()
-                .filter_map(|((prop, _), (value, count))| {
+                .filter_map(|((prop, render), (value, count))| {
                     let score = count as f64 / num_rows as f64;
-                    (score >= Self::SCORE_THRESHOLD).then_some((prop, value, score))
+                    (score >= Self::SCORE_THRESHOLD).then_some((prop, value, score, render))
                 })
                 .collect();
             implicit.sort_by(|a, b| {
-                b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal).then_with(|| a.0.cmp(&b.0))
+                // Fully ordered (value render as final tiebreak): the list
+                // comes out of a HashMap, and which same-score entry survives
+                // dedup below must not depend on hash iteration order.
+                b.2.partial_cmp(&a.2)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then_with(|| a.0.cmp(&b.0))
+                    .then_with(|| a.3.cmp(&b.3))
             });
             // Deduplicate by property, keeping the highest-scoring value, and
             // verify consistency with the equivalence functions (two distinct
             // renders of the same value should not produce two entries).
             let mut deduped: Vec<(String, Value, f64)> = Vec::new();
-            for (prop, value, score) in implicit {
+            for (prop, value, score, _render) in implicit {
                 let dtype = value.data_type();
                 let duplicate = deduped.iter().any(|(p, v, _)| {
                     *p == prop && value_equivalent(v, &value, dtype, &eq)

@@ -69,7 +69,10 @@ impl RowMetricKind {
 /// the cosine of their tables' vectors.
 #[derive(Debug, Clone, Default)]
 pub struct PhiTableVectors {
-    vectors: HashMap<TableId, HashMap<String, f64>>,
+    // Sparse vectors sorted by label so dot products and norms always sum
+    // in the same order: float addition is not associative, and summing in
+    // hash order would make scores differ between processes.
+    vectors: HashMap<TableId, Vec<(String, f64)>>,
 }
 
 impl PhiTableVectors {
@@ -138,10 +141,10 @@ impl PhiTableVectors {
                 }
             }
             let count = labels.len().max(1) as f64;
-            for val in acc.values_mut() {
-                *val /= count;
-            }
-            vectors.insert(*table, acc);
+            let mut sorted: Vec<(String, f64)> =
+                acc.into_iter().map(|(k, v)| (k, v / count)).collect();
+            sorted.sort_by(|a, b| a.0.cmp(&b.0));
+            vectors.insert(*table, sorted);
         }
         Self { vectors }
     }
@@ -155,15 +158,22 @@ impl PhiTableVectors {
         if va.is_empty() || vb.is_empty() {
             return 0.0;
         }
-        let (short, long) = if va.len() <= vb.len() { (va, vb) } else { (vb, va) };
+        // Merge join over the key-sorted sparse vectors.
         let mut dot = 0.0;
-        for (k, x) in short {
-            if let Some(y) = long.get(k) {
-                dot += x * y;
+        let (mut i, mut j) = (0, 0);
+        while i < va.len() && j < vb.len() {
+            match va[i].0.cmp(&vb[j].0) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    dot += va[i].1 * vb[j].1;
+                    i += 1;
+                    j += 1;
+                }
             }
         }
-        let norm_a: f64 = va.values().map(|v| v * v).sum::<f64>().sqrt();
-        let norm_b: f64 = vb.values().map(|v| v * v).sum::<f64>().sqrt();
+        let norm_a: f64 = va.iter().map(|(_, v)| v * v).sum::<f64>().sqrt();
+        let norm_b: f64 = vb.iter().map(|(_, v)| v * v).sum::<f64>().sqrt();
         if norm_a < 1e-12 || norm_b < 1e-12 {
             0.0
         } else {

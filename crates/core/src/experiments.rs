@@ -812,7 +812,14 @@ pub fn table11_12_profiling(config: &ExperimentConfig) -> ProfilingResult {
                 density: if new_entities.is_empty() { 0.0 } else { facts as f64 / new_entities.len() as f64 },
             })
             .collect();
-        rows.sort_by(|a, b| b.density.partial_cmp(&a.density).unwrap_or(std::cmp::Ordering::Equal));
+        // Property name as tiebreak: the rows come out of a HashMap, so
+        // equal densities would otherwise print in hash order.
+        rows.sort_by(|a, b| {
+            b.density
+                .partial_cmp(&a.density)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.property.cmp(&b.property))
+        });
         table12.extend(rows);
     }
 

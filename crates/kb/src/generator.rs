@@ -629,7 +629,7 @@ mod tests {
                 *group_sizes.entry(e.homonym_group).or_insert(0) += 1;
             }
             let in_homonym: usize =
-                group_sizes.values().filter(|&&s| s > 1).map(|&s| s).sum();
+                group_sizes.values().filter(|&&s| s > 1).copied().sum();
             in_homonym as f64 / entities.len() as f64
         };
         assert!(

@@ -138,7 +138,7 @@ impl CorpusMapping {
 pub fn extract_row_values(table: &WebTable, mapping: &TableMapping, row: usize) -> RowValues {
     let label = table
         .cell(row, mapping.label_column)
-        .map(|c| ltee_text::clean_label(c))
+        .map(ltee_text::clean_label)
         .unwrap_or_default();
     let mut values = Vec::new();
     for (col, m) in mapping.matched_columns() {

@@ -239,7 +239,9 @@ impl TreeBuilder<'_> {
         candidates.truncate(self.features_per_split);
 
         let parent_var = variance_target(self.dataset, indices, mean) * indices.len() as f64;
-        let mut best: Option<(usize, f64, f64, Vec<usize>, Vec<usize>)> = None;
+        // (feature, threshold, weighted child variance, left rows, right rows)
+        type SplitCandidate = (usize, f64, f64, Vec<usize>, Vec<usize>);
+        let mut best: Option<SplitCandidate> = None;
 
         for &feature in &candidates {
             let mut values: Vec<f64> = indices

@@ -229,7 +229,7 @@ mod tests {
         fn score_is_convex_combination(f0 in 0.0f64..1.0, f1 in 0.0f64..1.0, w0 in 0.0f64..1.0, w1 in 0.01f64..1.0) {
             let m = WeightedAverageModel::from_weights(vec!["a".into(), "b".into()], vec![w0, w1], 0.5);
             let s = m.score(&[f0, f1]);
-            prop_assert!(s >= -1e-12 && s <= 1.0 + 1e-12);
+            prop_assert!((-1e-12..=1.0 + 1e-12).contains(&s));
             prop_assert!(s >= f0.min(f1) - 1e-9 && s <= f0.max(f1) + 1e-9);
         }
 

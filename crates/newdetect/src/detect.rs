@@ -151,7 +151,7 @@ fn candidate_instances(
         .collect();
 
     // Popularity: rank by page links, score = 1/rank; single candidate → 1.0.
-    contexts.sort_by(|a, b| b.page_links.cmp(&a.page_links));
+    contexts.sort_by_key(|c| std::cmp::Reverse(c.page_links));
     let n = contexts.len();
     contexts
         .into_iter()

@@ -82,7 +82,7 @@ pub fn build_entity_pair_dataset(
         }
         let mut contexts: Vec<InstanceContext> =
             ids.iter().filter_map(|id| kb.instance(*id)).map(|i| InstanceContext::build(i, kb)).collect();
-        contexts.sort_by(|a, b| b.page_links.cmp(&a.page_links));
+        contexts.sort_by_key(|c| std::cmp::Reverse(c.page_links));
         let n = contexts.len();
         for (rank, ctx) in contexts.iter().enumerate() {
             let popularity = if n == 1 { 1.0 } else { 1.0 / (rank + 1) as f64 };
@@ -126,7 +126,7 @@ mod tests {
             facts,
         };
         let mut bow = BowVector::from_text(&e.canonical_label);
-        for (_, v) in &e.facts {
+        for v in e.facts.values() {
             bow.add_text(&v.render());
         }
         let _ = world;

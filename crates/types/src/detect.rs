@@ -232,7 +232,7 @@ pub fn parse_quantity(s: &str) -> Option<f64> {
             break;
         }
     }
-    let body = body.replace(',', "").replace(' ', "");
+    let body = body.replace([',', ' '], "");
     if body.is_empty() {
         return None;
     }

@@ -127,13 +127,7 @@ pub fn value_similarity(a: &Value, b: &Value, dtype: DataType) -> f64 {
             _ => 0.0,
         },
         DataType::NominalInteger => match (a.as_f64(), b.as_f64()) {
-            (Some(x), Some(y)) => {
-                if (x.round() - y.round()).abs() < f64::EPSILON {
-                    1.0
-                } else {
-                    0.0
-                }
-            }
+            (Some(x), Some(y)) if (x.round() - y.round()).abs() < f64::EPSILON => 1.0,
             _ => 0.0,
         },
     }

@@ -230,7 +230,7 @@ fn generate_class_table(
     let tail_candidates: Vec<EntityId> =
         pool.iter().copied().filter(|e| tail_usage.contains_key(e)).collect();
     let mut selected: Vec<EntityId> = Vec::new();
-    for _ in 0..tail_target {
+    for pick_index in 0..tail_target {
         let already_used: Vec<EntityId> = tail_candidates
             .iter()
             .copied()
@@ -241,7 +241,29 @@ fn generate_class_table(
             .copied()
             .filter(|e| tail_usage.get(e).copied().unwrap_or(0) == 0 && !selected.contains(e))
             .collect();
-        let pick = if !already_used.is_empty() && (fresh.is_empty() || rng.gen::<f64>() < 0.7) {
+        // Clusterability guarantee: a themed pool usually excludes the tails
+        // already placed elsewhere, so pool-restricted reuse alone leaves
+        // most long-tail entities stranded in a single table. The first tail
+        // slot of each table therefore prefers promoting a class-wide
+        // used-once entity to >= 2 appearances — even off-theme — mirroring
+        // the paper's gold standard, which ensured that for some labels at
+        // least five rows were selected.
+        let promotable: Vec<EntityId> = if pick_index == 0 {
+            let mut once: Vec<EntityId> = tail_usage
+                .iter()
+                .filter(|(e, &count)| count == 1 && !selected.contains(*e))
+                .map(|(&e, _)| e)
+                .collect();
+            // HashMap iteration order varies between instances; sort so the
+            // corpus stays a pure function of the seed.
+            once.sort_unstable();
+            once
+        } else {
+            Vec::new()
+        };
+        let pick = if !promotable.is_empty() && rng.gen::<f64>() < 0.7 {
+            promotable.choose(rng).copied()
+        } else if !already_used.is_empty() && (fresh.is_empty() || rng.gen::<f64>() < 0.7) {
             already_used.choose(rng).copied()
         } else {
             fresh.choose(rng).copied()

@@ -1,5 +1,8 @@
 //! Integration test of row clustering on a generated corpus, evaluated with
 //! the Hassanzadeh framework against the gold clusters.
+//!
+//! Deterministic: `Scale::tiny()` world with fixed seed 601.
+//! Expected runtime: ~2 s in debug (`cargo test`).
 
 use ltee_clustering::metrics::PhiTableVectors;
 use ltee_clustering::{

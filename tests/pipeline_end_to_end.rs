@@ -1,5 +1,9 @@
 //! End-to-end integration test: world → corpus → trained models → two
 //! pipeline iterations → evaluation against the gold standard.
+//!
+//! Deterministic: `Scale::tiny()` world with fixed seed 2024.
+//! Expected runtime: ~9 s in debug (`cargo test`), dominated by model
+//! training in `setup()` which runs once per test fn.
 
 use ltee_core::prelude::*;
 use ltee_eval::{evaluate_facts, evaluate_new_instances};

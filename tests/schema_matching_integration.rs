@@ -1,6 +1,9 @@
 //! Integration test of schema matching across crates: generated corpus →
 //! table-to-class matching → attribute-to-property matching → value
 //! extraction, verified against the generator's ground truth.
+//!
+//! Deterministic: `Scale::tiny()` world with fixed seed 501.
+//! Expected runtime: ~3 s in debug (`cargo test`).
 
 use ltee_core::prelude::*;
 use ltee_matching::{learn_weights, match_corpus, MatcherWeights, SchemaMatchingConfig};

@@ -1,0 +1,140 @@
+//! Offline shim for `criterion`.
+//!
+//! Implements the API surface the benches use (`criterion_group!`,
+//! `criterion_main!`, `Criterion::bench_function`, `benchmark_group`,
+//! `sample_size`, `Bencher::iter`, `black_box`) with a simple wall-clock
+//! harness: each benchmark runs a short warm-up, then `sample_size` timed
+//! samples, and prints min/mean per-iteration times. No statistics engine,
+//! no plotting — but `cargo bench` produces real numbers offline.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimiser from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Per-sample timing collected by [`Bencher::iter`].
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark(id: &str, sample_size: usize, routine: &mut dyn FnMut(&mut Bencher)) {
+    // Warm-up and per-sample iteration calibration: aim for samples that are
+    // long enough to time (>= ~1ms) without rerunning slow benches too often.
+    let mut bencher = Bencher { iters: 1, elapsed: Duration::ZERO };
+    routine(&mut bencher);
+    let per_iter = bencher.elapsed.max(Duration::from_nanos(1));
+    let iters_per_sample =
+        (Duration::from_millis(1).as_nanos() / per_iter.as_nanos()).clamp(1, 1000) as u64;
+
+    let mut best = Duration::MAX;
+    let mut total = Duration::ZERO;
+    let mut total_iters = 0u64;
+    for _ in 0..sample_size {
+        let mut sample = Bencher { iters: iters_per_sample, elapsed: Duration::ZERO };
+        routine(&mut sample);
+        let per = sample.elapsed / iters_per_sample as u32;
+        best = best.min(per);
+        total += sample.elapsed;
+        total_iters += iters_per_sample;
+    }
+    let mean = total / total_iters.max(1) as u32;
+    println!("bench: {id:<50} min {best:>12.3?}   mean {mean:>12.3?}   ({sample_size} samples)");
+}
+
+/// Entry point handed to each bench function by [`criterion_group!`].
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Builder-style default-config hook used by `criterion_group!`'s
+    /// `config = ...` form.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_benchmark(id, self.sample_size, &mut f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.to_string(), sample_size: self.sample_size, _criterion: self }
+    }
+}
+
+/// A named group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_benchmark(&format!("{}/{}", self.name, id), self.sample_size, &mut f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,23 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use crate::strategy::Strategy;
+use rand_chacha::ChaCha8Rng;
+
+pub struct VecStrategy<S, L> {
+    element: S,
+    length: L,
+}
+
+/// `vec(element, 0..60)` — a vector whose length is drawn from `length`.
+pub fn vec<S: Strategy, L: Strategy<Value = usize>>(element: S, length: L) -> VecStrategy<S, L> {
+    VecStrategy { element, length }
+}
+
+impl<S: Strategy, L: Strategy<Value = usize>> Strategy for VecStrategy<S, L> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut ChaCha8Rng) -> Vec<S::Value> {
+        let len = self.length.sample(rng);
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}

@@ -1,0 +1,80 @@
+//! Offline shim for `proptest`.
+//!
+//! Supports the surface the workspace's unit tests use: the `proptest!`
+//! macro (with optional `#![proptest_config(...)]`), range strategies for
+//! integers and floats, simple regex-pattern string strategies (a single
+//! char class with a `{m,n}` repetition, e.g. `"[a-z ]{0,25}"`), and
+//! `proptest::collection::vec`. Inputs are sampled from a ChaCha stream
+//! seeded from the test name, so every run replays the same cases — there
+//! is no shrinking and no failure persistence, but failures are exactly
+//! reproducible.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Skip the current case when its precondition does not hold. (The shim
+/// simply returns from the case body instead of drawing a replacement
+/// input, so heavy use of `prop_assume!` thins out the effective case
+/// count; the workspace only uses it for cheap guards.)
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)*)?) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut runner =
+                $crate::test_runner::TestRunner::new(config, stringify!($name));
+            for case in 0..runner.cases() {
+                $( let $arg = $crate::strategy::Strategy::sample(&($strat), runner.rng()); )*
+                let run = || $body;
+                let () = run();
+                let _ = case;
+            }
+        }
+    )*};
+}

@@ -1,0 +1,192 @@
+//! Input strategies: ranges, and regex-like string patterns.
+
+use rand::distributions::uniform::SampleUniform;
+use rand_chacha::ChaCha8Rng;
+use std::ops::{Range, RangeInclusive};
+
+pub trait Strategy {
+    type Value;
+    fn sample(&self, rng: &mut ChaCha8Rng) -> Self::Value;
+}
+
+impl<T: SampleUniform> Strategy for Range<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut ChaCha8Rng) -> T {
+        T::sample_single(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform> Strategy for RangeInclusive<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut ChaCha8Rng) -> T {
+        T::sample_single_inclusive(*self.start(), *self.end(), rng)
+    }
+}
+
+/// String literals act as simplified regex strategies.
+///
+/// Supported syntax: a sequence of units, each a literal character, `.`
+/// (any printable char, including a few multi-byte ones), or a `[...]`
+/// class with ranges; optionally followed by `{m}`, `{m,n}`, `*`, `+` or
+/// `?`. This covers patterns like `"[a-z ]{0,25}"` and `".{0,40}"`.
+impl Strategy for &str {
+    type Value = String;
+    fn sample(&self, rng: &mut ChaCha8Rng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+    fn sample(&self, rng: &mut ChaCha8Rng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+/// `.` draws from printable ASCII plus a handful of multi-byte characters
+/// so unicode handling gets exercised.
+const ANY_EXTRA: &[char] = &['é', 'ü', 'ß', 'Ω', '中', '🙂'];
+
+fn sample_usize(rng: &mut ChaCha8Rng, bound: usize) -> usize {
+    usize::sample_single(0, bound.max(1), rng)
+}
+
+#[derive(Debug)]
+enum Unit {
+    Literal(char),
+    Any,
+    Class(Vec<char>),
+}
+
+fn parse_units(pattern: &str) -> Vec<(Unit, usize, usize)> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut units = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let unit = match chars[i] {
+            '.' => {
+                i += 1;
+                Unit::Any
+            }
+            '[' => {
+                let mut class = Vec::new();
+                i += 1;
+                while i < chars.len() && chars[i] != ']' {
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        let (lo, hi) = (chars[i], chars[i + 2]);
+                        class.extend((lo..=hi).filter(|c| *c <= hi));
+                        i += 3;
+                    } else {
+                        class.push(chars[i]);
+                        i += 1;
+                    }
+                }
+                i += 1; // closing ']'
+                Unit::Class(class)
+            }
+            '\\' if i + 1 < chars.len() => {
+                i += 2;
+                Unit::Literal(chars[i - 1])
+            }
+            c => {
+                i += 1;
+                Unit::Literal(c)
+            }
+        };
+        // Optional repetition suffix.
+        let (min, max) = if i < chars.len() {
+            match chars[i] {
+                '{' => {
+                    let close = chars[i..].iter().position(|&c| c == '}').map(|p| i + p);
+                    let close = close.expect("unterminated {m,n} in pattern");
+                    let spec: String = chars[i + 1..close].iter().collect();
+                    i = close + 1;
+                    match spec.split_once(',') {
+                        Some((m, n)) => (
+                            m.trim().parse().expect("bad {m,n}"),
+                            n.trim().parse().expect("bad {m,n}"),
+                        ),
+                        None => {
+                            let exact: usize = spec.trim().parse().expect("bad {m}");
+                            (exact, exact)
+                        }
+                    }
+                }
+                '*' => {
+                    i += 1;
+                    (0, 8)
+                }
+                '+' => {
+                    i += 1;
+                    (1, 8)
+                }
+                '?' => {
+                    i += 1;
+                    (0, 1)
+                }
+                _ => (1, 1),
+            }
+        } else {
+            (1, 1)
+        };
+        units.push((unit, min, max));
+    }
+    units
+}
+
+fn generate_from_pattern(pattern: &str, rng: &mut ChaCha8Rng) -> String {
+    let mut out = String::new();
+    for (unit, min, max) in parse_units(pattern) {
+        let count = min + sample_usize(rng, max - min + 1);
+        for _ in 0..count {
+            match &unit {
+                Unit::Literal(c) => out.push(*c),
+                Unit::Any => {
+                    // Mostly printable ASCII, occasionally multi-byte.
+                    if sample_usize(rng, 10) == 0 {
+                        out.push(ANY_EXTRA[sample_usize(rng, ANY_EXTRA.len())]);
+                    } else {
+                        out.push(char::from(b' ' + sample_usize(rng, 95) as u8));
+                    }
+                }
+                Unit::Class(class) => {
+                    if !class.is_empty() {
+                        out.push(class[sample_usize(rng, class.len())]);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn class_with_range_and_bounds() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        for _ in 0..200 {
+            let s = generate_from_pattern("[a-c ]{2,5}", &mut rng);
+            assert!(s.chars().count() >= 2 && s.chars().count() <= 5);
+            assert!(s.chars().all(|c| matches!(c, 'a'..='c' | ' ')));
+        }
+    }
+
+    #[test]
+    fn dot_pattern_respects_length() {
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        for _ in 0..200 {
+            let s = generate_from_pattern(".{0,40}", &mut rng);
+            assert!(s.chars().count() <= 40);
+        }
+    }
+
+    #[test]
+    fn literals_pass_through() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        assert_eq!(generate_from_pattern("abc", &mut rng), "abc");
+    }
+}

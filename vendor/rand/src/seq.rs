@@ -1,0 +1,33 @@
+//! Slice sampling helpers (`choose`, `shuffle`).
+
+use crate::distributions::uniform::SampleUniform;
+use crate::Rng;
+
+pub trait SliceRandom {
+    type Item;
+
+    /// Uniformly pick one element, or `None` if the slice is empty.
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+    /// Fisher-Yates shuffle in place.
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            self.get(usize::sample_single(0, self.len(), rng))
+        }
+    }
+
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = usize::sample_single_inclusive(0, i, rng);
+            self.swap(i, j);
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Offline shim for `rand_chacha`.
+//!
+//! A real ChaCha stream cipher core (IETF variant, zero nonce) driving the
+//! `ChaCha8Rng` / `ChaCha12Rng` / `ChaCha20Rng` type names the workspace
+//! expects. The keystream is high quality and fully deterministic for a
+//! fixed seed, which is all the synthetic-data generators and ML seeding
+//! require; it is *not* guaranteed to be bit-identical to the registry
+//! `rand_chacha` stream.
+
+use rand::{RngCore, SeedableRng};
+
+#[inline]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// ChaCha keystream generator with `DOUBLE_ROUNDS * 2` rounds.
+#[derive(Clone, Debug)]
+pub struct ChaChaRng<const DOUBLE_ROUNDS: usize> {
+    key: [u32; 8],
+    counter: u64,
+    buffer: [u32; 16],
+    index: usize,
+}
+
+impl<const DOUBLE_ROUNDS: usize> ChaChaRng<DOUBLE_ROUNDS> {
+    fn refill(&mut self) {
+        let mut initial = [0u32; 16];
+        initial[0] = 0x6170_7865; // "expa"
+        initial[1] = 0x3320_646e; // "nd 3"
+        initial[2] = 0x7962_2d32; // "2-by"
+        initial[3] = 0x6b20_6574; // "te k"
+        initial[4..12].copy_from_slice(&self.key);
+        initial[12] = self.counter as u32;
+        initial[13] = (self.counter >> 32) as u32;
+        // initial[14..16] stay zero (nonce).
+
+        let mut working = initial;
+        for _ in 0..DOUBLE_ROUNDS {
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for i in 0..16 {
+            self.buffer[i] = working[i].wrapping_add(initial[i]);
+        }
+        self.counter = self.counter.wrapping_add(1);
+        self.index = 0;
+    }
+}
+
+impl<const DOUBLE_ROUNDS: usize> RngCore for ChaChaRng<DOUBLE_ROUNDS> {
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= 16 {
+            self.refill();
+        }
+        let value = self.buffer[self.index];
+        self.index += 1;
+        value
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        (hi << 32) | lo
+    }
+}
+
+impl<const DOUBLE_ROUNDS: usize> SeedableRng for ChaChaRng<DOUBLE_ROUNDS> {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: [u8; 32]) -> Self {
+        let mut key = [0u32; 8];
+        for (i, chunk) in seed.chunks_exact(4).enumerate() {
+            key[i] = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        ChaChaRng { key, counter: 0, buffer: [0; 16], index: 16 }
+    }
+}
+
+pub type ChaCha8Rng = ChaChaRng<4>;
+pub type ChaCha12Rng = ChaChaRng<6>;
+pub type ChaCha20Rng = ChaChaRng<10>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn chacha20_zero_key_first_block_matches_rfc8439_structure() {
+        // Not a full RFC vector (we use a 64-bit counter layout), but the
+        // first block of the 20-round cipher with an all-zero key must be
+        // stable and non-trivial.
+        let mut rng = ChaCha20Rng::from_seed([0u8; 32]);
+        let first = rng.next_u32();
+        let mut again = ChaCha20Rng::from_seed([0u8; 32]);
+        assert_eq!(first, again.next_u32());
+        assert_ne!(first, 0);
+    }
+}

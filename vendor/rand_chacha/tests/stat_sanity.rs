@@ -1,0 +1,60 @@
+//! Statistical sanity checks for the offline RNG shims: uniformity of
+//! `gen::<f64>()`, `gen_range`, and `choose` over the ChaCha stream.
+
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+#[test]
+fn unit_f64_mean_is_half() {
+    let mut rng = ChaCha8Rng::seed_from_u64(99);
+    let n = 100_000;
+    let mean: f64 = (0..n).map(|_| rng.gen::<f64>()).sum::<f64>() / n as f64;
+    assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+}
+
+#[test]
+fn gen_range_covers_all_buckets_uniformly() {
+    let mut rng = ChaCha8Rng::seed_from_u64(123);
+    let mut counts = [0usize; 10];
+    for _ in 0..100_000 {
+        counts[rng.gen_range(0..10usize)] += 1;
+    }
+    for &c in &counts {
+        assert!((c as f64 - 10_000.0).abs() < 600.0, "bucket count {c}");
+    }
+}
+
+#[test]
+fn inclusive_range_hits_both_endpoints() {
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    let draws: Vec<i32> = (0..10_000).map(|_| rng.gen_range(1..=12)).collect();
+    assert!(draws.contains(&1) && draws.contains(&12));
+    assert!(draws.iter().all(|&d| (1..=12).contains(&d)));
+}
+
+#[test]
+fn choose_is_unbiased() {
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let items: Vec<usize> = (0..7).collect();
+    let mut counts = [0usize; 7];
+    for _ in 0..70_000 {
+        counts[*items.choose(&mut rng).unwrap()] += 1;
+    }
+    for &c in &counts {
+        assert!((c as f64 - 10_000.0).abs() < 600.0, "choose count {c}");
+    }
+}
+
+#[test]
+fn shuffle_mixes_positions() {
+    let mut rng = ChaCha8Rng::seed_from_u64(13);
+    let mut first_pos_sum = 0usize;
+    for _ in 0..10_000 {
+        let mut v: Vec<usize> = (0..10).collect();
+        v.shuffle(&mut rng);
+        first_pos_sum += v[0];
+    }
+    let mean = first_pos_sum as f64 / 10_000.0;
+    assert!((mean - 4.5).abs() < 0.15, "mean first element {mean}");
+}

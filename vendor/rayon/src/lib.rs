@@ -1,0 +1,63 @@
+//! Offline shim for `rayon`.
+//!
+//! `par_iter` / `par_iter_mut` / `into_par_iter` return ordinary sequential
+//! iterators, so every call site produces identical results with zero added
+//! dependencies — just without parallel speedup. Swapping the workspace
+//! dependency back to registry rayon re-enables real parallelism with no
+//! source changes, because the entry-point names and shapes match.
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator};
+}
+
+pub trait IntoParallelIterator {
+    type Item;
+    type Iter: Iterator<Item = Self::Item>;
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<I: IntoIterator> IntoParallelIterator for I {
+    type Item = I::Item;
+    type Iter = I::IntoIter;
+    fn into_par_iter(self) -> I::IntoIter {
+        self.into_iter()
+    }
+}
+
+pub trait IntoParallelRefIterator<'data> {
+    type Iter: Iterator;
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, T: 'data> IntoParallelRefIterator<'data> for [T] {
+    type Iter = std::slice::Iter<'data, T>;
+    fn par_iter(&'data self) -> std::slice::Iter<'data, T> {
+        self.iter()
+    }
+}
+
+impl<'data, T: 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Iter = std::slice::Iter<'data, T>;
+    fn par_iter(&'data self) -> std::slice::Iter<'data, T> {
+        self.iter()
+    }
+}
+
+pub trait IntoParallelRefMutIterator<'data> {
+    type Iter: Iterator;
+    fn par_iter_mut(&'data mut self) -> Self::Iter;
+}
+
+impl<'data, T: 'data> IntoParallelRefMutIterator<'data> for [T] {
+    type Iter = std::slice::IterMut<'data, T>;
+    fn par_iter_mut(&'data mut self) -> std::slice::IterMut<'data, T> {
+        self.iter_mut()
+    }
+}
+
+impl<'data, T: 'data> IntoParallelRefMutIterator<'data> for Vec<T> {
+    type Iter = std::slice::IterMut<'data, T>;
+    fn par_iter_mut(&'data mut self) -> std::slice::IterMut<'data, T> {
+        self.iter_mut()
+    }
+}

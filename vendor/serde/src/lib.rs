@@ -1,0 +1,14 @@
+//! Offline shim for `serde`.
+//!
+//! Exposes the `Serialize` / `Deserialize` trait and derive-macro names so
+//! `use serde::{Deserialize, Serialize}` plus `#[derive(...)]` compile
+//! without network access. The derives are no-ops (see `vendor/serde_derive`);
+//! nothing in the workspace serialises at runtime yet.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,20 @@
+//! Offline shim for `serde_derive`.
+//!
+//! The workspace only uses `#[derive(Serialize, Deserialize)]` (plus
+//! `#[serde(skip)]` field attributes) as forward-looking markers — nothing
+//! in the pipeline serialises at runtime yet. These derives therefore
+//! accept the same syntax as the real crate but emit no code, which keeps
+//! the workspace buildable with no network access. Swap in the registry
+//! `serde`/`serde_derive` to get real implementations.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
