@@ -10,6 +10,12 @@ use serde::{Deserialize, Serialize};
 use crate::context::{ImplicitAttributes, RowContext};
 use crate::metrics::{PhiTableVectors, RowSimilarityModel};
 
+/// Minimum number of member pairs before the KLj merge scan scores a
+/// cluster pair on the thread pool; smaller cross-products are cheaper than
+/// a thread spawn. The gate depends only on cluster sizes — never on the
+/// thread count — so the scored value stays deterministic.
+const MIN_PARALLEL_MERGE_PAIRS: usize = 256;
+
 /// Configuration of the clustering algorithm.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ClusteringConfig {
@@ -26,9 +32,22 @@ pub struct ClusteringConfig {
     pub max_klj_passes: usize,
 }
 
+impl ClusteringConfig {
+    /// Default ceiling on KLj refinement passes. The refinement loop also
+    /// stops as soon as a full pass makes no improving move (convergence),
+    /// so this bounds the worst case rather than the typical one.
+    pub const DEFAULT_MAX_KLJ_PASSES: usize = 3;
+}
+
 impl Default for ClusteringConfig {
     fn default() -> Self {
-        Self { use_blocking: true, block_candidates: 8, batch_size: 64, use_klj: true, max_klj_passes: 3 }
+        Self {
+            use_blocking: true,
+            block_candidates: 8,
+            batch_size: 64,
+            use_klj: true,
+            max_klj_passes: Self::DEFAULT_MAX_KLJ_PASSES,
+        }
     }
 }
 
@@ -261,12 +280,26 @@ fn refine_klj(
                 if config.use_blocking && cluster_blocks[i].is_disjoint(&cluster_blocks[j]) {
                     continue;
                 }
-                let pair_count = (clusters[i].len() * clusters[j].len()).max(1) as f64;
-                let cross: f64 = clusters[i]
-                    .iter()
-                    .flat_map(|&a| clusters[j].iter().map(move |&b| (a, b)))
-                    .map(|(a, b)| model.score(&contexts[a], &contexts[b], phi, implicit))
-                    .sum();
+                let member_pairs = clusters[i].len() * clusters[j].len();
+                let pair_count = member_pairs.max(1) as f64;
+                // Cross-similarity of the cluster pair: every (a, b) member
+                // pair is scored, parallel over the left cluster for large
+                // pairs. The branch below depends only on the cluster sizes
+                // (never the thread count) and the pool's chunked summation
+                // order is fixed, so the merge decision is identical at
+                // every thread count.
+                let right = &clusters[j];
+                let score_row = |&a: &usize| {
+                    right
+                        .iter()
+                        .map(|&b| model.score(&contexts[a], &contexts[b], phi, implicit))
+                        .sum::<f64>()
+                };
+                let cross: f64 = if member_pairs >= MIN_PARALLEL_MERGE_PAIRS {
+                    clusters[i].par_iter().map(score_row).sum()
+                } else {
+                    clusters[i].iter().map(score_row).sum()
+                };
                 // Merge only when the clusters are positively similar on
                 // average, not merely in aggregate — merging two large
                 // homonym clusters on the strength of a few positive pairs
@@ -308,13 +341,17 @@ mod tests {
     use ltee_text::BowVector;
     use ltee_webtables::TableId;
 
+    /// Number of synthetic training points for the hand-built label model
+    /// below (dense enough to pin the learned threshold).
+    const LABEL_MODEL_TRAINING_POINTS: usize = 40;
+
     /// Build a simple label-only model: match iff labels are very similar.
     fn label_model() -> RowSimilarityModel {
         let metrics = vec![RowMetricKind::Label];
         let names = metric_feature_names(&metrics);
         let mut ds = Dataset::new(names);
-        for i in 0..40 {
-            let x = i as f64 / 40.0;
+        for i in 0..LABEL_MODEL_TRAINING_POINTS {
+            let x = i as f64 / LABEL_MODEL_TRAINING_POINTS as f64;
             ds.push(Sample::new(vec![x], if x > 0.8 { 1.0 } else { 0.0 }));
         }
         let model = PairwiseModel::train(

@@ -8,6 +8,7 @@ use std::collections::HashMap;
 
 use ltee_ml::{AggregationMethod, Dataset, PairwiseModel, PairwiseTrainingConfig, Sample};
 use ltee_webtables::{GoldStandard, RowRef};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use crate::context::{ImplicitAttributes, RowContext};
@@ -91,37 +92,71 @@ pub fn build_pair_dataset(
     }
 
     // Negative pairs: prefer pairs with similar labels but different gold
-    // clusters (these are the pairs the model must learn to separate).
+    // clusters (these are the pairs the model must learn to separate). The
+    // O(n²) label-similarity scan is the expensive part, so left rows are
+    // processed in blocks — each block's rows scanned in parallel, then the
+    // selection pass walks the block in (i, j) order, stopping at the
+    // quota. This reproduces the sequential selection exactly while keeping
+    // the old early exit: at most one block of similarities is computed
+    // beyond what the quota needed.
+    const NEGATIVE_SCAN_BLOCK: usize = 64;
     let mut negatives: Vec<(usize, usize)> = Vec::new();
     let max_negatives = positives.len().max(1) * config.negatives_per_positive;
-    'outer: for i in 0..contexts.len() {
-        for j in (i + 1)..contexts.len() {
-            let (Some(&ci), Some(&cj)) = (cluster_of.get(&i), cluster_of.get(&j)) else { continue };
-            if ci == cj {
-                continue;
-            }
-            let label_sim = ltee_text::monge_elkan_similarity(
-                &contexts[i].normalized_label,
-                &contexts[j].normalized_label,
-            );
-            // Hard negatives first; everything below 0.3 is skipped unless we
-            // are short on negatives.
-            if label_sim >= 0.3 || negatives.len() < max_negatives / 2 {
-                negatives.push((i, j));
-            }
-            if negatives.len() >= max_negatives {
-                break 'outer;
+    let mut block_start = 0;
+    'outer: while block_start < contexts.len() && negatives.len() < max_negatives {
+        let block_end = (block_start + NEGATIVE_SCAN_BLOCK).min(contexts.len());
+        let per_row_candidates: Vec<Vec<(usize, bool)>> = (block_start..block_end)
+            .into_par_iter()
+            .map(|i| {
+                let Some(&ci) = cluster_of.get(&i) else { return Vec::new() };
+                ((i + 1)..contexts.len())
+                    .filter_map(|j| {
+                        let &cj = cluster_of.get(&j)?;
+                        if ci == cj {
+                            return None;
+                        }
+                        let label_sim = ltee_text::monge_elkan_similarity(
+                            &contexts[i].normalized_label,
+                            &contexts[j].normalized_label,
+                        );
+                        Some((j, label_sim >= 0.3))
+                    })
+                    .collect()
+            })
+            .collect();
+
+        for (i, candidates) in (block_start..).zip(per_row_candidates) {
+            for (j, is_hard) in candidates {
+                // Hard negatives first; everything below 0.3 is skipped
+                // unless we are short on negatives.
+                if is_hard || negatives.len() < max_negatives / 2 {
+                    negatives.push((i, j));
+                }
+                if negatives.len() >= max_negatives {
+                    break 'outer;
+                }
             }
         }
+        block_start = block_end;
     }
 
-    for &(i, j) in &positives {
-        let features = metric_features(metrics, &contexts[i], &contexts[j], phi, implicit);
-        dataset.push(Sample::new(features, 1.0));
-    }
-    for &(i, j) in &negatives {
-        let features = metric_features(metrics, &contexts[i], &contexts[j], phi, implicit);
-        dataset.push(Sample::new(features, 0.0));
+    // Feature extraction per selected pair is embarrassingly parallel; the
+    // samples are pushed in pair order so the dataset layout (and therefore
+    // the seeded upsampling downstream) never depends on the thread count.
+    let positive_samples: Vec<Sample> = positives
+        .par_iter()
+        .map(|&(i, j)| {
+            Sample::new(metric_features(metrics, &contexts[i], &contexts[j], phi, implicit), 1.0)
+        })
+        .collect();
+    let negative_samples: Vec<Sample> = negatives
+        .par_iter()
+        .map(|&(i, j)| {
+            Sample::new(metric_features(metrics, &contexts[i], &contexts[j], phi, implicit), 0.0)
+        })
+        .collect();
+    for sample in positive_samples.into_iter().chain(negative_samples) {
+        dataset.push(sample);
     }
     dataset
 }

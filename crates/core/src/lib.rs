@@ -37,8 +37,10 @@
 //! the benches and the `EXPERIMENTS.md` generator print.
 
 pub mod experiments;
+pub mod parallel;
 pub mod pipeline;
 
+pub use parallel::Parallelism;
 pub use pipeline::{
     train_models, ClassOutput, Pipeline, PipelineConfig, PipelineOutput, TrainedModels,
 };
@@ -46,6 +48,7 @@ pub use pipeline::{
 /// Convenience prelude re-exporting the types needed to drive the pipeline.
 pub mod prelude {
     pub use crate::experiments::{self, ExperimentConfig};
+    pub use crate::parallel::Parallelism;
     pub use crate::pipeline::{train_models, ClassOutput, Pipeline, PipelineConfig, PipelineOutput, TrainedModels};
     pub use ltee_clustering::{AggregationMethod, ClusteringConfig, RowMetricKind};
     pub use ltee_fusion::ScoringMethod;

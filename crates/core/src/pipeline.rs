@@ -21,6 +21,8 @@ use ltee_newdetect::{
 use ltee_newdetect::metrics::EntityContext;
 use ltee_webtables::{Corpus, GoldStandard, RowRef};
 
+use crate::parallel::Parallelism;
+
 /// Configuration of the full pipeline.
 #[derive(Debug, Clone)]
 pub struct PipelineConfig {
@@ -45,6 +47,9 @@ pub struct PipelineConfig {
     pub newdetect: NewDetectionConfig,
     /// Genetic algorithm settings for learning matcher weights.
     pub matcher_genetic: GeneticConfig,
+    /// Thread count for every parallel stage (training and inference).
+    /// Results are bit-identical at every setting; see [`Parallelism`].
+    pub parallelism: Parallelism,
 }
 
 impl Default for PipelineConfig {
@@ -60,6 +65,7 @@ impl Default for PipelineConfig {
             fusion: EntityCreationConfig::default(),
             newdetect: NewDetectionConfig::default(),
             matcher_genetic: GeneticConfig::default(),
+            parallelism: Parallelism::Auto,
         }
     }
 }
@@ -95,6 +101,7 @@ pub fn train_models(
     golds: &[GoldStandard],
     config: &PipelineConfig,
 ) -> TrainedModels {
+    config.parallelism.install();
     let gold_refs: Vec<&GoldStandard> = golds.iter().collect();
     // Matcher weights from the gold attribute annotations (first iteration:
     // no feedback available).
@@ -236,6 +243,7 @@ impl<'a> Pipeline<'a> {
 
     /// Run the pipeline over a corpus.
     pub fn run(&self, corpus: &Corpus) -> PipelineOutput {
+        self.config.parallelism.install();
         let mut feedback: Option<CorpusFeedback> = None;
         let mut final_output: Option<PipelineOutput> = None;
 

@@ -13,6 +13,10 @@ pub struct LabelEntry {
     pub raw: String,
     /// The normalised label that forms the entry's block key.
     pub normalized: String,
+    /// Tokens of the normalised label, memoised at insert time so that
+    /// lookups (which score every candidate against the query tokens) never
+    /// re-tokenise the same label.
+    pub tokens: Vec<String>,
 }
 
 /// A candidate returned by a lookup.
@@ -65,12 +69,13 @@ impl LabelIndex {
     /// (an instance can have several labels); each call adds one entry.
     pub fn insert(&mut self, id: u64, label: &str) {
         let normalized = normalize_label(label);
+        let tokens = tokenize(&normalized);
         let entry_pos = self.entries.len() as u32;
-        for token in tokenize(&normalized) {
-            self.postings.entry(token).or_default().push(entry_pos);
+        for token in &tokens {
+            self.postings.entry(token.clone()).or_default().push(entry_pos);
         }
         self.by_label.entry(normalized.clone()).or_default().push(entry_pos);
-        self.entries.push(LabelEntry { id, raw: label.to_string(), normalized });
+        self.entries.push(LabelEntry { id, raw: label.to_string(), normalized, tokens });
     }
 
     /// Number of indexed entries.
@@ -128,7 +133,7 @@ impl LabelIndex {
             .into_iter()
             .map(|(pos, exact_hits)| {
                 let entry = &self.entries[pos as usize];
-                let score = score_candidate(&query_tokens, &entry.normalized, exact_hits);
+                let score = score_candidate(&query_tokens, &entry.tokens, exact_hits);
                 LabelMatch { id: entry.id, normalized: entry.normalized.clone(), score }
             })
             .collect();
@@ -152,21 +157,20 @@ impl LabelIndex {
     }
 }
 
-/// Score a candidate label against the query tokens.
+/// Score a candidate's (pre-tokenised) label against the query tokens.
 ///
 /// Each query token contributes its best per-token similarity against the
 /// candidate tokens (1.0 for an exact hit); the mean over query tokens is
 /// then slightly penalised by the relative difference in token counts so
 /// that "paris" prefers "paris" over "paris hilton discography".
-fn score_candidate(query_tokens: &[String], candidate_normalized: &str, exact_hits: usize) -> f64 {
-    let candidate_tokens = tokenize(candidate_normalized);
+fn score_candidate(query_tokens: &[String], candidate_tokens: &[String], exact_hits: usize) -> f64 {
     if candidate_tokens.is_empty() {
         return 0.0;
     }
     let mut total = 0.0;
     for qt in query_tokens {
         let mut best: f64 = 0.0;
-        for ct in &candidate_tokens {
+        for ct in candidate_tokens {
             let s = if qt == ct { 1.0 } else { levenshtein_similarity(qt, ct) };
             if s > best {
                 best = s;

@@ -151,15 +151,25 @@ impl PairwiseModel {
         // equivalent and cheaper).
         let combine_weight = match (&weighted, &forest) {
             (Some(w), Some(f)) => {
+                // Both branch scores are constant across the line search, so
+                // compute them once per sample up front — the forest side in
+                // parallel over the batch.
+                let rows: Vec<&[f64]> =
+                    balanced.samples.iter().map(|s| s.features.as_slice()).collect();
+                let f_scores = f.predict_batch(&rows);
+                let w_scores: Vec<f64> = balanced
+                    .samples
+                    .iter()
+                    .map(|s| w.normalized_score(&s.features[..num_similarities]))
+                    .collect();
                 let mut best = (0.5, f64::MIN);
                 for step in 0..=10 {
                     let alpha = step as f64 / 10.0;
                     let mut tp = 0usize;
                     let mut fp = 0usize;
                     let mut fn_ = 0usize;
-                    for s in &balanced.samples {
-                        let score = alpha * w.normalized_score(&s.features[..num_similarities])
-                            + (1.0 - alpha) * f.predict(&s.features);
+                    for (k, s) in balanced.samples.iter().enumerate() {
+                        let score = alpha * w_scores[k] + (1.0 - alpha) * f_scores[k];
                         let predicted = score > 0.0;
                         match (predicted, s.is_positive()) {
                             (true, true) => tp += 1,

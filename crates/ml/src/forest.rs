@@ -144,23 +144,32 @@ impl RandomForest {
             .collect();
 
         // Out-of-bag error: for every sample, average predictions of the
-        // trees that did not see it, and compute mean squared error.
+        // trees that did not see it, and compute mean squared error. The
+        // per-sample errors are independent, so they are computed in
+        // parallel and accumulated sequentially in sample order.
+        let per_sample: Vec<Option<f64>> = (0..n)
+            .into_par_iter()
+            .map(|i| {
+                let sample = &dataset.samples[i];
+                let mut sum = 0.0;
+                let mut cnt = 0usize;
+                for (tree, in_bag) in &built {
+                    if !in_bag[i] {
+                        sum += tree.predict(&sample.features);
+                        cnt += 1;
+                    }
+                }
+                (cnt > 0).then(|| {
+                    let pred = sum / cnt as f64;
+                    (pred - sample.target).powi(2)
+                })
+            })
+            .collect();
         let mut oob_sq_err = 0.0;
         let mut oob_count = 0usize;
-        for (i, sample) in dataset.samples.iter().enumerate() {
-            let mut sum = 0.0;
-            let mut cnt = 0usize;
-            for (tree, in_bag) in &built {
-                if !in_bag[i] {
-                    sum += tree.predict(&sample.features);
-                    cnt += 1;
-                }
-            }
-            if cnt > 0 {
-                let pred = sum / cnt as f64;
-                oob_sq_err += (pred - sample.target).powi(2);
-                oob_count += 1;
-            }
+        for sq_err in per_sample.into_iter().flatten() {
+            oob_sq_err += sq_err;
+            oob_count += 1;
         }
         let oob_error = if oob_count > 0 { oob_sq_err / oob_count as f64 } else { 0.0 };
 
@@ -180,6 +189,14 @@ impl RandomForest {
         }
         let sum: f64 = self.trees.iter().map(|t| t.predict(features)).sum();
         sum / self.trees.len() as f64
+    }
+
+    /// Predict targets for a batch of feature vectors, one forest traversal
+    /// per row, in parallel. Each row's prediction is computed exactly as by
+    /// [`RandomForest::predict`], so the output is bit-identical to the
+    /// sequential loop at every thread count.
+    pub fn predict_batch(&self, rows: &[&[f64]]) -> Vec<f64> {
+        rows.par_iter().map(|features| self.predict(features)).collect()
     }
 
     /// Mean squared out-of-bag error measured during training.
@@ -370,6 +387,17 @@ mod tests {
         }
         let forest = RandomForest::train(&ds, &small_config());
         assert!((forest.predict(&[5.0]) - 0.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn predict_batch_matches_predict() {
+        let ds = separable(120);
+        let forest = RandomForest::train(&ds, &small_config());
+        let rows: Vec<&[f64]> = ds.samples.iter().map(|s| s.features.as_slice()).collect();
+        let batch = forest.predict_batch(&rows);
+        for (row, batched) in rows.iter().zip(batch.iter()) {
+            assert_eq!(forest.predict(row).to_bits(), batched.to_bits());
+        }
     }
 
     #[test]

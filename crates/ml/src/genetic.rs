@@ -10,6 +10,7 @@
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// Configuration of the genetic optimiser.
@@ -29,6 +30,10 @@ pub struct GeneticConfig {
     pub elitism: usize,
     /// BLX-α crossover expansion factor.
     pub blend_alpha: f64,
+    /// Convergence check: stop early when the best fitness has not strictly
+    /// improved for this many consecutive generations. `0` disables the
+    /// check and always runs the full `generations` budget.
+    pub stall_generations: usize,
     /// RNG seed.
     pub seed: u64,
 }
@@ -43,6 +48,7 @@ impl Default for GeneticConfig {
             mutation_sigma: 0.15,
             elitism: 2,
             blend_alpha: 0.3,
+            stall_generations: 0,
             seed: 101,
         }
     }
@@ -68,9 +74,15 @@ impl GeneticOptimizer {
 
     /// Run the optimiser, maximising `fitness`. Returns the best genome and
     /// its fitness.
-    pub fn optimize<F>(&self, mut fitness: F) -> (Vec<f64>, f64)
+    ///
+    /// Fitness is evaluated in parallel over the population (the dominant
+    /// cost for dataset-backed fitness functions), which is why `fitness`
+    /// must be `Fn + Sync`. Selection, crossover and mutation stay on the
+    /// calling thread with a seeded RNG, so the optimisation trajectory is
+    /// identical at every thread count.
+    pub fn optimize<F>(&self, fitness: F) -> (Vec<f64>, f64)
     where
-        F: FnMut(&[f64]) -> f64,
+        F: Fn(&[f64]) -> f64 + Sync,
     {
         let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
         let genome_len = self.bounds.len();
@@ -91,9 +103,26 @@ impl GeneticOptimizer {
                     .collect()
             })
             .collect();
-        let mut scores: Vec<f64> = population.iter().map(|g| fitness(g)).collect();
+        let mut scores: Vec<f64> = population.par_iter().map(|g| fitness(g)).collect();
 
+        let mut best_so_far = f64::NEG_INFINITY;
+        let mut stalled = 0usize;
         for _gen in 0..self.config.generations {
+            // Convergence check: elitism makes the best score monotone, so a
+            // run of generations without strict improvement means the search
+            // has settled.
+            if self.config.stall_generations > 0 {
+                let gen_best = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                if gen_best > best_so_far {
+                    best_so_far = gen_best;
+                    stalled = 0;
+                } else {
+                    stalled += 1;
+                    if stalled >= self.config.stall_generations {
+                        break;
+                    }
+                }
+            }
             // Rank indices by fitness, best first.
             let mut order: Vec<usize> = (0..pop_size).collect();
             order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal));
@@ -110,7 +139,7 @@ impl GeneticOptimizer {
                 next.push(child);
             }
             population = next;
-            scores = population.iter().map(|g| fitness(g)).collect();
+            scores = population.par_iter().map(|g| fitness(g)).collect();
         }
 
         let best = scores
@@ -226,5 +255,47 @@ mod tests {
     #[should_panic(expected = "at least one gene")]
     fn empty_genome_rejected() {
         GeneticOptimizer::new(vec![], GeneticConfig::default());
+    }
+
+    #[test]
+    fn stall_convergence_stops_early_on_flat_fitness() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        // Constant fitness never improves, so the run must stop after the
+        // initial evaluation plus `stall_generations` generations.
+        let config = GeneticConfig {
+            population: 10,
+            generations: 1000,
+            stall_generations: 3,
+            seed: 6,
+            ..Default::default()
+        };
+        let evaluations = AtomicUsize::new(0);
+        let opt = GeneticOptimizer::new(vec![(0.0, 1.0)], config);
+        let (_, score) = opt.optimize(|_| {
+            evaluations.fetch_add(1, Ordering::Relaxed);
+            0.5
+        });
+        assert_eq!(score, 0.5);
+        // Initial population + at most `stall_generations` further
+        // generations of 10 evaluations each (the first generation improves
+        // from -inf to 0.5, so the counter starts one generation later).
+        assert!(
+            evaluations.load(Ordering::Relaxed) <= 10 * 5,
+            "expected early stop, saw {} evaluations",
+            evaluations.load(Ordering::Relaxed)
+        );
+    }
+
+    #[test]
+    fn stall_convergence_disabled_runs_full_budget() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let config = GeneticConfig { population: 10, generations: 5, seed: 6, ..Default::default() };
+        let evaluations = AtomicUsize::new(0);
+        let opt = GeneticOptimizer::new(vec![(0.0, 1.0)], config);
+        opt.optimize(|_| {
+            evaluations.fetch_add(1, Ordering::Relaxed);
+            0.5
+        });
+        assert_eq!(evaluations.load(Ordering::Relaxed), 10 * 6);
     }
 }

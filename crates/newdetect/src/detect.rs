@@ -173,13 +173,17 @@ mod tests {
     use ltee_text::BowVector;
     use ltee_webtables::{RowRef, TableId};
 
+    /// Number of synthetic training points for the hand-built label model
+    /// below (dense enough to pin the learned threshold).
+    const LABEL_MODEL_TRAINING_POINTS: usize = 40;
+
     /// A hand-trained model over LABEL only: match iff label similarity is
     /// very high.
     fn label_model() -> EntitySimilarityModel {
         let metrics = vec![EntityMetricKind::Label];
         let mut ds = Dataset::new(entity_metric_feature_names(&metrics));
-        for i in 0..40 {
-            let x = i as f64 / 40.0;
+        for i in 0..LABEL_MODEL_TRAINING_POINTS {
+            let x = i as f64 / LABEL_MODEL_TRAINING_POINTS as f64;
             ds.push(Sample::new(vec![x], if x > 0.85 { 1.0 } else { 0.0 }));
         }
         let model = PairwiseModel::train(
@@ -195,16 +199,16 @@ mod tests {
     }
 
     fn entity_for(class: ClassKey, label: &str) -> EntityContext {
-        EntityContext {
-            entity: Entity {
+        EntityContext::from_parts(
+            Entity {
                 class,
                 rows: vec![RowRef::new(TableId(1), 0)],
                 labels: vec![label.to_string()],
                 facts: vec![],
             },
-            bow: BowVector::from_text(label),
-            implicit: vec![],
-        }
+            BowVector::from_text(label),
+            vec![],
+        )
     }
 
     #[test]

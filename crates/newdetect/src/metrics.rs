@@ -66,6 +66,10 @@ impl EntityMetricKind {
 pub struct EntityContext {
     /// The created entity.
     pub entity: Entity,
+    /// Normalised forms of the entity's labels, memoised once so candidate
+    /// scoring does not re-normalise the same labels for every candidate
+    /// instance (parallel workers score many candidates per entity).
+    pub normalized_labels: Vec<String>,
     /// Combined bag-of-words vector of all the entity's rows.
     pub bow: BowVector,
     /// Entity-level implicit attributes: (property, value, confidence).
@@ -73,6 +77,12 @@ pub struct EntityContext {
 }
 
 impl EntityContext {
+    /// Assemble a context from its parts, memoising the normalised labels.
+    pub fn from_parts(entity: Entity, bow: BowVector, implicit: Vec<(String, Value, f64)>) -> Self {
+        let normalized_labels = entity.labels.iter().map(|l| normalize_label(l)).collect();
+        Self { entity, normalized_labels, bow, implicit }
+    }
+
     /// Build the context of an entity from the corpus and the table-level
     /// implicit attributes.
     pub fn build(entity: Entity, corpus: &Corpus, implicit: &ImplicitAttributes) -> Self {
@@ -99,7 +109,7 @@ impl EntityContext {
             *s /= rows;
         }
         acc.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
-        Self { entity, bow, implicit: acc }
+        Self::from_parts(entity, bow, acc)
     }
 }
 
@@ -166,10 +176,9 @@ pub fn entity_metric_score(
     match kind {
         EntityMetricKind::Label => {
             let mut best: f64 = 0.0;
-            for el in &entity.entity.labels {
-                let el_n = normalize_label(el);
+            for el_n in &entity.normalized_labels {
                 for il in &instance.labels {
-                    best = best.max(monge_elkan_similarity(&el_n, il));
+                    best = best.max(monge_elkan_similarity(el_n, il));
                 }
             }
             (best, 1.0)
@@ -296,7 +305,7 @@ mod tests {
             labels: vec![label.to_string()],
             facts: facts.into_iter().map(|(p, v)| (p.to_string(), v, 1.0)).collect(),
         };
-        EntityContext { entity, bow: BowVector::from_text(label), implicit: vec![] }
+        EntityContext::from_parts(entity, BowVector::from_text(label), vec![])
     }
 
     fn instance_ctx(class: ClassKey, label: &str, facts: Vec<(&str, Value)>, links: u64) -> InstanceContext {

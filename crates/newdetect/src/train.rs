@@ -130,7 +130,7 @@ mod tests {
             bow.add_text(&v.render());
         }
         let _ = world;
-        EntityContext { entity, bow, implicit: vec![] }
+        EntityContext::from_parts(entity, bow, vec![])
     }
 
     #[test]

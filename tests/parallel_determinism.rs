@@ -1,0 +1,59 @@
+//! Determinism contract test: the full pipeline — model training included —
+//! must produce bit-identical output whether the work-stealing pool runs on
+//! 1 thread or on 4.
+//!
+//! This holds because the vendored rayon shim chunks work as a function of
+//! input length alone, collects in chunk order, and reduces chunk-wise, so
+//! no floating-point sum ever reassociates when the thread count changes.
+//!
+//! Deterministic: `Scale::tiny()` world with fixed seed 2024.
+//! Expected runtime: ~20 s in debug (two full train+run cycles).
+
+use ltee_core::prelude::*;
+
+fn run_with(threads: usize) -> PipelineOutput {
+    let config = PipelineConfig {
+        parallelism: Parallelism::Threads(threads),
+        ..PipelineConfig::fast()
+    };
+    let world = generate_world(&GeneratorConfig::new(Scale::tiny(), 2024));
+    let corpus = generate_corpus(&world, &CorpusConfig::tiny());
+    let golds: Vec<GoldStandard> =
+        CLASS_KEYS.iter().map(|&c| GoldStandard::build(&world, &corpus, c)).collect();
+    let models = train_models(&corpus, world.kb(), &golds, &config);
+    let pipeline = Pipeline::new(world.kb(), models, config);
+    pipeline.run(&corpus)
+}
+
+#[test]
+fn pipeline_output_is_bit_identical_across_thread_counts() {
+    let single = run_with(1);
+    let multi = run_with(4);
+
+    assert_eq!(single.classes.len(), multi.classes.len(), "class count differs");
+    for (a, b) in single.classes.iter().zip(multi.classes.iter()) {
+        assert_eq!(a.class, b.class);
+        // Cluster assignments: same clusters, same row order within them.
+        assert_eq!(a.clusters, b.clusters, "{}: cluster assignments differ", a.class);
+        // Fused entities: labels, facts and provenance rows all equal.
+        assert_eq!(a.entities, b.entities, "{}: fused entities differ", a.class);
+        // New detection: outcomes AND raw scores must match to the bit
+        // (NewDetectionResult::PartialEq compares best_score as f64).
+        assert_eq!(a.results, b.results, "{}: detection results differ", a.class);
+        assert_eq!(a.outcomes(), b.outcomes(), "{}: outcomes differ", a.class);
+    }
+
+    // The schema mapping feeding those outputs must agree as well (sorted
+    // by table id — the mapping iterates in hash order).
+    let sorted = |output: &PipelineOutput| {
+        let mut tables: Vec<_> = output.mapping.tables().cloned().collect();
+        tables.sort_by_key(|t| t.table);
+        tables
+    };
+    for (ta, tb) in sorted(&single).iter().zip(sorted(&multi).iter()) {
+        assert_eq!(ta.table, tb.table);
+        assert_eq!(ta.class, tb.class);
+        assert_eq!(ta.label_column, tb.label_column);
+        assert_eq!(ta.correspondences, tb.correspondences);
+    }
+}

@@ -1,0 +1,493 @@
+//! Parallel iterators over indexed sources.
+//!
+//! Every pipeline is an indexed source (slice, owned `Vec`, integer range)
+//! plus a stack of per-item adapters (`map`, `filter`, `filter_map`,
+//! `enumerate`, `fold`). Terminal operations hand deterministic chunks of
+//! the source to the pool (see [`crate::pool`]); each adapter threads the
+//! original item index through so `enumerate` and ordered collection work
+//! regardless of which worker processed which chunk.
+
+use crate::pool::{chunk_ranges, run_items};
+use std::ops::Range;
+
+/// A chunk of `(source_index, item)` pairs handed to a per-chunk consumer.
+pub type Chunk<'c, T> = &'c mut dyn Iterator<Item = (usize, T)>;
+
+/// The parallel-iterator API surface the workspace uses, mirroring rayon's
+/// `ParallelIterator` closely enough that swapping the registry crate back
+/// in is a manifest-only change.
+pub trait ParallelIterator: Sized {
+    /// The item type produced by this iterator.
+    type Item: Send;
+
+    /// Drive the pipeline: call `consume` once per deterministic chunk and
+    /// return the per-chunk results in chunk order.
+    #[doc(hidden)]
+    fn drive<R, C>(self, consume: &C) -> Vec<R>
+    where
+        R: Send,
+        C: Fn(Chunk<'_, Self::Item>) -> R + Sync;
+
+    /// Map every item through `f`.
+    fn map<F, T>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Item) -> T + Sync,
+        T: Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Keep the items for which `predicate` holds.
+    fn filter<P>(self, predicate: P) -> Filter<Self, P>
+    where
+        P: Fn(&Self::Item) -> bool + Sync,
+    {
+        Filter { base: self, predicate }
+    }
+
+    /// Map and filter in one pass.
+    fn filter_map<F, T>(self, f: F) -> FilterMap<Self, F>
+    where
+        F: Fn(Self::Item) -> Option<T> + Sync,
+        T: Send,
+    {
+        FilterMap { base: self, f }
+    }
+
+    /// Pair every item with its index in the source.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { base: self }
+    }
+
+    /// Fold every chunk into one accumulator; the result is a parallel
+    /// iterator over the per-chunk accumulators (chunk order), typically
+    /// consumed by [`ParallelIterator::reduce`] or collected.
+    fn fold<T, ID, F>(self, identity: ID, fold_op: F) -> Fold<Self, ID, F>
+    where
+        T: Send,
+        ID: Fn() -> T + Sync,
+        F: Fn(T, Self::Item) -> T + Sync,
+    {
+        Fold { base: self, identity, fold_op }
+    }
+
+    /// Run `f` on every item.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        self.drive(&|chunk: Chunk<'_, Self::Item>| {
+            for (_, x) in chunk {
+                f(x);
+            }
+        });
+    }
+
+    /// Reduce all items with `op`, starting every partial reduction from
+    /// `identity()`. `op` must be associative and `identity()` neutral; the
+    /// reduction tree is fixed by the deterministic chunking, so the result
+    /// is identical at every thread count.
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+    where
+        ID: Fn() -> Self::Item + Sync,
+        OP: Fn(Self::Item, Self::Item) -> Self::Item + Sync,
+    {
+        let per_chunk = self.drive(&|chunk: Chunk<'_, Self::Item>| {
+            let mut acc = identity();
+            for (_, x) in chunk {
+                acc = op(acc, x);
+            }
+            acc
+        });
+        per_chunk.into_iter().fold(identity(), &op)
+    }
+
+    /// Sum the items: per-chunk sums combined in chunk order.
+    fn sum<S>(self) -> S
+    where
+        S: Send + std::iter::Sum<Self::Item> + std::iter::Sum<S>,
+    {
+        let per_chunk: Vec<S> =
+            self.drive(&|chunk: Chunk<'_, Self::Item>| chunk.map(|(_, x)| x).sum());
+        per_chunk.into_iter().sum()
+    }
+
+    /// Count the items.
+    fn count(self) -> usize {
+        self.drive(&|chunk: Chunk<'_, Self::Item>| chunk.count()).into_iter().sum()
+    }
+
+    /// Collect into a container, preserving source order.
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        C::from_par_iter(self)
+    }
+}
+
+/// Collection from a parallel iterator (rayon-compatible entry point for
+/// [`ParallelIterator::collect`]).
+pub trait FromParallelIterator<T: Send>: Sized {
+    fn from_par_iter<I>(iter: I) -> Self
+    where
+        I: ParallelIterator<Item = T>;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<I>(iter: I) -> Self
+    where
+        I: ParallelIterator<Item = T>,
+    {
+        let chunks: Vec<Vec<T>> =
+            iter.drive(&|chunk: Chunk<'_, T>| chunk.map(|(_, x)| x).collect());
+        let mut out = Vec::with_capacity(chunks.iter().map(Vec::len).sum());
+        for chunk in chunks {
+            out.extend(chunk);
+        }
+        out
+    }
+}
+
+// --- Sources ----------------------------------------------------------------
+
+/// Parallel iterator over `&[T]`.
+pub struct ParSlice<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for ParSlice<'a, T> {
+    type Item = &'a T;
+
+    fn drive<R, C>(self, consume: &C) -> Vec<R>
+    where
+        R: Send,
+        C: Fn(Chunk<'_, Self::Item>) -> R + Sync,
+    {
+        let slice = self.slice;
+        run_items(chunk_ranges(slice.len()), |_, range: Range<usize>| {
+            let start = range.start;
+            let mut it = slice[range].iter().enumerate().map(|(k, x)| (start + k, x));
+            consume(&mut it)
+        })
+    }
+}
+
+/// Parallel iterator over `&mut [T]`: disjoint chunks of the slice are
+/// handed to workers, so items can be mutated in place.
+pub struct ParSliceMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> ParallelIterator for ParSliceMut<'a, T> {
+    type Item = &'a mut T;
+
+    fn drive<R, C>(self, consume: &C) -> Vec<R>
+    where
+        R: Send,
+        C: Fn(Chunk<'_, Self::Item>) -> R + Sync,
+    {
+        let ranges = chunk_ranges(self.slice.len());
+        let mut rest: &'a mut [T] = self.slice;
+        let mut chunks: Vec<(usize, &'a mut [T])> = Vec::with_capacity(ranges.len());
+        for range in &ranges {
+            let (head, tail) = std::mem::take(&mut rest).split_at_mut(range.len());
+            chunks.push((range.start, head));
+            rest = tail;
+        }
+        run_items(chunks, |_, (start, sub)| {
+            let mut it = sub.iter_mut().enumerate().map(|(k, x)| (start + k, x));
+            consume(&mut it)
+        })
+    }
+}
+
+/// Parallel iterator over an owned `Vec<T>`.
+pub struct ParVec<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for ParVec<T> {
+    type Item = T;
+
+    fn drive<R, C>(self, consume: &C) -> Vec<R>
+    where
+        R: Send,
+        C: Fn(Chunk<'_, Self::Item>) -> R + Sync,
+    {
+        let ranges = chunk_ranges(self.items.len());
+        let mut items = self.items;
+        // Split off from the back so earlier chunks never shift.
+        let mut chunks: Vec<(usize, Vec<T>)> = Vec::with_capacity(ranges.len());
+        for range in ranges.iter().rev() {
+            chunks.push((range.start, items.split_off(range.start)));
+        }
+        chunks.reverse();
+        run_items(chunks, |_, (start, part)| {
+            let mut it = part.into_iter().enumerate().map(|(k, x)| (start + k, x));
+            consume(&mut it)
+        })
+    }
+}
+
+/// Parallel iterator over `Range<usize>`.
+pub struct ParRange {
+    range: Range<usize>,
+}
+
+impl ParallelIterator for ParRange {
+    type Item = usize;
+
+    fn drive<R, C>(self, consume: &C) -> Vec<R>
+    where
+        R: Send,
+        C: Fn(Chunk<'_, Self::Item>) -> R + Sync,
+    {
+        let base = self.range.start;
+        let n = self.range.end.saturating_sub(self.range.start);
+        run_items(chunk_ranges(n), |_, range: Range<usize>| {
+            let mut it = range.map(|k| (k, base + k));
+            consume(&mut it)
+        })
+    }
+}
+
+// --- Adapters ---------------------------------------------------------------
+
+/// See [`ParallelIterator::map`].
+pub struct Map<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, F, T> ParallelIterator for Map<B, F>
+where
+    B: ParallelIterator,
+    F: Fn(B::Item) -> T + Sync,
+    T: Send,
+{
+    type Item = T;
+
+    fn drive<R, C>(self, consume: &C) -> Vec<R>
+    where
+        R: Send,
+        C: Fn(Chunk<'_, Self::Item>) -> R + Sync,
+    {
+        let f = &self.f;
+        self.base.drive(&move |chunk: Chunk<'_, B::Item>| {
+            let mut mapped = chunk.map(|(i, x)| (i, f(x)));
+            consume(&mut mapped)
+        })
+    }
+}
+
+/// See [`ParallelIterator::filter`].
+pub struct Filter<B, P> {
+    base: B,
+    predicate: P,
+}
+
+impl<B, P> ParallelIterator for Filter<B, P>
+where
+    B: ParallelIterator,
+    P: Fn(&B::Item) -> bool + Sync,
+{
+    type Item = B::Item;
+
+    fn drive<R, C>(self, consume: &C) -> Vec<R>
+    where
+        R: Send,
+        C: Fn(Chunk<'_, Self::Item>) -> R + Sync,
+    {
+        let predicate = &self.predicate;
+        self.base.drive(&move |chunk: Chunk<'_, B::Item>| {
+            let mut filtered = chunk.filter(|(_, x)| predicate(x));
+            consume(&mut filtered)
+        })
+    }
+}
+
+/// See [`ParallelIterator::filter_map`].
+pub struct FilterMap<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, F, T> ParallelIterator for FilterMap<B, F>
+where
+    B: ParallelIterator,
+    F: Fn(B::Item) -> Option<T> + Sync,
+    T: Send,
+{
+    type Item = T;
+
+    fn drive<R, C>(self, consume: &C) -> Vec<R>
+    where
+        R: Send,
+        C: Fn(Chunk<'_, Self::Item>) -> R + Sync,
+    {
+        let f = &self.f;
+        self.base.drive(&move |chunk: Chunk<'_, B::Item>| {
+            let mut mapped = chunk.filter_map(|(i, x)| f(x).map(|y| (i, y)));
+            consume(&mut mapped)
+        })
+    }
+}
+
+/// See [`ParallelIterator::enumerate`].
+pub struct Enumerate<B> {
+    base: B,
+}
+
+impl<B> ParallelIterator for Enumerate<B>
+where
+    B: ParallelIterator,
+{
+    type Item = (usize, B::Item);
+
+    fn drive<R, C>(self, consume: &C) -> Vec<R>
+    where
+        R: Send,
+        C: Fn(Chunk<'_, Self::Item>) -> R + Sync,
+    {
+        self.base.drive(&move |chunk: Chunk<'_, B::Item>| {
+            let mut enumerated = chunk.map(|(i, x)| (i, (i, x)));
+            consume(&mut enumerated)
+        })
+    }
+}
+
+/// See [`ParallelIterator::fold`]: one accumulator per chunk.
+pub struct Fold<B, ID, F> {
+    base: B,
+    identity: ID,
+    fold_op: F,
+}
+
+impl<B, T, ID, F> ParallelIterator for Fold<B, ID, F>
+where
+    B: ParallelIterator,
+    T: Send,
+    ID: Fn() -> T + Sync,
+    F: Fn(T, B::Item) -> T + Sync,
+{
+    type Item = T;
+
+    fn drive<R, C>(self, consume: &C) -> Vec<R>
+    where
+        R: Send,
+        C: Fn(Chunk<'_, Self::Item>) -> R + Sync,
+    {
+        let identity = &self.identity;
+        let fold_op = &self.fold_op;
+        self.base.drive(&move |chunk: Chunk<'_, B::Item>| {
+            let mut first_index = 0;
+            let mut acc = identity();
+            let mut seen = false;
+            for (i, x) in chunk {
+                if !seen {
+                    first_index = i;
+                    seen = true;
+                }
+                acc = fold_op(acc, x);
+            }
+            let mut once = std::iter::once((first_index, acc));
+            consume(&mut once)
+        })
+    }
+}
+
+// --- Conversion traits ------------------------------------------------------
+
+/// Conversion into a parallel iterator, by value.
+pub trait IntoParallelIterator {
+    type Iter: ParallelIterator<Item = Self::Item>;
+    type Item: Send;
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Iter = ParVec<T>;
+    type Item = T;
+    fn into_par_iter(self) -> ParVec<T> {
+        ParVec { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelIterator for &'a [T] {
+    type Iter = ParSlice<'a, T>;
+    type Item = &'a T;
+    fn into_par_iter(self) -> ParSlice<'a, T> {
+        ParSlice { slice: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelIterator for &'a Vec<T> {
+    type Iter = ParSlice<'a, T>;
+    type Item = &'a T;
+    fn into_par_iter(self) -> ParSlice<'a, T> {
+        ParSlice { slice: self.as_slice() }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelIterator for &'a mut [T] {
+    type Iter = ParSliceMut<'a, T>;
+    type Item = &'a mut T;
+    fn into_par_iter(self) -> ParSliceMut<'a, T> {
+        ParSliceMut { slice: self }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelIterator for &'a mut Vec<T> {
+    type Iter = ParSliceMut<'a, T>;
+    type Item = &'a mut T;
+    fn into_par_iter(self) -> ParSliceMut<'a, T> {
+        ParSliceMut { slice: self.as_mut_slice() }
+    }
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Iter = ParRange;
+    type Item = usize;
+    fn into_par_iter(self) -> ParRange {
+        ParRange { range: self }
+    }
+}
+
+/// `par_iter()` on any type whose shared reference converts into a parallel
+/// iterator (rayon's blanket impl, reproduced).
+pub trait IntoParallelRefIterator<'data> {
+    type Iter: ParallelIterator<Item = Self::Item>;
+    type Item: Send;
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, I: 'data + ?Sized> IntoParallelRefIterator<'data> for I
+where
+    &'data I: IntoParallelIterator,
+{
+    type Iter = <&'data I as IntoParallelIterator>::Iter;
+    type Item = <&'data I as IntoParallelIterator>::Item;
+    fn par_iter(&'data self) -> Self::Iter {
+        self.into_par_iter()
+    }
+}
+
+/// `par_iter_mut()` on any type whose mutable reference converts into a
+/// parallel iterator.
+pub trait IntoParallelRefMutIterator<'data> {
+    type Iter: ParallelIterator<Item = Self::Item>;
+    type Item: Send;
+    fn par_iter_mut(&'data mut self) -> Self::Iter;
+}
+
+impl<'data, I: 'data + ?Sized> IntoParallelRefMutIterator<'data> for I
+where
+    &'data mut I: IntoParallelIterator,
+{
+    type Iter = <&'data mut I as IntoParallelIterator>::Iter;
+    type Item = <&'data mut I as IntoParallelIterator>::Item;
+    fn par_iter_mut(&'data mut self) -> Self::Iter {
+        self.into_par_iter()
+    }
+}

@@ -1,63 +1,72 @@
-//! Offline shim for `rayon`.
+//! Offline shim for `rayon`, backed by a real std-only work-stealing pool.
 //!
-//! `par_iter` / `par_iter_mut` / `into_par_iter` return ordinary sequential
-//! iterators, so every call site produces identical results with zero added
-//! dependencies — just without parallel speedup. Swapping the workspace
-//! dependency back to registry rayon re-enables real parallelism with no
-//! source changes, because the entry-point names and shapes match.
+//! Unlike the original sequential fallback, `par_iter` / `par_iter_mut` /
+//! `into_par_iter` now execute on scoped worker threads with per-worker
+//! deques and work stealing (see [`pool`]). The entry-point names and shapes
+//! match registry rayon, so swapping the workspace dependency back to the
+//! registry crate stays a one-line manifest change.
+//!
+//! **Determinism contract.** Work is split into chunks as a function of the
+//! input length alone, chunk results are reassembled in chunk order, and
+//! reductions associate chunk-wise — so every operation returns bit-identical
+//! results at every thread count, including 1. The thread count comes from
+//! [`ThreadPoolBuilder::build_global`], else `LTEE_NUM_THREADS`, else
+//! `RAYON_NUM_THREADS`, else the machine's available parallelism; at 1 the
+//! pool degrades to an inline sequential loop over the same chunks.
+
+pub mod iter;
+pub mod pool;
+
+pub use iter::{
+    FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator,
+    IntoParallelRefMutIterator, ParallelIterator,
+};
+pub use pool::{current_num_threads, parse_thread_count};
 
 pub mod prelude {
-    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator};
+    pub use crate::iter::{
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator,
+        IntoParallelRefMutIterator, ParallelIterator,
+    };
 }
 
-pub trait IntoParallelIterator {
-    type Item;
-    type Iter: Iterator<Item = Self::Item>;
-    fn into_par_iter(self) -> Self::Iter;
-}
+/// Error type returned by [`ThreadPoolBuilder::build_global`], mirroring
+/// rayon's signature. The shim's build never actually fails.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
 
-impl<I: IntoIterator> IntoParallelIterator for I {
-    type Item = I::Item;
-    type Iter = I::IntoIter;
-    fn into_par_iter(self) -> I::IntoIter {
-        self.into_iter()
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "the global thread pool could not be configured")
     }
 }
 
-pub trait IntoParallelRefIterator<'data> {
-    type Iter: Iterator;
-    fn par_iter(&'data self) -> Self::Iter;
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Configure the global thread count, mirroring rayon's builder.
+///
+/// `num_threads(0)` (or never calling `num_threads`) selects the default
+/// resolution order documented on [`pool::current_num_threads`]. Unlike
+/// registry rayon, repeated `build_global` calls succeed and simply
+/// overwrite the previous override — convenient for pinning thread counts
+/// per pipeline run.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
 }
 
-impl<'data, T: 'data> IntoParallelRefIterator<'data> for [T] {
-    type Iter = std::slice::Iter<'data, T>;
-    fn par_iter(&'data self) -> std::slice::Iter<'data, T> {
-        self.iter()
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
     }
-}
 
-impl<'data, T: 'data> IntoParallelRefIterator<'data> for Vec<T> {
-    type Iter = std::slice::Iter<'data, T>;
-    fn par_iter(&'data self) -> std::slice::Iter<'data, T> {
-        self.iter()
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
     }
-}
 
-pub trait IntoParallelRefMutIterator<'data> {
-    type Iter: Iterator;
-    fn par_iter_mut(&'data mut self) -> Self::Iter;
-}
-
-impl<'data, T: 'data> IntoParallelRefMutIterator<'data> for [T] {
-    type Iter = std::slice::IterMut<'data, T>;
-    fn par_iter_mut(&'data mut self) -> std::slice::IterMut<'data, T> {
-        self.iter_mut()
-    }
-}
-
-impl<'data, T: 'data> IntoParallelRefMutIterator<'data> for Vec<T> {
-    type Iter = std::slice::IterMut<'data, T>;
-    fn par_iter_mut(&'data mut self) -> std::slice::IterMut<'data, T> {
-        self.iter_mut()
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        pool::set_thread_override(self.num_threads);
+        Ok(())
     }
 }

@@ -1,0 +1,171 @@
+//! The work-stealing executor behind the parallel iterators.
+//!
+//! The pool guarantees the **determinism contract** the whole workspace
+//! relies on:
+//!
+//! * **Chunking is deterministic.** Work is split into chunks as a function
+//!   of the input length alone — never of the thread count — so chunk-wise
+//!   reductions (`sum`, `fold`, `reduce`) associate identically whether the
+//!   pool runs on 1 or N threads.
+//! * **Scheduling is free.** Chunks are distributed round-robin over
+//!   per-worker deques; a worker drains its own deque from the front and
+//!   steals from the back of other deques when it runs dry. Which worker
+//!   executes which chunk is timing-dependent and irrelevant to the result.
+//! * **Collection is ordered.** Every chunk result is tagged with its chunk
+//!   index and reassembled in chunk order, so no output ever depends on
+//!   completion order.
+//!
+//! Workers are scoped threads spawned per parallel call (`std::thread::scope`),
+//! which lets the closures borrow non-`'static` data and propagates worker
+//! panics to the caller when the scope joins. There is no persistent pool to
+//! deadlock, so nested parallel calls simply open a nested scope.
+
+use std::collections::VecDeque;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+/// Maximum number of chunks a single parallel call is split into. Far more
+/// chunks than any plausible thread count gives work stealing room to
+/// balance skewed per-item costs.
+pub(crate) const MAX_CHUNKS: usize = 64;
+
+/// Thread count forced via [`crate::ThreadPoolBuilder::build_global`];
+/// `0` means "no override".
+static GLOBAL_THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+pub(crate) fn set_thread_override(n: usize) {
+    GLOBAL_THREAD_OVERRIDE.store(n, Ordering::SeqCst);
+}
+
+/// Parse a thread-count environment value: a positive integer. `0`, empty
+/// and non-numeric values mean "no preference" (matching rayon, where
+/// `RAYON_NUM_THREADS=0` selects the default).
+pub fn parse_thread_count(raw: &str) -> Option<usize> {
+    match raw.trim().parse::<usize>() {
+        Ok(n) if n > 0 => Some(n),
+        _ => None,
+    }
+}
+
+/// The number of worker threads parallel calls currently use.
+///
+/// Resolution order: the [`crate::ThreadPoolBuilder`] global override, then
+/// the `LTEE_NUM_THREADS` and `RAYON_NUM_THREADS` environment variables,
+/// then [`std::thread::available_parallelism`].
+pub fn current_num_threads() -> usize {
+    match GLOBAL_THREAD_OVERRIDE.load(Ordering::SeqCst) {
+        0 => {}
+        n => return n,
+    }
+    for key in ["LTEE_NUM_THREADS", "RAYON_NUM_THREADS"] {
+        if let Some(n) = std::env::var(key).ok().as_deref().and_then(parse_thread_count) {
+            return n;
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Lock a mutex, ignoring poisoning: a worker that panicked inside user code
+/// poisons whatever lock it held, but the panic itself propagates through
+/// the scope, so the data behind the lock is still safe to drain.
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Deterministic chunk boundaries over `0..n` — a function of `n` alone.
+pub(crate) fn chunk_ranges(n: usize) -> Vec<Range<usize>> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let chunk = n.div_ceil(MAX_CHUNKS).max(1);
+    let mut out = Vec::with_capacity(n.div_ceil(chunk));
+    let mut start = 0;
+    while start < n {
+        let end = (start + chunk).min(n);
+        out.push(start..end);
+        start = end;
+    }
+    out
+}
+
+/// Run `f` over every work item on the pool and return the results in item
+/// order. Falls back to an inline sequential loop (same item order, hence
+/// bit-identical results) when one worker suffices.
+pub(crate) fn run_items<W, R, F>(items: Vec<W>, f: F) -> Vec<R>
+where
+    W: Send,
+    R: Send,
+    F: Fn(usize, W) -> R + Sync,
+{
+    let n = items.len();
+    let workers = current_num_threads().min(n);
+    if workers <= 1 {
+        return items.into_iter().enumerate().map(|(i, w)| f(i, w)).collect();
+    }
+
+    let queues: Vec<Mutex<VecDeque<(usize, W)>>> =
+        (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+    for (i, w) in items.into_iter().enumerate() {
+        lock(&queues[i % workers]).push_back((i, w));
+    }
+
+    let results: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(n));
+    let worker = |me: usize| {
+        let mut local: Vec<(usize, R)> = Vec::new();
+        loop {
+            // Pop from the own queue as a standalone statement so its guard
+            // drops before stealing — holding it across the steal scan would
+            // let two stealing workers deadlock on each other's queues.
+            let own = lock(&queues[me]).pop_front();
+            let next = match own {
+                Some(task) => Some(task),
+                None => {
+                    (1..workers).find_map(|d| lock(&queues[(me + d) % workers]).pop_back())
+                }
+            };
+            match next {
+                Some((i, w)) => local.push((i, f(i, w))),
+                None => break,
+            }
+        }
+        lock(&results).append(&mut local);
+    };
+    std::thread::scope(|scope| {
+        let worker = &worker;
+        for t in 1..workers {
+            scope.spawn(move || worker(t));
+        }
+        worker(0);
+    });
+
+    let mut tagged = results.into_inner().unwrap_or_else(|poisoned| poisoned.into_inner());
+    tagged.sort_unstable_by_key(|entry| entry.0);
+    tagged.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_ranges_cover_exactly_once() {
+        for n in [0usize, 1, 2, 63, 64, 65, 127, 128, 1000] {
+            let ranges = chunk_ranges(n);
+            let mut covered = 0;
+            for (k, r) in ranges.iter().enumerate() {
+                assert_eq!(r.start, covered, "n={n} chunk {k} must start where the last ended");
+                assert!(r.end > r.start, "n={n}: empty chunk");
+                covered = r.end;
+            }
+            assert_eq!(covered, n);
+            assert!(ranges.len() <= MAX_CHUNKS);
+        }
+    }
+
+    #[test]
+    fn run_items_preserves_order() {
+        let out = run_items((0..500).collect(), |_, w: i32| w * 2);
+        assert_eq!(out, (0..500).map(|w| w * 2).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,200 @@
+//! Unit tests for the work-stealing pool behind the rayon shim: ordering,
+//! chunk boundaries, panic propagation, nesting, empty inputs, thread-count
+//! env parsing, and the determinism contract across thread counts.
+//!
+//! Tests that need a specific thread count set the global override via
+//! `ThreadPoolBuilder` (process-global), so they serialise on a mutex.
+
+use std::collections::HashSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
+
+use rayon::prelude::*;
+use rayon::ThreadPoolBuilder;
+
+/// Serialises tests that mutate the global thread-count override.
+static THREADS_LOCK: Mutex<()> = Mutex::new(());
+
+fn with_threads<T>(n: usize, f: impl FnOnce() -> T) -> T {
+    let _guard = THREADS_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    ThreadPoolBuilder::new().num_threads(n).build_global().unwrap();
+    let result = f();
+    // Restore the default resolution for the other tests.
+    ThreadPoolBuilder::new().build_global().unwrap();
+    result
+}
+
+#[test]
+fn empty_inputs_produce_empty_outputs() {
+    with_threads(4, || {
+        let v: Vec<i32> = Vec::new();
+        let mapped: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert!(mapped.is_empty());
+        let from_range: Vec<usize> = (0..0).into_par_iter().map(|x| x + 1).collect();
+        assert!(from_range.is_empty());
+        assert_eq!((0..0).into_par_iter().sum::<usize>(), 0);
+        assert_eq!((0..0).into_par_iter().count(), 0);
+    });
+}
+
+#[test]
+fn chunk_boundaries_preserve_order_and_indices() {
+    with_threads(4, || {
+        // Lengths around the chunking thresholds: 64 chunks maximum, so
+        // 63/64/65/127/128 hit every boundary case.
+        for n in [1usize, 2, 63, 64, 65, 127, 128, 1000] {
+            let input: Vec<usize> = (0..n).collect();
+            let doubled: Vec<usize> = input.par_iter().map(|&x| x * 2).collect();
+            assert_eq!(doubled, (0..n).map(|x| x * 2).collect::<Vec<_>>(), "n={n}");
+
+            let indexed: Vec<(usize, usize)> =
+                input.par_iter().map(|&x| x).enumerate().collect();
+            for (expect, &(i, x)) in indexed.iter().enumerate() {
+                assert_eq!((i, x), (expect, expect), "n={n}");
+            }
+        }
+    });
+}
+
+#[test]
+fn filter_and_filter_map_keep_source_order() {
+    with_threads(4, || {
+        let evens: Vec<usize> =
+            (0..1000).into_par_iter().filter(|x| x % 2 == 0).collect();
+        assert_eq!(evens, (0..1000).filter(|x| x % 2 == 0).collect::<Vec<_>>());
+
+        let odds_tripled: Vec<usize> = (0..1000)
+            .into_par_iter()
+            .filter_map(|x| (x % 2 == 1).then_some(x * 3))
+            .collect();
+        assert_eq!(
+            odds_tripled,
+            (0..1000).filter(|x| x % 2 == 1).map(|x| x * 3).collect::<Vec<_>>()
+        );
+    });
+}
+
+#[test]
+fn panic_in_worker_propagates_to_caller() {
+    with_threads(4, || {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            (0..200).into_par_iter().for_each(|i| {
+                if i == 137 {
+                    panic!("boom at {i}");
+                }
+            });
+        }));
+        assert!(result.is_err(), "worker panic must reach the caller");
+    });
+    // The pool must stay usable after a panicked call.
+    with_threads(4, || {
+        let sum: usize = (0..100).into_par_iter().sum();
+        assert_eq!(sum, 4950);
+    });
+}
+
+#[test]
+fn nested_par_iter_works() {
+    with_threads(4, || {
+        let totals: Vec<usize> = (0..8)
+            .into_par_iter()
+            .map(|i| (0..100).into_par_iter().map(|j| i * j).sum::<usize>())
+            .collect();
+        let expected: Vec<usize> =
+            (0..8).map(|i| (0..100).map(|j| i * j).sum::<usize>()).collect();
+        assert_eq!(totals, expected);
+    });
+}
+
+#[test]
+fn work_actually_spreads_across_threads() {
+    with_threads(4, || {
+        let seen: Mutex<HashSet<std::thread::ThreadId>> = Mutex::new(HashSet::new());
+        (0..32).into_par_iter().for_each(|_| {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            seen.lock().unwrap().insert(std::thread::current().id());
+        });
+        let distinct = seen.into_inner().unwrap().len();
+        assert!(distinct >= 2, "expected work on several threads, saw {distinct}");
+    });
+}
+
+#[test]
+fn repeated_draining_calls_do_not_deadlock() {
+    // Regression test: workers steal exactly when their own queue drains, so
+    // many short calls maximise cross-steal contention. An early pool
+    // version held the own-queue guard across the steal scan, letting two
+    // stealing workers deadlock on each other's queues within seconds here.
+    with_threads(4, || {
+        for round in 0..300usize {
+            let total: usize = (0..64).into_par_iter().map(|x| x + round).sum();
+            assert_eq!(total, (0..64).map(|x| x + round).sum::<usize>());
+        }
+    });
+}
+
+#[test]
+fn reductions_are_bit_identical_across_thread_counts() {
+    // Floating-point sums with mixed magnitudes are the canonical
+    // reassociation trap; the fixed chunking must make them identical.
+    let values: Vec<f64> =
+        (0..3000i32).map(|i| (i as f64 * 0.1).sin() * 10f64.powi(i % 7 - 3)).collect();
+
+    let run = |threads: usize| {
+        with_threads(threads, || {
+            let sum: f64 = values.par_iter().map(|&v| v * 1.000001).sum();
+            let folded: f64 = values
+                .par_iter()
+                .fold(|| 0.0f64, |acc, &v| acc + v * v)
+                .reduce(|| 0.0, |a, b| a + b);
+            let collected: Vec<f64> = values.par_iter().map(|&v| v / 3.0).collect();
+            (sum, folded, collected)
+        })
+    };
+
+    let one = run(1);
+    let four = run(4);
+    assert_eq!(one.0.to_bits(), four.0.to_bits(), "sum must not depend on thread count");
+    assert_eq!(one.1.to_bits(), four.1.to_bits(), "fold+reduce must not depend on thread count");
+    assert_eq!(one.2, four.2);
+}
+
+#[test]
+fn par_iter_mut_mutates_every_item_once() {
+    with_threads(4, || {
+        let mut values: Vec<usize> = (0..500).collect();
+        values.par_iter_mut().for_each(|v| *v += 1000);
+        assert_eq!(values, (1000..1500).collect::<Vec<_>>());
+    });
+}
+
+#[test]
+fn owned_vec_into_par_iter_moves_items() {
+    with_threads(4, || {
+        let strings: Vec<String> = (0..300).map(|i| format!("item-{i}")).collect();
+        let lengths: Vec<usize> = strings.into_par_iter().map(|s| s.len()).collect();
+        assert_eq!(lengths.len(), 300);
+        assert_eq!(lengths[0], "item-0".len());
+        assert_eq!(lengths[299], "item-299".len());
+    });
+}
+
+#[test]
+fn thread_count_env_parsing() {
+    assert_eq!(rayon::parse_thread_count("4"), Some(4));
+    assert_eq!(rayon::parse_thread_count(" 8 "), Some(8));
+    assert_eq!(rayon::parse_thread_count("1"), Some(1));
+    // Zero means "no preference", matching RAYON_NUM_THREADS=0 semantics.
+    assert_eq!(rayon::parse_thread_count("0"), None);
+    assert_eq!(rayon::parse_thread_count(""), None);
+    assert_eq!(rayon::parse_thread_count("abc"), None);
+    assert_eq!(rayon::parse_thread_count("-2"), None);
+    assert_eq!(rayon::parse_thread_count("3.5"), None);
+}
+
+#[test]
+fn build_global_pins_current_num_threads() {
+    with_threads(3, || {
+        assert_eq!(rayon::current_num_threads(), 3);
+    });
+}
