@@ -28,13 +28,13 @@ fn bench_end_to_end(c: &mut Criterion) {
     let (world, corpus) = config.materialize();
     let golds: Vec<GoldStandard> =
         CLASS_KEYS.iter().map(|&cl| GoldStandard::build(&world, &corpus, cl)).collect();
-    let models = train_models(&corpus, world.kb(), &golds, &config.pipeline);
+    let models = train_models(&corpus, world.kb(), &golds, &config.pipeline).expect("trainable corpus");
     let pipeline = Pipeline::new(world.kb(), models, config.pipeline.clone());
 
     let mut group = c.benchmark_group("end_to_end");
     group.sample_size(10);
     group.bench_function("pipeline_two_iterations", |b| {
-        b.iter(|| pipeline.run(&corpus).classes.len())
+        b.iter(|| pipeline.run(&corpus).expect("non-empty corpus").classes.len())
     });
     group.finish();
 }

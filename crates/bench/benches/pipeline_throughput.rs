@@ -30,7 +30,7 @@ fn measure(pipeline: &Pipeline, corpus: &Corpus, rows: usize, threads: usize) ->
     // The thread pin lives inside the pipeline's own config (Pipeline::run
     // installs it); pinning only here would be undone by that install.
     // Warm-up run, also used for the output fingerprint.
-    let output = pipeline.run(corpus);
+    let output = pipeline.run(corpus).expect("non-empty corpus");
     let fingerprint: usize = output
         .classes
         .iter()
@@ -39,7 +39,7 @@ fn measure(pipeline: &Pipeline, corpus: &Corpus, rows: usize, threads: usize) ->
     let mut best = f64::INFINITY;
     for _ in 0..SAMPLES {
         let start = Instant::now();
-        let out = pipeline.run(corpus);
+        let out = pipeline.run(corpus).expect("non-empty corpus");
         let secs = start.elapsed().as_secs_f64();
         assert!(!out.classes.is_empty());
         best = best.min(secs);
@@ -69,7 +69,7 @@ fn main() {
         parallelism: Parallelism::Threads(threads),
         ..PipelineConfig::fast()
     };
-    let models = train_models(&corpus, world.kb(), &golds, &config_for(multi_threads));
+    let models = train_models(&corpus, world.kb(), &golds, &config_for(multi_threads)).expect("trainable corpus");
     let pipeline_single = Pipeline::new(world.kb(), models.clone(), config_for(1));
     let pipeline_multi = Pipeline::new(world.kb(), models, config_for(multi_threads));
 

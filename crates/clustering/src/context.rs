@@ -140,6 +140,15 @@ impl ImplicitAttributes {
         self.per_table.get(&table).map(Vec::as_slice).unwrap_or(&[])
     }
 
+    /// Absorb another instance's per-table attributes (later entries win on
+    /// table id collisions). The incremental serve path builds implicit
+    /// attributes per micro-batch — they only depend on the table itself
+    /// and the frozen knowledge base — and merges them into the
+    /// accumulated per-class state with this.
+    pub fn merge(&mut self, other: ImplicitAttributes) {
+        self.per_table.extend(other.per_table);
+    }
+
     /// Number of tables with at least one implicit attribute.
     pub fn tables_with_attributes(&self) -> usize {
         self.per_table.values().filter(|v| !v.is_empty()).count()

@@ -12,7 +12,8 @@
 //!   similarity and (for some) a confidence score.
 //! * **Aggregation** — a learned weighted average, a random forest
 //!   regression over similarities and confidences, or their combination
-//!   (via `ltee-ml`'s [`PairwiseModel`]), producing a score in `[-1, 1]`.
+//!   (via `ltee-ml`'s [`PairwiseModel`](ltee_ml::PairwiseModel)), producing
+//!   a score in `[-1, 1]`.
 //! * **Clustering algorithm** — greedy correlation clustering executed in
 //!   parallel over row batches, followed by a Kernighan-Lin-with-joins (KLj)
 //!   refinement that moves rows between cluster pairs, merges and splits
@@ -21,13 +22,19 @@
 //!   compared to clusters with which they share a block, and KLj only
 //!   compares cluster pairs sharing a block.
 
+//! * **Streaming mode** — [`incremental`] hosts the serve-phase variants
+//!   ([`StreamingClusterer`], [`StreamingPhi`]) whose results are invariant
+//!   to how a table stream is split into micro-batches.
+
 pub mod cluster;
 pub mod context;
+pub mod incremental;
 pub mod metrics;
 pub mod train;
 
 pub use cluster::{cluster_rows, Clustering, ClusteringConfig};
 pub use context::{build_row_contexts, ImplicitAttributes, RowContext};
+pub use incremental::{StreamingClusterer, StreamingPhi};
 pub use metrics::{metric_features, RowMetricKind, RowSimilarityModel};
 pub use train::{build_pair_dataset, train_row_model, RowModelTrainingConfig};
 

@@ -59,6 +59,23 @@ impl RowMetricKind {
     pub fn has_confidence(self) -> bool {
         matches!(self, RowMetricKind::Attribute | RowMetricKind::ImplicitAtt)
     }
+
+    /// Stable on-disk tag of this metric (model persistence).
+    pub fn code(self) -> u8 {
+        match self {
+            RowMetricKind::Label => 0,
+            RowMetricKind::Bow => 1,
+            RowMetricKind::Phi => 2,
+            RowMetricKind::Attribute => 3,
+            RowMetricKind::ImplicitAtt => 4,
+            RowMetricKind::SameTable => 5,
+        }
+    }
+
+    /// Inverse of [`RowMetricKind::code`].
+    pub fn from_code(code: u8) -> Option<Self> {
+        RowMetricKind::ALL.into_iter().find(|m| m.code() == code)
+    }
 }
 
 /// Table-level PHI correlation vectors (paper Section 3.2, `PHI`).
@@ -147,6 +164,25 @@ impl PhiTableVectors {
             vectors.insert(*table, sorted);
         }
         Self { vectors }
+    }
+
+    /// Insert a precomputed sparse vector for a table (must be sorted by
+    /// label). Used by [`StreamingPhi`](crate::incremental::StreamingPhi)
+    /// to freeze per-table vectors as the corpus grows;
+    /// [`PhiTableVectors::build`] remains the batch path.
+    pub fn insert_vector(&mut self, table: TableId, vector: Vec<(String, f64)>) {
+        debug_assert!(vector.windows(2).all(|w| w[0].0 < w[1].0), "vector must be label-sorted");
+        self.vectors.insert(table, vector);
+    }
+
+    /// Number of tables with a vector.
+    pub fn table_count(&self) -> usize {
+        self.vectors.len()
+    }
+
+    /// Whether the table has a vector.
+    pub fn contains(&self, table: TableId) -> bool {
+        self.vectors.contains_key(&table)
     }
 
     /// Cosine similarity of two tables' PHI vectors.
@@ -329,6 +365,30 @@ impl RowSimilarityModel {
             .zip(self.metrics.iter())
             .map(|(mi, &kind)| (kind, mi.importance))
             .collect()
+    }
+
+    /// Serialise the model (metric set + aggregation model) into the writer.
+    pub fn encode_into(&self, w: &mut ltee_ml::ByteWriter) {
+        w.write_len(self.metrics.len());
+        for metric in &self.metrics {
+            w.write_u8(metric.code());
+        }
+        self.model.encode_into(w);
+    }
+
+    /// Decode a model previously written by
+    /// [`RowSimilarityModel::encode_into`].
+    pub fn decode_from(r: &mut ltee_ml::ByteReader<'_>) -> Result<Self, ltee_ml::CodecError> {
+        let count = r.read_len("row_model.metrics", 1)?;
+        let mut metrics = Vec::with_capacity(count);
+        for _ in 0..count {
+            let code = r.read_u8("row_model.metric")?;
+            metrics.push(RowMetricKind::from_code(code).ok_or(
+                ltee_ml::CodecError::InvalidTag { what: "row_model.metric", tag: code },
+            )?);
+        }
+        let model = PairwiseModel::decode_from(r)?;
+        Ok(Self { metrics, model })
     }
 }
 

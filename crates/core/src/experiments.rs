@@ -293,9 +293,9 @@ pub fn table06_schema_matching_iterations(config: &ExperimentConfig, iterations:
 
         // Build feedback from this iteration: cluster rows and link clusters
         // to instances using the gold-standard-free pipeline components.
-        let models = train_models(&corpus, kb, &golds, &config.pipeline);
+        let models = train_models(&corpus, kb, &golds, &config.pipeline).expect("experiment corpora are trainable");
         let pipeline = Pipeline::new(kb, models, PipelineConfig { iterations: 1, ..config.pipeline.clone() });
-        let output = pipeline.run(&corpus);
+        let output = pipeline.run(&corpus).expect("experiment corpora are non-empty");
         let mut clusters = Vec::new();
         let mut cluster_instance = HashMap::new();
         for class_output in &output.classes {
@@ -600,9 +600,9 @@ pub fn table09_10_end_to_end(config: &ExperimentConfig) -> (Vec<Table9Row>, Vec<
     let (world, corpus) = config.materialize();
     let golds = config.gold_standards(&world, &corpus);
     let kb = world.kb();
-    let models = train_models(&corpus, kb, &golds, &config.pipeline);
+    let models = train_models(&corpus, kb, &golds, &config.pipeline).expect("experiment corpora are trainable");
     let pipeline = Pipeline::new(kb, models, config.pipeline.clone());
-    let output = pipeline.run(&corpus);
+    let output = pipeline.run(&corpus).expect("experiment corpora are non-empty");
 
     let mut table9 = Vec::new();
     let mut table10 = Vec::new();
@@ -734,9 +734,9 @@ pub fn table11_12_profiling(config: &ExperimentConfig) -> ProfilingResult {
     let (world, corpus) = config.materialize();
     let golds = config.gold_standards(&world, &corpus);
     let kb = world.kb();
-    let models = train_models(&corpus, kb, &golds, &config.pipeline);
+    let models = train_models(&corpus, kb, &golds, &config.pipeline).expect("experiment corpora are trainable");
     let pipeline = Pipeline::new(kb, models, config.pipeline.clone());
-    let output = pipeline.run(&corpus);
+    let output = pipeline.run(&corpus).expect("experiment corpora are non-empty");
 
     let mut table11 = Vec::new();
     let mut table12 = Vec::new();
@@ -837,9 +837,9 @@ pub fn ranked_set_expansion_eval(config: &ExperimentConfig) -> RankedEvaluation 
     let (world, corpus) = config.materialize();
     let golds = config.gold_standards(&world, &corpus);
     let kb = world.kb();
-    let models = train_models(&corpus, kb, &golds, &config.pipeline);
+    let models = train_models(&corpus, kb, &golds, &config.pipeline).expect("experiment corpora are trainable");
     let pipeline = Pipeline::new(kb, models, config.pipeline.clone());
-    let output = pipeline.run(&corpus);
+    let output = pipeline.run(&corpus).expect("experiment corpora are non-empty");
 
     // Collect (score, correct) across classes; lower best_score = farther
     // from any existing instance = ranked higher.

@@ -1,0 +1,348 @@
+//! The serve phase: incremental micro-batch ingestion over frozen models.
+//!
+//! [`IncrementalPipeline`] loads a trained [`crate::ModelArtifact`] once and
+//! then ingests micro-batches of new web tables as they arrive, running
+//! schema matching, clustering, fusion and new detection **only over the
+//! delta** while scoring against all previously ingested state. Nothing is
+//! retrained at serve time: matcher weights, the row/entity similarity
+//! forests and every learned threshold come from the artifact.
+//!
+//! ## What is incremental about it
+//!
+//! * **Schema matching** is per table and runs only on the batch's tables.
+//! * **Blocking / clustering** appends the batch's rows to a
+//!   [`StreamingClusterer`], which scores each new row against the
+//!   accumulated clusters (in parallel) and either joins one or founds a
+//!   new one. Previously assigned rows never move.
+//! * **PHI statistics** grow via [`StreamingPhi`]: each new table's vector
+//!   is frozen at ingest time.
+//! * **Implicit attributes** are computed per new table against the frozen
+//!   knowledge base and merged into the per-class state.
+//! * **Fusion + new detection** re-run only for the clusters the batch
+//!   created or extended; untouched clusters keep their entities and
+//!   decisions.
+//!
+//! ## Equivalence contract
+//!
+//! Every per-row decision depends only on the rows ingested before it and
+//! on frozen per-table statistics, never on batch boundaries. Tables are
+//! processed in **arrival order** (the order they appear in each batch,
+//! batches in ingest order — ids play no role), so ingesting a corpus as K
+//! micro-batches yields **bit-identical** clusters, fused entities and
+//! new/existing decisions to ingesting the concatenation in one batch —
+//! which is exactly what [`crate::Pipeline::run_streaming`] does. The
+//! repository test `tests/incremental_equivalence.rs` asserts this end to
+//! end at multiple thread counts.
+
+use ltee_clustering::{
+    build_row_contexts, ImplicitAttributes, StreamingClusterer, StreamingPhi,
+};
+use ltee_fusion::Entity;
+use ltee_index::LabelIndex;
+use ltee_kb::{ClassKey, KnowledgeBase, CLASS_KEYS};
+use ltee_matching::{match_corpus, CorpusMapping};
+use ltee_newdetect::NewDetectionResult;
+use ltee_webtables::Corpus;
+
+use crate::artifact::{ArtifactError, ModelArtifact};
+use crate::pipeline::{
+    fuse_and_detect, ClassOutput, PipelineConfig, PipelineError, PipelineOutput, TrainedModels,
+};
+
+/// The rows of a batch's tables mapped to `class`, in the batch's **storage
+/// order** (arrival order), not sorted by table id.
+///
+/// `CorpusMapping::class_rows` sorts by table id, which is fine for the
+/// batch pipeline but would make the serve path's results depend on the id
+/// scheme: a stream whose table ids are not monotonically increasing would
+/// cluster in a different order than the same tables ingested in one batch.
+/// Processing in arrival order makes the equivalence contract hold for any
+/// ids — K micro-batches are bit-identical to one pass over the
+/// concatenated corpus *in the same table order*.
+fn class_rows_in_arrival_order(
+    batch: &Corpus,
+    mapping: &CorpusMapping,
+    class: ClassKey,
+) -> Vec<ltee_webtables::RowRef> {
+    let mut rows = Vec::new();
+    for table in batch.tables() {
+        let Some(tm) = mapping.table(table.id) else { continue };
+        if tm.class == Some(class) {
+            rows.extend(table.row_refs());
+        }
+    }
+    rows
+}
+
+/// Per-class accumulated serve state.
+#[derive(Debug, Clone)]
+struct ClassState {
+    class: ClassKey,
+    /// Label index over the knowledge base instances of the class, built
+    /// once at load time (the KB is frozen during serving).
+    kb_index: LabelIndex,
+    clusterer: StreamingClusterer,
+    phi: StreamingPhi,
+    implicit: ImplicitAttributes,
+    /// Accumulated per-column KBT scores (only populated under
+    /// [`ltee_fusion::ScoringMethod::Kbt`] scoring), extended per batch so
+    /// fusion never rescans the whole corpus.
+    kbt: std::collections::HashMap<(ltee_webtables::TableId, usize), f64>,
+    /// One fused entity per cluster (parallel to the clusterer's clusters).
+    entities: Vec<Entity>,
+    /// One detection result per cluster; `entity` is the cluster index.
+    results: Vec<NewDetectionResult>,
+}
+
+/// Summary of one [`IncrementalPipeline::ingest`] call.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IngestReport {
+    /// Tables in the batch.
+    pub tables: usize,
+    /// Raw rows in the batch.
+    pub rows: usize,
+    /// Rows the schema matcher mapped to one of the target classes.
+    pub mapped_rows: usize,
+    /// Clusters created by this batch.
+    pub new_clusters: usize,
+    /// Pre-existing clusters extended by this batch.
+    pub updated_clusters: usize,
+    /// Entities currently classified as new that this batch created or
+    /// re-classified.
+    pub new_entities: usize,
+}
+
+/// A serving pipeline: frozen trained models plus accumulated stream state.
+///
+/// See the [module docs](self) for the processing model and the equivalence
+/// contract. Construct it from freshly trained models
+/// ([`IncrementalPipeline::new`]) or from a persisted artifact
+/// ([`IncrementalPipeline::from_artifact`]), then feed micro-batches to
+/// [`IncrementalPipeline::ingest`] and read the cumulative result from
+/// [`IncrementalPipeline::output`] at any point.
+#[derive(Debug, Clone)]
+pub struct IncrementalPipeline<'a> {
+    kb: &'a KnowledgeBase,
+    models: TrainedModels,
+    config: PipelineConfig,
+    /// All ingested tables.
+    corpus: Corpus,
+    /// Accumulated schema mapping of all ingested tables.
+    mapping: CorpusMapping,
+    states: Vec<ClassState>,
+}
+
+impl<'a> IncrementalPipeline<'a> {
+    /// Create a serving pipeline over a knowledge base with trained models.
+    pub fn new(kb: &'a KnowledgeBase, models: TrainedModels, config: PipelineConfig) -> Self {
+        let states = CLASS_KEYS
+            .iter()
+            .map(|&class| ClassState {
+                class,
+                kb_index: kb.label_index(class),
+                clusterer: StreamingClusterer::new(config.clustering.clone()),
+                phi: StreamingPhi::new(),
+                implicit: ImplicitAttributes::default(),
+                kbt: std::collections::HashMap::new(),
+                entities: Vec::new(),
+                results: Vec::new(),
+            })
+            .collect();
+        Self { kb, models, config, corpus: Corpus::new(), mapping: CorpusMapping::default(), states }
+    }
+
+    /// Create a serving pipeline from a persisted artifact, verifying that
+    /// the artifact was trained under (the inference-relevant parts of)
+    /// `config` — see [`crate::artifact::config_fingerprint`].
+    pub fn from_artifact(
+        kb: &'a KnowledgeBase,
+        artifact: &ModelArtifact,
+        config: PipelineConfig,
+    ) -> Result<Self, ArtifactError> {
+        artifact.verify_config(&config)?;
+        Ok(Self::new(kb, artifact.models.clone(), config))
+    }
+
+    /// The trained models being served.
+    pub fn models(&self) -> &TrainedModels {
+        &self.models
+    }
+
+    /// Number of tables ingested so far.
+    pub fn ingested_tables(&self) -> usize {
+        self.corpus.len()
+    }
+
+    /// Number of raw rows ingested so far.
+    pub fn ingested_rows(&self) -> usize {
+        self.corpus.total_rows()
+    }
+
+    /// Ingest one micro-batch of new tables.
+    ///
+    /// An empty batch is a no-op and returns a zeroed report. A batch that
+    /// re-uses an already ingested table id is rejected with
+    /// [`PipelineError::DuplicateTable`] before any state changes.
+    pub fn ingest(&mut self, batch: &Corpus) -> Result<IngestReport, PipelineError> {
+        if batch.is_empty() {
+            return Ok(IngestReport::default());
+        }
+        let mut batch_ids = std::collections::HashSet::new();
+        for table in batch.tables() {
+            // Reject ids already ingested AND ids duplicated within the
+            // batch itself — either would corrupt the accumulated corpus
+            // lookup and double-count the PHI statistics.
+            if self.corpus.table(table.id).is_some() || !batch_ids.insert(table.id) {
+                return Err(PipelineError::DuplicateTable(table.id));
+            }
+        }
+        self.config.parallelism.install();
+
+        let mut report = IngestReport {
+            tables: batch.len(),
+            rows: batch.total_rows(),
+            ..IngestReport::default()
+        };
+
+        // Schema matching over the delta only. The serve profile runs the
+        // first-iteration matchers: the duplicate-based and corpus-level
+        // matchers need full-corpus feedback, which is a batch-mode
+        // (training/evaluation) feature.
+        let batch_mapping =
+            match_corpus(batch, self.kb, &self.models.matcher_weights, &self.config.schema, None);
+
+        let mut touched_per_state: Vec<Vec<usize>> = vec![Vec::new(); self.states.len()];
+        for (state_idx, state) in self.states.iter_mut().enumerate() {
+            let class = state.class;
+            let rows = class_rows_in_arrival_order(batch, &batch_mapping, class);
+            if rows.is_empty() {
+                continue;
+            }
+            report.mapped_rows += rows.len();
+
+            // Corpus statistics for the delta: per-table implicit
+            // attributes and frozen PHI vectors (both depend only on the
+            // table and the frozen KB, so they are batch-invariant).
+            let contexts = build_row_contexts(batch, &batch_mapping, &rows);
+            let implicit_delta =
+                ImplicitAttributes::build(batch, &batch_mapping, self.kb, class, &state.kb_index);
+            state.implicit.merge(implicit_delta);
+            if self.config.fusion.scoring == ltee_fusion::ScoringMethod::Kbt {
+                let batch_tables: Vec<_> = batch.tables().iter().map(|t| t.id).collect();
+                state.kbt.extend(ltee_fusion::kbt_scores_for_tables(
+                    batch,
+                    &batch_mapping,
+                    self.kb,
+                    class,
+                    &batch_tables,
+                ));
+            }
+            // Freeze PHI vectors table by table, in arrival order (the same
+            // order the rows cluster in).
+            for table in batch.tables() {
+                if batch_mapping.table(table.id).map(|tm| tm.class) != Some(Some(class)) {
+                    continue;
+                }
+                let labels: Vec<String> = contexts
+                    .iter()
+                    .filter(|c| c.row.table == table.id)
+                    .filter(|c| !c.normalized_label.is_empty())
+                    .map(|c| c.normalized_label.clone())
+                    .collect();
+                state.phi.add_table(table.id, &labels);
+            }
+
+            // Delta clustering against all accumulated state.
+            let touched = state.clusterer.ingest(
+                contexts,
+                &self.models.row_model,
+                state.phi.vectors(),
+                &state.implicit,
+            );
+            let previously_known = state.entities.len();
+            report.new_clusters += touched.iter().filter(|&&c| c >= previously_known).count();
+            report.updated_clusters += touched.iter().filter(|&&c| c < previously_known).count();
+            touched_per_state[state_idx] = touched;
+
+            // Re-fuse and re-classify only the touched clusters. The
+            // accumulated corpus/mapping do not yet include this batch, so
+            // merge them first — fusion reads cells through them.
+            if state.entities.len() < state.clusterer.len() {
+                // Placeholders keep `entities`/`results` parallel to the
+                // cluster list until the loop below overwrites them.
+                state.entities.resize_with(state.clusterer.len(), || Entity {
+                    class,
+                    rows: Vec::new(),
+                    labels: Vec::new(),
+                    facts: Vec::new(),
+                });
+                state.results.resize_with(state.clusterer.len(), || NewDetectionResult {
+                    entity: 0,
+                    outcome: ltee_newdetect::NewDetectionOutcome::New,
+                    best_score: 0.0,
+                    candidate_count: 0,
+                });
+            }
+        }
+
+        // The accumulated corpus and mapping must include the batch before
+        // fusion (fused facts and entity bags read any of a cluster's rows,
+        // including the ones just added).
+        for table in batch.tables() {
+            self.corpus.push(table.clone());
+        }
+        self.mapping.merge(batch_mapping);
+
+        for (state, touched) in self.states.iter_mut().zip(touched_per_state) {
+            if touched.is_empty() {
+                continue;
+            }
+            let class = state.class;
+            let touched_clusters: Vec<Vec<ltee_webtables::RowRef>> =
+                touched.iter().map(|&c| state.clusterer.cluster_row_refs(c)).collect();
+            let (entities, results) = fuse_and_detect(
+                &touched_clusters,
+                &self.corpus,
+                &self.mapping,
+                self.kb,
+                class,
+                &state.implicit,
+                &state.kb_index,
+                &self.models,
+                &self.config,
+                Some(&state.kbt),
+            );
+            for ((cluster_idx, entity), mut result) in
+                touched.iter().copied().zip(entities).zip(results)
+            {
+                result.entity = cluster_idx;
+                if result.outcome.is_new() {
+                    report.new_entities += 1;
+                }
+                state.entities[cluster_idx] = entity;
+                state.results[cluster_idx] = result;
+            }
+        }
+
+        Ok(report)
+    }
+
+    /// Snapshot of the cumulative pipeline output over everything ingested
+    /// so far. The shape matches [`crate::Pipeline::run`]'s output: one
+    /// [`ClassOutput`] per class with rows, parallel entity and result
+    /// vectors, plus the accumulated schema mapping.
+    pub fn output(&self) -> PipelineOutput {
+        let classes = self
+            .states
+            .iter()
+            .filter(|s| !s.clusterer.is_empty())
+            .map(|s| ClassOutput {
+                class: s.class,
+                clusters: s.clusterer.all_row_refs(),
+                entities: s.entities.clone(),
+                results: s.results.clone(),
+            })
+            .collect();
+        PipelineOutput { mapping: self.mapping.clone(), classes }
+    }
+}

@@ -22,11 +22,45 @@
 //!     CLASS_KEYS.iter().map(|&c| GoldStandard::build(&world, &corpus, c)).collect();
 //!
 //! let config = PipelineConfig::fast();
-//! let models = train_models(&corpus, world.kb(), &golds, &config);
+//! let models = train_models(&corpus, world.kb(), &golds, &config).expect("trainable corpus");
 //! let pipeline = Pipeline::new(world.kb(), models, config);
-//! let output = pipeline.run(&corpus);
+//! let output = pipeline.run(&corpus).expect("non-empty corpus");
 //! for class_output in &output.classes {
 //!     println!("{}: {} new entities", class_output.class, class_output.new_entities().len());
+//! }
+//! ```
+//!
+//! ## Train once, serve many
+//!
+//! The batch pipeline retrains nothing at run time, but it is still a batch
+//! job. For serving a stream of newly crawled tables, split the phases:
+//! [`train_models`] + [`ModelArtifact`] persist the learned models
+//! (matcher weights, row/entity forests, thresholds, config fingerprint)
+//! to a versioned binary file, and [`IncrementalPipeline`] loads an
+//! artifact once and ingests micro-batches of tables — matching,
+//! clustering, fusing and classifying only the delta while scoring against
+//! all previously ingested state. Ingesting a corpus in K micro-batches is
+//! bit-identical to one [`Pipeline::run_streaming`] pass over the union.
+//!
+//! ```no_run
+//! use ltee_core::prelude::*;
+//!
+//! # let world = generate_world(&GeneratorConfig::new(Scale::tiny(), 7));
+//! # let corpus = generate_corpus(&world, &CorpusConfig::tiny());
+//! # let golds: Vec<GoldStandard> =
+//! #     CLASS_KEYS.iter().map(|&c| GoldStandard::build(&world, &corpus, c)).collect();
+//! let config = PipelineConfig::fast();
+//! // Train phase (once, offline):
+//! let models = train_models(&corpus, world.kb(), &golds, &config).expect("trainable corpus");
+//! ModelArtifact::new(models, &config).save("ltee.model").expect("writable path");
+//!
+//! // Serve phase (any number of processes, no retraining):
+//! let artifact = ModelArtifact::load("ltee.model").expect("readable artifact");
+//! let mut serving = IncrementalPipeline::from_artifact(world.kb(), &artifact, config)
+//!     .expect("artifact matches the config");
+//! for batch in corpus.split_into_batches(4) {
+//!     let report = serving.ingest(&batch).expect("fresh table ids");
+//!     println!("+{} rows -> {} new entities", report.rows, report.new_entities);
 //! }
 //! ```
 //!
@@ -36,20 +70,32 @@
 //! evaluation); every function returns plain serialisable row structs that
 //! the benches and the `EXPERIMENTS.md` generator print.
 
+#![warn(missing_docs)]
+
+pub mod artifact;
 pub mod experiments;
+pub mod incremental;
 pub mod parallel;
 pub mod pipeline;
 
+pub use artifact::{config_fingerprint, ArtifactError, ModelArtifact};
+pub use incremental::{IncrementalPipeline, IngestReport};
 pub use parallel::Parallelism;
 pub use pipeline::{
-    train_models, ClassOutput, Pipeline, PipelineConfig, PipelineOutput, TrainedModels,
+    train_models, ClassOutput, Pipeline, PipelineConfig, PipelineError, PipelineOutput,
+    TrainedModels,
 };
 
 /// Convenience prelude re-exporting the types needed to drive the pipeline.
 pub mod prelude {
+    pub use crate::artifact::{ArtifactError, ModelArtifact};
     pub use crate::experiments::{self, ExperimentConfig};
+    pub use crate::incremental::{IncrementalPipeline, IngestReport};
     pub use crate::parallel::Parallelism;
-    pub use crate::pipeline::{train_models, ClassOutput, Pipeline, PipelineConfig, PipelineOutput, TrainedModels};
+    pub use crate::pipeline::{
+        train_models, ClassOutput, Pipeline, PipelineConfig, PipelineError, PipelineOutput,
+        TrainedModels,
+    };
     pub use ltee_clustering::{AggregationMethod, ClusteringConfig, RowMetricKind};
     pub use ltee_fusion::ScoringMethod;
     pub use ltee_kb::{

@@ -19,9 +19,50 @@ use ltee_newdetect::{
     NewDetectionResult,
 };
 use ltee_newdetect::metrics::EntityContext;
-use ltee_webtables::{Corpus, GoldStandard, RowRef};
+use ltee_webtables::{Corpus, GoldStandard, RowRef, TableId};
 
 use crate::parallel::Parallelism;
+
+/// Typed errors of pipeline training and execution.
+///
+/// The pipeline used to panic on degenerate inputs (empty corpora, empty
+/// gold standards, training sets without a single pair); callers now get a
+/// typed error they can handle — a serving process must not die because one
+/// request carried an empty batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PipelineError {
+    /// The corpus holds no tables, so there is nothing to run on.
+    EmptyCorpus,
+    /// No gold standards were supplied to training.
+    NoGoldStandards,
+    /// A training stage produced an empty dataset (e.g. the schema matcher
+    /// mapped no rows for any gold class, so no row pairs exist).
+    EmptyTrainingData {
+        /// Which training stage ran dry.
+        stage: &'static str,
+    },
+    /// A micro-batch re-used the id of an already ingested table.
+    DuplicateTable(TableId),
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::EmptyCorpus => write!(f, "the corpus contains no tables"),
+            PipelineError::NoGoldStandards => {
+                write!(f, "at least one gold standard is required for training")
+            }
+            PipelineError::EmptyTrainingData { stage } => {
+                write!(f, "training stage '{stage}' produced an empty dataset")
+            }
+            PipelineError::DuplicateTable(id) => {
+                write!(f, "table {} was already ingested", id.raw())
+            }
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
 
 /// Configuration of the full pipeline.
 #[derive(Debug, Clone)]
@@ -95,12 +136,23 @@ pub struct TrainedModels {
 }
 
 /// Train all models from gold standards (typically the learning folds).
+///
+/// This is the **train phase** of the train-once / serve-many split: the
+/// returned [`TrainedModels`] can be wrapped into a persistent
+/// [`crate::ModelArtifact`] and later served without retraining by a
+/// [`crate::Pipeline`] or [`crate::IncrementalPipeline`].
 pub fn train_models(
     corpus: &Corpus,
     kb: &KnowledgeBase,
     golds: &[GoldStandard],
     config: &PipelineConfig,
-) -> TrainedModels {
+) -> Result<TrainedModels, PipelineError> {
+    if corpus.is_empty() {
+        return Err(PipelineError::EmptyCorpus);
+    }
+    if golds.is_empty() {
+        return Err(PipelineError::NoGoldStandards);
+    }
     config.parallelism.install();
     let gold_refs: Vec<&GoldStandard> = golds.iter().collect();
     // Matcher weights from the gold attribute annotations (first iteration:
@@ -129,7 +181,10 @@ pub fn train_models(
             }
         });
     }
-    let row_dataset = row_dataset.expect("at least one gold standard required");
+    let row_dataset = row_dataset.expect("golds is non-empty (checked above)");
+    if row_dataset.is_empty() {
+        return Err(PipelineError::EmptyTrainingData { stage: "row pair dataset" });
+    }
     let row_model = train_row_model(&row_dataset, config.row_metrics.clone(), &config.row_training);
 
     // Entity similarity model: entities fused from the gold clusters, paired
@@ -162,11 +217,14 @@ pub fn train_models(
             }
         });
     }
-    let entity_dataset = entity_dataset.expect("at least one gold standard required");
+    let entity_dataset = entity_dataset.expect("golds is non-empty (checked above)");
+    if entity_dataset.is_empty() {
+        return Err(PipelineError::EmptyTrainingData { stage: "entity pair dataset" });
+    }
     let entity_model =
         train_entity_model(&entity_dataset, config.entity_metrics.clone(), &config.entity_training);
 
-    TrainedModels { matcher_weights, row_model, entity_model }
+    Ok(TrainedModels { matcher_weights, row_model, entity_model })
 }
 
 /// Output of the pipeline for one class.
@@ -241,8 +299,14 @@ impl<'a> Pipeline<'a> {
         &self.models
     }
 
-    /// Run the pipeline over a corpus.
-    pub fn run(&self, corpus: &Corpus) -> PipelineOutput {
+    /// Run the two-iteration batch pipeline over a corpus.
+    ///
+    /// Returns [`PipelineError::EmptyCorpus`] instead of panicking when the
+    /// corpus holds no tables.
+    pub fn run(&self, corpus: &Corpus) -> Result<PipelineOutput, PipelineError> {
+        if corpus.is_empty() {
+            return Err(PipelineError::EmptyCorpus);
+        }
         self.config.parallelism.install();
         let mut feedback: Option<CorpusFeedback> = None;
         let mut final_output: Option<PipelineOutput> = None;
@@ -261,36 +325,15 @@ impl<'a> Pipeline<'a> {
             let mut cluster_instance: HashMap<usize, ltee_kb::InstanceId> = HashMap::new();
 
             for class in CLASS_KEYS {
-                let rows = mapping.class_rows(corpus, class);
-                if rows.is_empty() {
+                let Some(class_output) =
+                    run_class_batch(corpus, &mapping, self.kb, class, &self.models, &self.config)
+                else {
                     continue;
-                }
-                let contexts = build_row_contexts(corpus, &mapping, &rows);
-                let phi = PhiTableVectors::build(corpus, &contexts);
-                let index = self.kb.label_index(class);
-                let implicit = ImplicitAttributes::build(corpus, &mapping, self.kb, class, &index);
-
-                let clustering =
-                    cluster_rows(&contexts, &self.models.row_model, &phi, &implicit, &self.config.clustering);
-                let clusters = clustering.to_row_refs(&contexts);
-
-                let entities =
-                    create_entities(&clusters, corpus, &mapping, self.kb, class, &self.config.fusion);
-                let entity_contexts: Vec<EntityContext> = entities
-                    .iter()
-                    .cloned()
-                    .map(|e| EntityContext::build(e, corpus, &implicit))
-                    .collect();
-                let results = detect_new(
-                    &entity_contexts,
-                    self.kb,
-                    &index,
-                    &self.models.entity_model,
-                    &self.config.newdetect,
-                );
+                };
 
                 // Collect feedback for the next iteration.
-                for (result, cluster) in results.iter().zip(clusters.iter()) {
+                for (result, cluster) in class_output.results.iter().zip(class_output.clusters.iter())
+                {
                     let global_index = all_clusters.len();
                     all_clusters.push(cluster.clone());
                     if let Some(instance) = result.outcome.instance() {
@@ -298,7 +341,7 @@ impl<'a> Pipeline<'a> {
                     }
                 }
 
-                classes.push(ClassOutput { class, clusters, entities, results });
+                classes.push(class_output);
             }
 
             feedback = Some(CorpusFeedback {
@@ -309,8 +352,105 @@ impl<'a> Pipeline<'a> {
             final_output = Some(PipelineOutput { mapping, classes });
         }
 
-        final_output.expect("at least one iteration runs")
+        Ok(final_output.expect("at least one iteration runs"))
     }
+
+    /// Run the **streaming (serve-profile)** pipeline over a corpus in one
+    /// pass, producing exactly what an [`crate::IncrementalPipeline`] with
+    /// the same models and config produces after ingesting the corpus —
+    /// however it is split into micro-batches. This is the reference run
+    /// the incremental equivalence tests compare against.
+    ///
+    /// The serve profile differs from [`Pipeline::run`]: a single matching
+    /// iteration (cross-batch feedback is a batch-mode feature), prefix
+    /// blocking, per-table frozen PHI vectors and no KLj refinement — see
+    /// `ltee_clustering::incremental` for the rationale.
+    pub fn run_streaming(&self, corpus: &Corpus) -> Result<PipelineOutput, PipelineError> {
+        if corpus.is_empty() {
+            return Err(PipelineError::EmptyCorpus);
+        }
+        let mut incremental = crate::incremental::IncrementalPipeline::new(
+            self.kb,
+            self.models.clone(),
+            self.config.clone(),
+        );
+        incremental.ingest(corpus)?;
+        Ok(incremental.output())
+    }
+}
+
+/// One batch-mode class stage: build row contexts and corpus statistics,
+/// cluster, fuse and classify. Returns `None` when the mapping assigns the
+/// class no rows. Shared by every iteration of [`Pipeline::run`]; the
+/// incremental serve path reuses the fusion/detection half via
+/// [`fuse_and_detect`].
+pub fn run_class_batch(
+    corpus: &Corpus,
+    mapping: &CorpusMapping,
+    kb: &KnowledgeBase,
+    class: ClassKey,
+    models: &TrainedModels,
+    config: &PipelineConfig,
+) -> Option<ClassOutput> {
+    let rows = mapping.class_rows(corpus, class);
+    if rows.is_empty() {
+        return None;
+    }
+    let contexts = build_row_contexts(corpus, mapping, &rows);
+    let phi = PhiTableVectors::build(corpus, &contexts);
+    let index = kb.label_index(class);
+    let implicit = ImplicitAttributes::build(corpus, mapping, kb, class, &index);
+
+    let clustering = cluster_rows(&contexts, &models.row_model, &phi, &implicit, &config.clustering);
+    let clusters = clustering.to_row_refs(&contexts);
+
+    let (entities, results) = fuse_and_detect(
+        &clusters, corpus, mapping, kb, class, &implicit, &index, models, config, None,
+    );
+    Some(ClassOutput { class, clusters, entities, results })
+}
+
+/// The fusion + new-detection tail of a class stage: create one entity per
+/// cluster and classify each as new or existing. `results[i]` corresponds
+/// to `clusters[i]`. Used by the batch path on all clusters of an
+/// iteration, and by the incremental serve path on just the clusters a
+/// micro-batch touched.
+///
+/// `kbt` optionally supplies precomputed Knowledge-Based-Trust column
+/// scores (see [`ltee_fusion::kbt_scores_for_tables`]); with `None` and
+/// [`ltee_fusion::ScoringMethod::Kbt`] scoring, the scores are recomputed
+/// over the whole mapping — fine for the batch path, wasteful per
+/// micro-batch, which is why the serve path caches them.
+#[allow(clippy::too_many_arguments)]
+pub fn fuse_and_detect(
+    clusters: &[Vec<RowRef>],
+    corpus: &Corpus,
+    mapping: &CorpusMapping,
+    kb: &KnowledgeBase,
+    class: ClassKey,
+    implicit: &ImplicitAttributes,
+    index: &ltee_index::LabelIndex,
+    models: &TrainedModels,
+    config: &PipelineConfig,
+    kbt: Option<&std::collections::HashMap<(ltee_webtables::TableId, usize), f64>>,
+) -> (Vec<Entity>, Vec<NewDetectionResult>) {
+    let entities = match kbt {
+        Some(kbt) => ltee_fusion::create_entities_with_scores(
+            clusters,
+            corpus,
+            mapping,
+            kb,
+            class,
+            &config.fusion,
+            Some(kbt),
+        ),
+        None => create_entities(clusters, corpus, mapping, kb, class, &config.fusion),
+    };
+    let entity_contexts: Vec<EntityContext> =
+        entities.iter().cloned().map(|e| EntityContext::build(e, corpus, implicit)).collect();
+    let results =
+        detect_new(&entity_contexts, kb, index, &models.entity_model, &config.newdetect);
+    (entities, results)
 }
 
 #[cfg(test)]
@@ -325,10 +465,34 @@ mod tests {
         let golds: Vec<GoldStandard> =
             CLASS_KEYS.iter().map(|&c| GoldStandard::build(&world, &corpus, c)).collect();
         let config = PipelineConfig::fast();
-        let models = train_models(&corpus, world.kb(), &golds, &config);
+        let models = train_models(&corpus, world.kb(), &golds, &config).expect("trainable corpus");
         let pipeline = Pipeline::new(world.kb(), models, config);
-        let output = pipeline.run(&corpus);
+        let output = pipeline.run(&corpus).expect("non-empty corpus");
         (world, corpus, golds, output)
+    }
+
+    #[test]
+    fn empty_corpus_is_a_typed_error_not_a_panic() {
+        let world = generate_world(&GeneratorConfig::new(Scale::tiny(), 101));
+        let corpus = generate_corpus(&world, &CorpusConfig::tiny());
+        let golds: Vec<GoldStandard> =
+            CLASS_KEYS.iter().map(|&c| GoldStandard::build(&world, &corpus, c)).collect();
+        let config = PipelineConfig::fast();
+
+        let empty = Corpus::new();
+        assert_eq!(
+            train_models(&empty, world.kb(), &golds, &config).unwrap_err(),
+            PipelineError::EmptyCorpus
+        );
+        assert_eq!(
+            train_models(&corpus, world.kb(), &[], &config).unwrap_err(),
+            PipelineError::NoGoldStandards
+        );
+
+        let models = train_models(&corpus, world.kb(), &golds, &config).expect("trainable corpus");
+        let pipeline = Pipeline::new(world.kb(), models, config);
+        assert_eq!(pipeline.run(&empty).unwrap_err(), PipelineError::EmptyCorpus);
+        assert_eq!(pipeline.run_streaming(&empty).unwrap_err(), PipelineError::EmptyCorpus);
     }
 
     #[test]

@@ -57,9 +57,31 @@ impl Default for EntityCreationConfig {
 /// column's parsed values that overlap with any knowledge base value of the
 /// matched property.
 fn kbt_scores(corpus: &Corpus, mapping: &CorpusMapping, kb: &KnowledgeBase, class: ClassKey) -> HashMap<(TableId, usize), f64> {
+    let tables: Vec<TableId> = mapping.tables_of_class(class).iter().map(|tm| tm.table).collect();
+    kbt_scores_for_tables(corpus, mapping, kb, class, &tables)
+}
+
+/// [`ScoringMethod::Kbt`] scores restricted to the given tables.
+///
+/// A column's KBT score depends only on its own cells, its mapping and the
+/// (frozen) knowledge base, so scores are computable table by table. The
+/// incremental serve path uses this to score just a micro-batch's tables
+/// and cache the result, instead of rescanning the whole accumulated
+/// corpus on every ingest.
+pub fn kbt_scores_for_tables(
+    corpus: &Corpus,
+    mapping: &CorpusMapping,
+    kb: &KnowledgeBase,
+    class: ClassKey,
+    tables: &[TableId],
+) -> HashMap<(TableId, usize), f64> {
     let eq = EquivalenceConfig::default();
     let mut scores = HashMap::new();
-    for tm in mapping.tables_of_class(class) {
+    for &table_id in tables {
+        let Some(tm) = mapping.table(table_id) else { continue };
+        if tm.class != Some(class) {
+            continue;
+        }
         let Some(table) = corpus.table(tm.table) else { continue };
         for (col, m) in tm.matched_columns() {
             let Some(prop) = kb.property_by_name(class, &m.property) else { continue };
@@ -98,9 +120,27 @@ pub fn create_entities(
         ScoringMethod::Kbt => Some(kbt_scores(corpus, mapping, kb, class)),
         _ => None,
     };
+    create_entities_with_scores(clusters, corpus, mapping, kb, class, config, kbt.as_ref())
+}
+
+/// [`create_entities`] with precomputed KBT scores.
+///
+/// `kbt` is only consulted when `config.scoring` is
+/// [`ScoringMethod::Kbt`]; pass a map built by [`kbt_scores_for_tables`]
+/// (covering at least every table the clusters reference) to avoid the
+/// full-corpus rescan that [`create_entities`] performs per call.
+pub fn create_entities_with_scores(
+    clusters: &[Vec<RowRef>],
+    corpus: &Corpus,
+    mapping: &CorpusMapping,
+    kb: &KnowledgeBase,
+    class: ClassKey,
+    config: &EntityCreationConfig,
+    kbt: Option<&HashMap<(TableId, usize), f64>>,
+) -> Vec<Entity> {
     clusters
         .iter()
-        .map(|rows| create_entity_inner(rows, corpus, mapping, kb, class, config, kbt.as_ref()))
+        .map(|rows| create_entity_inner(rows, corpus, mapping, kb, class, config, kbt))
         .collect()
 }
 
@@ -412,6 +452,57 @@ mod tests {
             let acc = correct as f64 / total as f64;
             assert!(acc > 0.6, "{method:?}: fused fact accuracy {acc:.2}");
         }
+    }
+
+    #[test]
+    fn kbt_scores_are_per_table_and_cached_fusion_matches_full_rescan() {
+        use ltee_kb::{generate_world, GeneratorConfig, Scale};
+        use ltee_matching::{match_corpus, MatcherWeights, SchemaMatchingConfig};
+        use ltee_webtables::{generate_corpus, CorpusConfig, GoldStandard};
+
+        let world = generate_world(&GeneratorConfig::new(Scale::tiny(), 63));
+        let corpus = generate_corpus(&world, &CorpusConfig::tiny());
+        let mapping = match_corpus(
+            &corpus,
+            world.kb(),
+            &MatcherWeights::default(),
+            &SchemaMatchingConfig::default(),
+            None,
+        );
+        let class = ClassKey::GridironFootballPlayer;
+        let all_tables: Vec<TableId> =
+            mapping.tables_of_class(class).iter().map(|tm| tm.table).collect();
+        assert!(all_tables.len() >= 2, "need several mapped tables");
+
+        // Computing per table (in any grouping) equals one full pass.
+        let full = kbt_scores_for_tables(&corpus, &mapping, world.kb(), class, &all_tables);
+        let mut piecewise = HashMap::new();
+        for chunk in all_tables.chunks(1) {
+            piecewise.extend(kbt_scores_for_tables(&corpus, &mapping, world.kb(), class, chunk));
+        }
+        assert_eq!(full.len(), piecewise.len());
+        for (key, value) in &full {
+            assert_eq!(piecewise.get(key).map(|v| v.to_bits()), Some(value.to_bits()));
+        }
+        // Tables of other classes and unknown tables contribute nothing.
+        assert!(kbt_scores_for_tables(&corpus, &mapping, world.kb(), class, &[TableId(u64::MAX)])
+            .is_empty());
+
+        // Fusing with the cached scores equals the rescanning entry point.
+        let gold = GoldStandard::build(&world, &corpus, class);
+        let clusters: Vec<Vec<RowRef>> = gold.clusters.iter().map(|c| c.rows.clone()).collect();
+        let config = EntityCreationConfig { scoring: ScoringMethod::Kbt, ..Default::default() };
+        let rescan = create_entities(&clusters, &corpus, &mapping, world.kb(), class, &config);
+        let cached = create_entities_with_scores(
+            &clusters,
+            &corpus,
+            &mapping,
+            world.kb(),
+            class,
+            &config,
+            Some(&full),
+        );
+        assert_eq!(rescan, cached);
     }
 
     #[test]

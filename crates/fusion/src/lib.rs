@@ -25,4 +25,7 @@ pub mod entity;
 pub mod fuse;
 
 pub use entity::{CandidateValue, Entity};
-pub use fuse::{create_entities, create_entity, EntityCreationConfig, ScoringMethod};
+pub use fuse::{
+    create_entities, create_entities_with_scores, create_entity, kbt_scores_for_tables,
+    EntityCreationConfig, ScoringMethod,
+};

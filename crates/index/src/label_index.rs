@@ -59,9 +59,7 @@ impl LabelIndex {
         S: AsRef<str>,
     {
         let mut idx = Self::new();
-        for (id, label) in items {
-            idx.insert(id, label.as_ref());
-        }
+        idx.extend(items);
         idx
     }
 
@@ -76,6 +74,19 @@ impl LabelIndex {
         }
         self.by_label.entry(normalized.clone()).or_default().push(entry_pos);
         self.entries.push(LabelEntry { id, raw: label.to_string(), normalized, tokens });
+    }
+
+    /// Insert many `(id, label)` pairs at once. Equivalent to calling
+    /// [`LabelIndex::insert`] per pair. The index is fully incremental:
+    /// entries added after earlier lookups are visible to later lookups.
+    pub fn extend<I, S>(&mut self, items: I)
+    where
+        I: IntoIterator<Item = (u64, S)>,
+        S: AsRef<str>,
+    {
+        for (id, label) in items {
+            self.insert(id, label.as_ref());
+        }
     }
 
     /// Number of indexed entries.

@@ -24,6 +24,8 @@
 //! The class profiles (instance counts, property schemas, densities) follow
 //! paper Tables 1 and 2 at a configurable [`Scale`].
 
+#![warn(missing_docs)]
+
 pub mod generator;
 pub mod ids;
 pub mod model;

@@ -34,6 +34,26 @@ impl ClassKey {
         }
     }
 
+    /// Stable on-disk tag of this class (model persistence); the inverse is
+    /// [`ClassKey::from_code`].
+    pub fn code(self) -> u8 {
+        match self {
+            ClassKey::GridironFootballPlayer => 0,
+            ClassKey::Song => 1,
+            ClassKey::Settlement => 2,
+        }
+    }
+
+    /// Inverse of [`ClassKey::code`].
+    pub fn from_code(code: u8) -> Option<Self> {
+        match code {
+            0 => Some(ClassKey::GridironFootballPlayer),
+            1 => Some(ClassKey::Song),
+            2 => Some(ClassKey::Settlement),
+            _ => None,
+        }
+    }
+
     /// The short name used in the paper's tables.
     pub fn short_name(self) -> &'static str {
         match self {

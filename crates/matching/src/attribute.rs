@@ -13,6 +13,7 @@
 use std::collections::HashMap;
 
 use ltee_kb::{ClassKey, KnowledgeBase, Property};
+use ltee_ml::codec::{ByteReader, ByteWriter, CodecError};
 use ltee_ml::{Dataset, GeneticConfig, Sample, WeightedAverageModel};
 use ltee_types::DetectedType;
 use ltee_webtables::{Corpus, GoldStandard, WebTable};
@@ -67,6 +68,53 @@ impl MatcherWeights {
     /// The threshold for a property, falling back to `default`.
     pub fn threshold_for(&self, class: ClassKey, property: &str, default: f64) -> f64 {
         self.property_thresholds.get(&(class, property.to_string())).copied().unwrap_or(default)
+    }
+
+    /// Serialise the learned weights and thresholds into the writer.
+    ///
+    /// Hash maps are written in a canonical order (classes by
+    /// [`ClassKey::code`], thresholds by `(class code, property name)`), so
+    /// the encoding of a given model is byte-stable across runs.
+    pub fn encode_into(&self, w: &mut ByteWriter) {
+        let mut classes: Vec<(&ClassKey, &Vec<f64>)> = self.class_weights.iter().collect();
+        classes.sort_by_key(|(c, _)| c.code());
+        w.write_len(classes.len());
+        for (class, weights) in classes {
+            w.write_u8(class.code());
+            w.write_f64_slice(weights);
+        }
+        let mut thresholds: Vec<(&(ClassKey, String), &f64)> =
+            self.property_thresholds.iter().collect();
+        thresholds.sort_by_key(|((c, p), _)| (c.code(), p.clone()));
+        w.write_len(thresholds.len());
+        for ((class, property), threshold) in thresholds {
+            w.write_u8(class.code());
+            w.write_str(property);
+            w.write_f64(*threshold);
+        }
+    }
+
+    /// Decode weights previously written by [`MatcherWeights::encode_into`].
+    pub fn decode_from(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        let class_count = r.read_len("matcher.class_weights", 5)?;
+        let mut class_weights = HashMap::new();
+        for _ in 0..class_count {
+            let code = r.read_u8("matcher.class")?;
+            let class = ClassKey::from_code(code)
+                .ok_or(CodecError::InvalidTag { what: "matcher.class", tag: code })?;
+            class_weights.insert(class, r.read_f64_vec("matcher.weights")?);
+        }
+        let threshold_count = r.read_len("matcher.thresholds", 13)?;
+        let mut property_thresholds = HashMap::new();
+        for _ in 0..threshold_count {
+            let code = r.read_u8("matcher.threshold.class")?;
+            let class = ClassKey::from_code(code)
+                .ok_or(CodecError::InvalidTag { what: "matcher.threshold.class", tag: code })?;
+            let property = r.read_str("matcher.threshold.property")?;
+            let threshold = r.read_f64("matcher.threshold.value")?;
+            property_thresholds.insert((class, property), threshold);
+        }
+        Ok(Self { class_weights, property_thresholds })
     }
 
     /// The averaged weight of each matcher across classes (reported when
@@ -327,5 +375,28 @@ mod tests {
         let w = MatcherWeights { class_weights: HashMap::new(), property_thresholds: HashMap::new() };
         let cw = w.weights_for(ClassKey::Song);
         assert!(cw.iter().all(|v| (*v - 0.2).abs() < 1e-12));
+    }
+
+    #[test]
+    fn codec_round_trip_is_exact_and_byte_stable() {
+        let mut w = MatcherWeights::default();
+        w.property_thresholds.insert((ClassKey::Song, "genre".into()), 0.55);
+        w.property_thresholds.insert((ClassKey::Settlement, "country".into()), 0.40);
+        w.property_thresholds.insert((ClassKey::Song, "album".into()), 0.35);
+
+        let mut writer = ByteWriter::new();
+        w.encode_into(&mut writer);
+        let bytes = writer.into_bytes();
+
+        let mut reader = ByteReader::new(&bytes);
+        let decoded = MatcherWeights::decode_from(&mut reader).unwrap();
+        reader.expect_eof().unwrap();
+        assert_eq!(decoded, w);
+
+        // Encoding a HashMap-backed struct twice must produce identical
+        // bytes (canonical ordering).
+        let mut writer2 = ByteWriter::new();
+        decoded.encode_into(&mut writer2);
+        assert_eq!(writer2.into_bytes(), bytes);
     }
 }

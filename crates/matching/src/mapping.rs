@@ -122,6 +122,13 @@ impl CorpusMapping {
         extract_row_values(table, mapping, row.row)
     }
 
+    /// Absorb another mapping's tables into this one (later mappings win on
+    /// table id collisions). Used by the incremental serve path to grow the
+    /// accumulated corpus mapping one micro-batch at a time.
+    pub fn merge(&mut self, other: CorpusMapping) {
+        self.tables.extend(other.tables);
+    }
+
     /// Row references of all rows in tables mapped to `class`.
     pub fn class_rows(&self, corpus: &Corpus, class: ClassKey) -> Vec<RowRef> {
         let mut rows = Vec::new();

@@ -18,6 +18,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::codec::{ByteReader, ByteWriter, CodecError};
 use crate::dataset::{Dataset, Sample};
 use crate::forest::{RandomForest, RandomForestConfig};
 use crate::genetic::GeneticConfig;
@@ -48,6 +49,25 @@ impl AggregationMethod {
             AggregationMethod::WeightedAverage => "weighted_average",
             AggregationMethod::RandomForest => "random_forest",
             AggregationMethod::Combined => "combined",
+        }
+    }
+
+    /// Stable on-disk tag of this method (model persistence).
+    pub fn code(self) -> u8 {
+        match self {
+            AggregationMethod::WeightedAverage => 0,
+            AggregationMethod::RandomForest => 1,
+            AggregationMethod::Combined => 2,
+        }
+    }
+
+    /// Inverse of [`AggregationMethod::code`].
+    pub fn from_code(code: u8) -> Option<Self> {
+        match code {
+            0 => Some(AggregationMethod::WeightedAverage),
+            1 => Some(AggregationMethod::RandomForest),
+            2 => Some(AggregationMethod::Combined),
+            _ => None,
         }
     }
 }
@@ -277,6 +297,41 @@ impl PairwiseModel {
             })
             .collect()
     }
+
+    /// Serialise the model into the writer. Every learned parameter (both
+    /// branches, the mixing weight) is stored bit-exact, so the decoded
+    /// model's [`PairwiseModel::score`] is bit-identical to the original's.
+    pub fn encode_into(&self, w: &mut ByteWriter) {
+        w.write_u8(self.method.code());
+        w.write_usize(self.num_similarities);
+        w.write_bool(self.weighted.is_some());
+        if let Some(weighted) = &self.weighted {
+            weighted.encode_into(w);
+        }
+        w.write_bool(self.forest.is_some());
+        if let Some(forest) = &self.forest {
+            forest.encode_into(w);
+        }
+        w.write_f64(self.combine_weight);
+        w.write_str_slice(&self.feature_names);
+    }
+
+    /// Decode a model previously written by [`PairwiseModel::encode_into`].
+    pub fn decode_from(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        let method_code = r.read_u8("pairwise.method")?;
+        let method = AggregationMethod::from_code(method_code)
+            .ok_or(CodecError::InvalidTag { what: "pairwise.method", tag: method_code })?;
+        let num_similarities = r.read_usize("pairwise.num_similarities")?;
+        let weighted = r
+            .read_bool("pairwise.weighted.some")?
+            .then(|| WeightedAverageModel::decode_from(r))
+            .transpose()?;
+        let forest =
+            r.read_bool("pairwise.forest.some")?.then(|| RandomForest::decode_from(r)).transpose()?;
+        let combine_weight = r.read_f64("pairwise.combine_weight")?;
+        let feature_names = r.read_str_vec("pairwise.feature_names")?;
+        Ok(Self { method, num_similarities, weighted, forest, combine_weight, feature_names })
+    }
 }
 
 #[cfg(test)]
@@ -365,5 +420,45 @@ mod tests {
     fn invalid_similarity_count_rejected() {
         let ds = pair_data(20);
         PairwiseModel::train(&ds, 9, AggregationMethod::Combined, &quick_cfg());
+    }
+
+    #[test]
+    fn codec_round_trip_every_method_is_bit_identical() {
+        let ds = pair_data(180);
+        for method in AggregationMethod::ALL {
+            let model = PairwiseModel::train(&ds, 2, method, &quick_cfg());
+            let mut w = crate::codec::ByteWriter::new();
+            model.encode_into(&mut w);
+            let bytes = w.into_bytes();
+            let mut r = crate::codec::ByteReader::new(&bytes);
+            let decoded = PairwiseModel::decode_from(&mut r).unwrap();
+            r.expect_eof().unwrap();
+            assert_eq!(decoded, model, "{method:?}");
+            for s in &ds.samples {
+                assert_eq!(
+                    model.score(&s.features).to_bits(),
+                    decoded.score(&s.features).to_bits(),
+                    "{method:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn method_codes_round_trip() {
+        for method in AggregationMethod::ALL {
+            assert_eq!(AggregationMethod::from_code(method.code()), Some(method));
+        }
+        assert_eq!(AggregationMethod::from_code(9), None);
+    }
+
+    #[test]
+    fn codec_rejects_invalid_method_tag() {
+        let bytes = [42u8];
+        let mut r = crate::codec::ByteReader::new(&bytes);
+        assert!(matches!(
+            PairwiseModel::decode_from(&mut r).unwrap_err(),
+            CodecError::InvalidTag { what: "pairwise.method", tag: 42 }
+        ));
     }
 }

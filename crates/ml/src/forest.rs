@@ -15,6 +15,7 @@ use rand_chacha::ChaCha8Rng;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
+use crate::codec::{ByteReader, ByteWriter, CodecError};
 use crate::dataset::Dataset;
 
 /// Hyperparameters of the random forest.
@@ -224,6 +225,94 @@ impl RandomForest {
     pub fn feature_names(&self) -> &[String] {
         &self.feature_names
     }
+
+    /// Serialise the forest into the writer (see [`crate::codec`] for the
+    /// layout conventions). The encoding captures the trained trees bit-for-
+    /// bit, so a decoded forest predicts identically to the original.
+    pub fn encode_into(&self, w: &mut ByteWriter) {
+        w.write_usize(self.config.num_trees);
+        w.write_usize(self.config.max_depth);
+        w.write_usize(self.config.min_samples_split);
+        w.write_bool(self.config.features_per_split.is_some());
+        w.write_usize(self.config.features_per_split.unwrap_or(0));
+        w.write_f64(self.config.bootstrap_fraction);
+        w.write_u64(self.config.seed);
+        w.write_len(self.trees.len());
+        for tree in &self.trees {
+            w.write_len(tree.nodes.len());
+            for node in &tree.nodes {
+                match node {
+                    Node::Leaf { prediction } => {
+                        w.write_u8(0);
+                        w.write_f64(*prediction);
+                    }
+                    Node::Split { feature, threshold, gain, left, right } => {
+                        w.write_u8(1);
+                        w.write_usize(*feature);
+                        w.write_f64(*threshold);
+                        w.write_f64(*gain);
+                        w.write_usize(*left);
+                        w.write_usize(*right);
+                    }
+                }
+            }
+        }
+        w.write_str_slice(&self.feature_names);
+        w.write_f64(self.oob_error);
+    }
+
+    /// Decode a forest previously written by [`RandomForest::encode_into`].
+    pub fn decode_from(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        let num_trees = r.read_usize("forest.num_trees")?;
+        let max_depth = r.read_usize("forest.max_depth")?;
+        let min_samples_split = r.read_usize("forest.min_samples_split")?;
+        let has_fps = r.read_bool("forest.features_per_split.some")?;
+        let fps_value = r.read_usize("forest.features_per_split")?;
+        let config = RandomForestConfig {
+            num_trees,
+            max_depth,
+            min_samples_split,
+            features_per_split: has_fps.then_some(fps_value),
+            bootstrap_fraction: r.read_f64("forest.bootstrap_fraction")?,
+            seed: r.read_u64("forest.seed")?,
+        };
+        let tree_count = r.read_len("forest.trees", 4)?;
+        let mut trees = Vec::with_capacity(tree_count);
+        for _ in 0..tree_count {
+            let node_count = r.read_len("forest.tree.nodes", 9)?;
+            let mut nodes = Vec::with_capacity(node_count);
+            for _ in 0..node_count {
+                let node = match r.read_u8("forest.node.tag")? {
+                    0 => Node::Leaf { prediction: r.read_f64("forest.node.prediction")? },
+                    1 => Node::Split {
+                        feature: r.read_usize("forest.node.feature")?,
+                        threshold: r.read_f64("forest.node.threshold")?,
+                        gain: r.read_f64("forest.node.gain")?,
+                        left: r.read_usize("forest.node.left")?,
+                        right: r.read_usize("forest.node.right")?,
+                    },
+                    tag => return Err(CodecError::InvalidTag { what: "forest.node", tag }),
+                };
+                nodes.push(node);
+            }
+            // Child indices must be strictly forward references inside the
+            // arena: the tree builder always pushes a split before its
+            // children, so every legitimate encoding satisfies this, and it
+            // rules out both out-of-range children (panic at prediction
+            // time) and cycles (infinite loop in `Tree::predict`).
+            for (index, node) in nodes.iter().enumerate() {
+                if let Node::Split { left, right, .. } = node {
+                    if *left <= index || *right <= index || *left >= nodes.len() || *right >= nodes.len() {
+                        return Err(CodecError::InvalidTag { what: "forest.node.child", tag: 0 });
+                    }
+                }
+            }
+            trees.push(Tree { nodes });
+        }
+        let feature_names = r.read_str_vec("forest.feature_names")?;
+        let oob_error = r.read_f64("forest.oob_error")?;
+        Ok(RandomForest { config, trees, feature_names, oob_error })
+    }
 }
 
 struct TreeBuilder<'a> {
@@ -413,6 +502,86 @@ mod tests {
     fn training_on_empty_dataset_panics() {
         let ds = Dataset::new(["x"]);
         RandomForest::train(&ds, &RandomForestConfig::default());
+    }
+
+    #[test]
+    fn codec_round_trip_is_bit_identical() {
+        let ds = separable(150);
+        let forest = RandomForest::train(&ds, &small_config());
+        let mut w = crate::codec::ByteWriter::new();
+        forest.encode_into(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = crate::codec::ByteReader::new(&bytes);
+        let decoded = RandomForest::decode_from(&mut r).unwrap();
+        r.expect_eof().unwrap();
+        assert_eq!(decoded, forest);
+        for s in &ds.samples {
+            assert_eq!(
+                forest.predict(&s.features).to_bits(),
+                decoded.predict(&s.features).to_bits()
+            );
+        }
+        assert_eq!(forest.oob_error().to_bits(), decoded.oob_error().to_bits());
+    }
+
+    #[test]
+    fn codec_rejects_cyclic_trees() {
+        // Hand-craft a stream whose single node is a split pointing at
+        // itself; without the forward-reference check, predict() on the
+        // decoded tree would loop forever.
+        let mut w = crate::codec::ByteWriter::new();
+        w.write_usize(1); // num_trees
+        w.write_usize(4); // max_depth
+        w.write_usize(2); // min_samples_split
+        w.write_bool(false);
+        w.write_usize(0); // features_per_split
+        w.write_f64(1.0); // bootstrap_fraction
+        w.write_u64(1); // seed
+        w.write_len(1); // tree count
+        w.write_len(1); // node count
+        w.write_u8(1); // split tag
+        w.write_usize(0); // feature
+        w.write_f64(0.5); // threshold
+        w.write_f64(0.1); // gain
+        w.write_usize(0); // left = itself (cycle)
+        w.write_usize(0); // right = itself (cycle)
+        w.write_str_slice(&["x"]);
+        w.write_f64(0.0); // oob
+        let bytes = w.into_bytes();
+        let mut r = crate::codec::ByteReader::new(&bytes);
+        assert!(matches!(
+            RandomForest::decode_from(&mut r).unwrap_err(),
+            CodecError::InvalidTag { what: "forest.node.child", .. }
+        ));
+    }
+
+    #[test]
+    fn codec_rejects_out_of_range_child_index() {
+        let ds = separable(60);
+        let forest = RandomForest::train(&ds, &small_config());
+        let mut w = crate::codec::ByteWriter::new();
+        forest.encode_into(&mut w);
+        let mut bytes = w.into_bytes();
+        // Find the first split node and corrupt its left-child index to a
+        // huge value; layout: after the config block (each tree: node count
+        // then nodes). Rather than computing offsets, corrupt every 8-byte
+        // window that currently holds a small usize until decoding fails —
+        // the decoder must never panic on any of these mutations.
+        let mut rejected = false;
+        for off in (0..bytes.len().saturating_sub(8)).step_by(8) {
+            let mut mutated = bytes.clone();
+            mutated[off..off + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+            let mut r = crate::codec::ByteReader::new(&mutated);
+            if RandomForest::decode_from(&mut r).is_err() {
+                rejected = true;
+                break;
+            }
+        }
+        assert!(rejected, "no corruption was detected by the decoder");
+        // And the untouched stream still decodes.
+        let mut r = crate::codec::ByteReader::new(&bytes);
+        assert!(RandomForest::decode_from(&mut r).is_ok());
+        bytes.clear();
     }
 
     proptest! {

@@ -19,8 +19,14 @@
 //! group-aware k-fold splits (homonym groups must stay in one fold), and
 //! metric importance scores (the average of random-forest feature importance
 //! and weighted-average weights, as reported in Tables 7 and 8).
+//!
+//! All three model families serialise through the hand-rolled binary
+//! [`codec`] (`encode_into` / `decode_from`), which is what the train-once /
+//! serve-many model artifact in `ltee-core` is built on — the workspace's
+//! `serde` is an offline no-op shim, so persistence cannot use derives.
 
 pub mod aggregate;
+pub mod codec;
 pub mod dataset;
 pub mod folds;
 pub mod forest;
@@ -28,6 +34,7 @@ pub mod genetic;
 pub mod weighted;
 
 pub use aggregate::{AggregationMethod, CombinedModel, MetricImportance, PairwiseModel, PairwiseTrainingConfig};
+pub use codec::{fnv1a64, ByteReader, ByteWriter, CodecError};
 pub use dataset::{Dataset, Sample};
 pub use folds::{grouped_k_folds, FoldSplit};
 pub use forest::{RandomForest, RandomForestConfig};

@@ -8,6 +8,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::codec::{ByteReader, ByteWriter, CodecError};
 use crate::dataset::Dataset;
 use crate::genetic::{GeneticConfig, GeneticOptimizer};
 
@@ -109,6 +110,24 @@ impl WeightedAverageModel {
             genome[..num_features].to_vec(),
             genome[num_features],
         )
+    }
+
+    /// Serialise the model into the writer (bit-exact weights/threshold).
+    pub fn encode_into(&self, w: &mut ByteWriter) {
+        w.write_f64_slice(&self.weights);
+        w.write_f64(self.threshold);
+        w.write_str_slice(&self.feature_names);
+    }
+
+    /// Decode a model previously written by
+    /// [`WeightedAverageModel::encode_into`]. The stored weights are taken
+    /// verbatim (no re-normalisation) so scores are bit-identical.
+    pub fn decode_from(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        Ok(Self {
+            weights: r.read_f64_vec("weighted.weights")?,
+            threshold: r.read_f64("weighted.threshold")?,
+            feature_names: r.read_str_vec("weighted.feature_names")?,
+        })
     }
 }
 

@@ -59,6 +59,23 @@ impl EntityMetricKind {
     pub fn has_confidence(self) -> bool {
         matches!(self, EntityMetricKind::Attribute | EntityMetricKind::ImplicitAtt)
     }
+
+    /// Stable on-disk tag of this metric (model persistence).
+    pub fn code(self) -> u8 {
+        match self {
+            EntityMetricKind::Label => 0,
+            EntityMetricKind::Type => 1,
+            EntityMetricKind::Bow => 2,
+            EntityMetricKind::Attribute => 3,
+            EntityMetricKind::ImplicitAtt => 4,
+            EntityMetricKind::Popularity => 5,
+        }
+    }
+
+    /// Inverse of [`EntityMetricKind::code`].
+    pub fn from_code(code: u8) -> Option<Self> {
+        EntityMetricKind::ALL.into_iter().find(|m| m.code() == code)
+    }
 }
 
 /// Precomputed view of a created entity used by the metrics.
@@ -289,6 +306,30 @@ impl EntitySimilarityModel {
             .zip(self.metrics.iter())
             .map(|(mi, &kind)| (kind, mi.importance))
             .collect()
+    }
+
+    /// Serialise the model (metric set + aggregation model) into the writer.
+    pub fn encode_into(&self, w: &mut ltee_ml::ByteWriter) {
+        w.write_len(self.metrics.len());
+        for metric in &self.metrics {
+            w.write_u8(metric.code());
+        }
+        self.model.encode_into(w);
+    }
+
+    /// Decode a model previously written by
+    /// [`EntitySimilarityModel::encode_into`].
+    pub fn decode_from(r: &mut ltee_ml::ByteReader<'_>) -> Result<Self, ltee_ml::CodecError> {
+        let count = r.read_len("entity_model.metrics", 1)?;
+        let mut metrics = Vec::with_capacity(count);
+        for _ in 0..count {
+            let code = r.read_u8("entity_model.metric")?;
+            metrics.push(EntityMetricKind::from_code(code).ok_or(
+                ltee_ml::CodecError::InvalidTag { what: "entity_model.metric", tag: code },
+            )?);
+        }
+        let model = PairwiseModel::decode_from(r)?;
+        Ok(Self { metrics, model })
     }
 }
 

@@ -36,6 +36,8 @@
 //! fact per (cluster, property) value group together with whether the
 //! correct value is present among the table cells.
 
+#![warn(missing_docs)]
+
 pub mod corpus;
 pub mod generator;
 pub mod gold;

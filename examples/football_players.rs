@@ -15,9 +15,9 @@ fn main() {
         CLASS_KEYS.iter().map(|&c| GoldStandard::build(&world, &corpus, c)).collect();
 
     let config = PipelineConfig::fast();
-    let models = train_models(&corpus, world.kb(), &golds, &config);
+    let models = train_models(&corpus, world.kb(), &golds, &config).expect("trainable corpus");
     let pipeline = Pipeline::new(world.kb(), models, config);
-    let output = pipeline.run(&corpus);
+    let output = pipeline.run(&corpus).expect("non-empty corpus");
 
     let class = ClassKey::GridironFootballPlayer;
     let class_output = output.class(class).expect("football player tables present");

@@ -25,13 +25,13 @@ fn main() {
     let golds: Vec<GoldStandard> =
         CLASS_KEYS.iter().map(|&c| GoldStandard::build(&world, &corpus, c)).collect();
     let config = PipelineConfig::fast();
-    let models = train_models(&corpus, world.kb(), &golds, &config);
+    let models = train_models(&corpus, world.kb(), &golds, &config).expect("trainable corpus");
 
     // 4. Run the pipeline: schema matching → row clustering → entity
     //    creation → new detection, twice (the second iteration refines the
     //    schema mapping with the first iteration's output).
     let pipeline = Pipeline::new(world.kb(), models, config);
-    let output = pipeline.run(&corpus);
+    let output = pipeline.run(&corpus).expect("non-empty corpus");
 
     for class_output in &output.classes {
         let new = class_output.new_entities();

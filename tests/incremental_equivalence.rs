@@ -1,0 +1,192 @@
+//! Incremental-serving equivalence contract: ingesting a corpus as K
+//! micro-batches through `IncrementalPipeline` must produce the same
+//! clusters, fused entities and new-entity decisions as one streaming run
+//! (`Pipeline::run_streaming`) over the union corpus with the same
+//! artifact — bit-identically, and at every thread count.
+//!
+//! Deterministic: `Scale::tiny()` world with fixed seed 4711.
+//! Expected runtime: ~30 s in debug (one training run, five serve runs).
+
+use ltee_core::prelude::*;
+
+fn setup() -> (World, Corpus, ModelArtifact) {
+    let world = generate_world(&GeneratorConfig::new(Scale::tiny(), 4711));
+    let corpus = generate_corpus(&world, &CorpusConfig::tiny());
+    let golds: Vec<GoldStandard> =
+        CLASS_KEYS.iter().map(|&c| GoldStandard::build(&world, &corpus, c)).collect();
+    let config = config_with(Parallelism::Sequential);
+    let models = train_models(&corpus, world.kb(), &golds, &config).expect("trainable corpus");
+    let artifact = ModelArtifact::new(models, &config);
+    (world, corpus, artifact)
+}
+
+fn config_with(parallelism: Parallelism) -> PipelineConfig {
+    PipelineConfig { parallelism, ..PipelineConfig::fast() }
+}
+
+/// Assert two pipeline outputs are bit-identical in everything the serve
+/// path produces: cluster membership, fused entities, detection outcomes
+/// and raw detection scores.
+fn assert_outputs_identical(a: &PipelineOutput, b: &PipelineOutput, label: &str) {
+    assert_eq!(a.classes.len(), b.classes.len(), "{label}: class count");
+    for (ca, cb) in a.classes.iter().zip(b.classes.iter()) {
+        assert_eq!(ca.class, cb.class, "{label}");
+        assert_eq!(ca.clusters, cb.clusters, "{label} / {}: clusters", ca.class);
+        assert_eq!(ca.entities, cb.entities, "{label} / {}: entities", ca.class);
+        assert_eq!(ca.results.len(), cb.results.len(), "{label} / {}", ca.class);
+        for (ra, rb) in ca.results.iter().zip(cb.results.iter()) {
+            assert_eq!(ra.outcome, rb.outcome, "{label} / {}: outcome", ca.class);
+            assert_eq!(
+                ra.best_score.to_bits(),
+                rb.best_score.to_bits(),
+                "{label} / {}: best_score bits",
+                ca.class
+            );
+            assert_eq!(ra.candidate_count, rb.candidate_count, "{label} / {}", ca.class);
+        }
+    }
+}
+
+fn ingest_in_batches(
+    world: &World,
+    corpus: &Corpus,
+    artifact: &ModelArtifact,
+    batches: usize,
+    parallelism: Parallelism,
+) -> PipelineOutput {
+    let mut serving =
+        IncrementalPipeline::from_artifact(world.kb(), artifact, config_with(parallelism))
+            .expect("artifact fingerprint matches");
+    let mut ingested_rows = 0usize;
+    for batch in corpus.split_into_batches(batches) {
+        let report = serving.ingest(&batch).expect("fresh table ids");
+        assert_eq!(report.tables, batch.len());
+        assert_eq!(report.rows, batch.total_rows());
+        ingested_rows += report.rows;
+    }
+    assert_eq!(ingested_rows, corpus.total_rows());
+    assert_eq!(serving.ingested_tables(), corpus.len());
+    serving.output()
+}
+
+#[test]
+fn micro_batched_ingest_equals_streaming_union_run_at_every_thread_count() {
+    let (world, corpus, artifact) = setup();
+
+    // Reference: one streaming pass over the union corpus, single thread.
+    let pipeline = Pipeline::new(
+        world.kb(),
+        artifact.models.clone(),
+        config_with(Parallelism::Threads(1)),
+    );
+    let reference = pipeline.run_streaming(&corpus).expect("non-empty corpus");
+
+    // K micro-batches, multiple K, multiple thread counts: all identical.
+    for (batches, parallelism) in [
+        (1usize, Parallelism::Threads(1)),
+        (4, Parallelism::Threads(1)),
+        (4, Parallelism::Threads(4)),
+        (9, Parallelism::Threads(4)),
+    ] {
+        let output = ingest_in_batches(&world, &corpus, &artifact, batches, parallelism);
+        assert_outputs_identical(
+            &reference,
+            &output,
+            &format!("K={batches}, {parallelism:?}"),
+        );
+    }
+
+    // The streaming union run itself must also be thread-count invariant.
+    let pipeline4 = Pipeline::new(
+        world.kb(),
+        artifact.models.clone(),
+        config_with(Parallelism::Threads(4)),
+    );
+    let reference4 = pipeline4.run_streaming(&corpus).expect("non-empty corpus");
+    assert_outputs_identical(&reference, &reference4, "run_streaming 1 vs 4 threads");
+
+    // Sanity: the serve path actually finds both kinds of entities.
+    let new_total: usize = reference.classes.iter().map(|c| c.new_entities().len()).sum();
+    let existing_total: usize =
+        reference.classes.iter().map(|c| c.existing_entities().len()).sum();
+    assert!(new_total > 0, "serve path should discover new entities");
+    assert!(existing_total > 0, "serve path should link entities to the KB");
+}
+
+#[test]
+fn equivalence_holds_for_non_ascending_table_ids() {
+    // Tables are processed in arrival order, not id order: a stream whose
+    // ids run backwards must still satisfy the K-batches == union contract.
+    let (world, corpus, artifact) = setup();
+    let reversed = Corpus::from_tables(corpus.tables().iter().rev().cloned().collect());
+
+    let pipeline = Pipeline::new(
+        world.kb(),
+        artifact.models.clone(),
+        config_with(Parallelism::Threads(1)),
+    );
+    let reference = pipeline.run_streaming(&reversed).expect("non-empty corpus");
+    let batched = ingest_in_batches(&world, &reversed, &artifact, 5, Parallelism::Threads(1));
+    assert_outputs_identical(&reference, &batched, "reversed ids, K=5");
+}
+
+#[test]
+fn empty_batch_is_a_no_op_and_duplicate_tables_are_rejected() {
+    let (world, corpus, artifact) = setup();
+    let config = config_with(Parallelism::Sequential);
+    let mut serving = IncrementalPipeline::from_artifact(world.kb(), &artifact, config)
+        .expect("artifact fingerprint matches");
+
+    // Empty batch before any ingest: no-op.
+    let report = serving.ingest(&Corpus::new()).expect("empty batch is fine");
+    assert_eq!(report, IngestReport::default());
+    assert_eq!(serving.ingested_tables(), 0);
+
+    let batches = corpus.split_into_batches(2);
+    serving.ingest(&batches[0]).expect("fresh table ids");
+    let snapshot = serving.output();
+
+    // Empty batch between real batches: state unchanged.
+    serving.ingest(&Corpus::new()).expect("empty batch is fine");
+    let after = serving.output();
+    assert_eq!(snapshot.classes.len(), after.classes.len());
+    for (a, b) in snapshot.classes.iter().zip(after.classes.iter()) {
+        assert_eq!(a.clusters, b.clusters);
+        assert_eq!(a.results, b.results);
+    }
+
+    // Re-ingesting an already seen table id fails without changing state.
+    let err = serving.ingest(&batches[0]).unwrap_err();
+    assert!(matches!(err, PipelineError::DuplicateTable(_)), "got {err:?}");
+    let unchanged = serving.output();
+    for (a, b) in after.classes.iter().zip(unchanged.classes.iter()) {
+        assert_eq!(a.clusters, b.clusters);
+    }
+
+    // A duplicate id *within* one batch is rejected up front as well.
+    let table = batches[1].tables()[0].clone();
+    let doubled = Corpus::from_tables(vec![table.clone(), table]);
+    let err = serving.ingest(&doubled).unwrap_err();
+    assert!(matches!(err, PipelineError::DuplicateTable(_)), "got {err:?}");
+    let still_unchanged = serving.output();
+    for (a, b) in unchanged.classes.iter().zip(still_unchanged.classes.iter()) {
+        assert_eq!(a.clusters, b.clusters);
+    }
+}
+
+#[test]
+fn clusters_partition_mapped_rows_in_serve_mode() {
+    let (world, corpus, artifact) = setup();
+    let output = ingest_in_batches(&world, &corpus, &artifact, 3, Parallelism::Sequential);
+    for class_output in &output.classes {
+        let mapped = output.mapping.class_rows(&corpus, class_output.class).len();
+        let clustered: usize = class_output.clusters.iter().map(|c| c.len()).sum();
+        assert_eq!(clustered, mapped, "{}", class_output.class);
+        assert_eq!(class_output.clusters.len(), class_output.entities.len());
+        assert_eq!(class_output.entities.len(), class_output.results.len());
+        // Every result's entity field points at its own cluster slot.
+        for (i, r) in class_output.results.iter().enumerate() {
+            assert_eq!(r.entity, i);
+        }
+    }
+}

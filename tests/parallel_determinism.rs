@@ -20,9 +20,9 @@ fn run_with(threads: usize) -> PipelineOutput {
     let corpus = generate_corpus(&world, &CorpusConfig::tiny());
     let golds: Vec<GoldStandard> =
         CLASS_KEYS.iter().map(|&c| GoldStandard::build(&world, &corpus, c)).collect();
-    let models = train_models(&corpus, world.kb(), &golds, &config);
+    let models = train_models(&corpus, world.kb(), &golds, &config).expect("trainable corpus");
     let pipeline = Pipeline::new(world.kb(), models, config);
-    pipeline.run(&corpus)
+    pipeline.run(&corpus).expect("non-empty corpus")
 }
 
 #[test]

@@ -14,9 +14,9 @@ fn setup() -> (World, Corpus, Vec<GoldStandard>, PipelineOutput) {
     let golds: Vec<GoldStandard> =
         CLASS_KEYS.iter().map(|&c| GoldStandard::build(&world, &corpus, c)).collect();
     let config = PipelineConfig::fast();
-    let models = train_models(&corpus, world.kb(), &golds, &config);
+    let models = train_models(&corpus, world.kb(), &golds, &config).expect("trainable corpus");
     let pipeline = Pipeline::new(world.kb(), models, config);
-    let output = pipeline.run(&corpus);
+    let output = pipeline.run(&corpus).expect("non-empty corpus");
     (world, corpus, golds, output)
 }
 
