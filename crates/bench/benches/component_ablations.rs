@@ -30,18 +30,23 @@ fn bench_ablations(c: &mut Criterion) {
     let class = ClassKey::GridironFootballPlayer;
     let gold = GoldStandard::build(&world, &corpus, class);
     let rows = mapping.class_rows(&corpus, class);
-    let contexts = build_row_contexts(&corpus, &mapping, &rows);
+    let mut interner = ltee_intern::Interner::new();
+    let contexts = build_row_contexts(&corpus, &mapping, &rows, &mut interner);
     let phi = PhiTableVectors::build(&corpus, &contexts);
     let index = world.kb().label_index(class);
     let implicit = ImplicitAttributes::build(&corpus, &mapping, world.kb(), class, &index);
     let training = RowModelTrainingConfig::fast();
-    let dataset = build_pair_dataset(&contexts, &gold, &RowMetricKind::ALL, &phi, &implicit, &training);
+    let dataset =
+        build_pair_dataset(&contexts, &gold, &RowMetricKind::ALL, &phi, &implicit, &training, &interner);
     let model = train_row_model(&dataset, RowMetricKind::ALL.to_vec(), &training);
 
     let mut group = c.benchmark_group("component_ablations");
     group.sample_size(10);
     group.bench_function("row_clustering_with_blocking", |b| {
-        b.iter(|| cluster_rows(&contexts, &model, &phi, &implicit, &ClusteringConfig::default()).len())
+        b.iter(|| {
+            cluster_rows(&contexts, &model, &phi, &implicit, &ClusteringConfig::default(), &interner)
+                .len()
+        })
     });
     group.bench_function("row_clustering_without_blocking", |b| {
         b.iter(|| {
@@ -51,6 +56,7 @@ fn bench_ablations(c: &mut Criterion) {
                 &phi,
                 &implicit,
                 &ClusteringConfig { use_blocking: false, ..Default::default() },
+                &interner,
             )
             .len()
         })

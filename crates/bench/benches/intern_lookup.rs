@@ -1,0 +1,290 @@
+//! Interned vs legacy label-index lookup micro-bench, written to
+//! `BENCH_intern.json` at the repository root.
+//!
+//! Runs as a plain binary (`harness = false`):
+//!
+//! ```sh
+//! cargo bench -p ltee-bench --bench intern_lookup
+//! ```
+//!
+//! Builds a generated 5k-label corpus, indexes it twice — once with the
+//! interned `ltee_index::LabelIndex` (Sym-keyed postings, arena-backed
+//! tokens) and once with a faithful copy of the pre-interning
+//! `String`-keyed implementation — and replays an identical query stream
+//! (exact labels, typos, partial labels) against both. Reports lookups/s
+//! and bytes allocated per path; a custom counting allocator measures the
+//! allocation traffic. The two paths must return identical id lists, which
+//! the bench asserts before timing.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use ltee_index::LabelIndex;
+use ltee_text::{levenshtein_similarity, normalize_label, tokenize};
+
+/// System allocator wrapper counting every allocated byte.
+struct CountingAlloc;
+
+static ALLOCATED: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATED.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATED.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocated_bytes() -> u64 {
+    ALLOCATED.load(Ordering::Relaxed)
+}
+
+// ---------------------------------------------------------------------------
+// Legacy (pre-interning) index: `String`-keyed postings, `Vec<String>`
+// tokens per entry. A faithful copy of the implementation this PR replaced,
+// kept here as the bench baseline.
+// ---------------------------------------------------------------------------
+
+struct LegacyEntry {
+    id: u64,
+    normalized: String,
+    tokens: Vec<String>,
+}
+
+#[derive(Default)]
+struct LegacyIndex {
+    entries: Vec<LegacyEntry>,
+    postings: HashMap<String, Vec<u32>>,
+}
+
+impl LegacyIndex {
+    fn insert(&mut self, id: u64, label: &str) {
+        let normalized = normalize_label(label);
+        let tokens = tokenize(&normalized);
+        let entry_pos = self.entries.len() as u32;
+        for token in &tokens {
+            self.postings.entry(token.clone()).or_default().push(entry_pos);
+        }
+        self.entries.push(LegacyEntry { id, normalized, tokens });
+    }
+
+    fn lookup(&self, label: &str, k: usize) -> Vec<(u64, f64)> {
+        if k == 0 || self.entries.is_empty() {
+            return Vec::new();
+        }
+        let normalized = normalize_label(label);
+        let query_tokens = tokenize(&normalized);
+        if query_tokens.is_empty() {
+            return Vec::new();
+        }
+        let mut hits: HashMap<u32, usize> = HashMap::new();
+        for token in &query_tokens {
+            if let Some(postings) = self.postings.get(token) {
+                for &pos in postings {
+                    *hits.entry(pos).or_insert(0) += 1;
+                }
+            }
+        }
+        if hits.is_empty() {
+            return Vec::new();
+        }
+        let mut scored: Vec<(u64, String, f64)> = hits
+            .into_iter()
+            .map(|(pos, exact_hits)| {
+                let entry = &self.entries[pos as usize];
+                let score = legacy_score(&query_tokens, &entry.tokens, exact_hits);
+                (entry.id, entry.normalized.clone(), score)
+            })
+            .collect();
+        scored.sort_by(|a, b| {
+            b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal).then_with(|| a.0.cmp(&b.0))
+        });
+        let mut seen = std::collections::HashSet::new();
+        scored.retain(|m| seen.insert(m.0));
+        scored.truncate(k);
+        scored.into_iter().map(|(id, _, score)| (id, score)).collect()
+    }
+}
+
+fn legacy_score(query_tokens: &[String], candidate_tokens: &[String], exact_hits: usize) -> f64 {
+    if candidate_tokens.is_empty() {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for qt in query_tokens {
+        let mut best: f64 = 0.0;
+        for ct in candidate_tokens {
+            let s = if qt == ct { 1.0 } else { levenshtein_similarity(qt, ct) };
+            if s > best {
+                best = s;
+            }
+            if best >= 1.0 {
+                break;
+            }
+        }
+        total += best;
+    }
+    let coverage = total / query_tokens.len() as f64;
+    let len_penalty = {
+        let q = query_tokens.len() as f64;
+        let c = candidate_tokens.len() as f64;
+        1.0 - (q - c).abs() / (q + c)
+    };
+    let bonus = exact_hits as f64 * 1e-6;
+    (coverage * 0.8 + len_penalty * 0.2 + bonus).min(1.0)
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic 5k-label corpus + query stream.
+// ---------------------------------------------------------------------------
+
+const FIRST: [&str; 20] = [
+    "tom", "peyton", "eli", "aaron", "patrick", "johnny", "maria", "paris", "london", "austin",
+    "yellow", "purple", "golden", "silver", "crimson", "abbey", "penny", "norwegian", "lucy", "jude",
+];
+const LAST: [&str; 25] = [
+    "brady", "manning", "rodgers", "mahomes", "unitas", "submarine", "road", "lane", "wood",
+    "fields", "springs", "heights", "falls", "city", "creek", "song", "anthem", "ballad", "hymn",
+    "march", "texas", "ohio", "kansas", "dakota", "maine",
+];
+const QUALIFIER: [&str; 5] = ["(Remastered)", "(Live)", "(1968)", "[Demo]", "(Texas)"];
+
+fn labels_5k() -> Vec<String> {
+    let mut labels = Vec::with_capacity(5000);
+    let mut n = 0u64;
+    'outer: for f in FIRST {
+        for l in LAST {
+            for suffix in 0..10u64 {
+                let mut label = if suffix == 0 {
+                    format!("{f} {l}")
+                } else {
+                    format!("{f} {l} {suffix}")
+                };
+                if n % 7 == 3 {
+                    label = format!("{label} {}", QUALIFIER[(n % 5) as usize]);
+                }
+                labels.push(label);
+                n += 1;
+                if labels.len() == 5000 {
+                    break 'outer;
+                }
+            }
+        }
+    }
+    assert_eq!(labels.len(), 5000, "label pool exhausted early");
+    labels
+}
+
+/// Queries: the labels themselves (blocking-style lookups of indexed
+/// labels), typo'd variants and partial labels.
+fn queries(labels: &[String]) -> Vec<String> {
+    let mut queries = Vec::with_capacity(labels.len());
+    for (i, label) in labels.iter().enumerate() {
+        let q = match i % 4 {
+            // Exact, as when blocking rows against their own label set.
+            0 | 1 => label.clone(),
+            // Typo: drop the second character.
+            2 => {
+                let mut chars: Vec<char> = label.chars().collect();
+                chars.remove(1);
+                chars.into_iter().collect()
+            }
+            // Partial: first token only.
+            _ => label.split(' ').next().unwrap_or(label).to_string(),
+        };
+        queries.push(q);
+    }
+    queries
+}
+
+const TOP_K: usize = 8;
+
+fn main() {
+    let labels = labels_5k();
+    let queries = queries(&labels);
+
+    let build_start = Instant::now();
+    let mut interned = LabelIndex::new();
+    for (i, label) in labels.iter().enumerate() {
+        interned.insert(i as u64, label);
+    }
+    let interned_build_secs = build_start.elapsed().as_secs_f64();
+
+    let build_start = Instant::now();
+    let mut legacy = LegacyIndex::default();
+    for (i, label) in labels.iter().enumerate() {
+        legacy.insert(i as u64, label);
+    }
+    let legacy_build_secs = build_start.elapsed().as_secs_f64();
+
+    // Parity check: the interned path must rank exactly like the legacy
+    // path (same ids, same order) before any timing means anything.
+    for q in queries.iter().step_by(97) {
+        let a: Vec<u64> = interned.lookup(q, TOP_K).into_iter().map(|m| m.id).collect();
+        let b: Vec<u64> = legacy.lookup(q, TOP_K).into_iter().map(|(id, _)| id).collect();
+        assert_eq!(a, b, "interned and legacy lookups diverge for {q:?}");
+    }
+
+    // Warm-up, then timed passes (legacy first so any cache warming favours
+    // the baseline, not the interned path).
+    let mut sink = 0usize;
+    for q in queries.iter().take(500) {
+        sink += legacy.lookup(q, TOP_K).len() + interned.lookup(q, TOP_K).len();
+    }
+
+    let alloc_before = allocated_bytes();
+    let start = Instant::now();
+    for q in &queries {
+        sink += legacy.lookup(q, TOP_K).len();
+    }
+    let legacy_secs = start.elapsed().as_secs_f64();
+    let legacy_bytes = allocated_bytes() - alloc_before;
+
+    let alloc_before = allocated_bytes();
+    let start = Instant::now();
+    for q in &queries {
+        sink += interned.lookup(q, TOP_K).len();
+    }
+    let interned_secs = start.elapsed().as_secs_f64();
+    let interned_bytes = allocated_bytes() - alloc_before;
+
+    let n = queries.len() as f64;
+    let legacy_lps = n / legacy_secs;
+    let interned_lps = n / interned_secs;
+    let speedup = interned_lps / legacy_lps;
+    let arena_bytes = interned.interner().arena_bytes();
+
+    println!(
+        "bench: intern_lookup {} labels, {} queries, top-{TOP_K} (sink {sink})",
+        labels.len(),
+        queries.len()
+    );
+    println!(
+        "bench: legacy   {legacy_secs:>8.3} s {legacy_lps:>12.1} lookups/s {legacy_bytes:>12} bytes alloc (build {legacy_build_secs:.3} s)"
+    );
+    println!(
+        "bench: interned {interned_secs:>8.3} s {interned_lps:>12.1} lookups/s {interned_bytes:>12} bytes alloc (build {interned_build_secs:.3} s, arena {arena_bytes} bytes)"
+    );
+    println!("bench: speedup {speedup:.2}x, alloc ratio {:.3}", interned_bytes as f64 / legacy_bytes.max(1) as f64);
+
+    // Hand-rolled JSON: the vendored serde shim has no real serialisation.
+    let json = format!(
+        "{{\n  \"bench\": \"intern_lookup\",\n  \"labels\": {},\n  \"queries\": {},\n  \"top_k\": {TOP_K},\n  \"legacy\": {{ \"secs\": {legacy_secs:.6}, \"lookups_per_sec\": {legacy_lps:.2}, \"bytes_allocated\": {legacy_bytes}, \"build_secs\": {legacy_build_secs:.6} }},\n  \"interned\": {{ \"secs\": {interned_secs:.6}, \"lookups_per_sec\": {interned_lps:.2}, \"bytes_allocated\": {interned_bytes}, \"build_secs\": {interned_build_secs:.6}, \"arena_bytes\": {arena_bytes} }},\n  \"speedup\": {speedup:.4}\n}}\n",
+        labels.len(),
+        queries.len(),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_intern.json");
+    std::fs::write(path, &json).expect("write BENCH_intern.json");
+    println!("bench: wrote {path}");
+}

@@ -3,6 +3,7 @@
 use std::collections::{HashMap, HashSet};
 
 use ltee_index::LabelIndex;
+use ltee_intern::{Interner, Sym};
 use ltee_webtables::RowRef;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -79,13 +80,16 @@ impl Clustering {
     }
 }
 
-/// Cluster the rows using the learned row similarity model.
+/// Cluster the rows using the learned row similarity model. `interner` is
+/// the run interner behind the contexts' interned label tokens (block keys
+/// use a separate index-local interner and stay internal to this call).
 pub fn cluster_rows(
     contexts: &[RowContext],
     model: &RowSimilarityModel,
     phi: &PhiTableVectors,
     implicit: &ImplicitAttributes,
     config: &ClusteringConfig,
+    interner: &Interner,
 ) -> Clustering {
     if contexts.is_empty() {
         return Clustering::default();
@@ -93,20 +97,25 @@ pub fn cluster_rows(
 
     // --- Blocking -----------------------------------------------------------
     // Build a label index over the normalised row labels; each row's blocks
-    // are the normalised labels of its most similar indexed labels.
-    let blocks: Vec<HashSet<String>> = if config.use_blocking {
+    // are the *syms* of its own label plus its most similar indexed labels —
+    // dense integers of the index's interner, so block-overlap tests are
+    // integer set operations. `label_syms[i]` is row i's own block key.
+    let mut label_syms: Vec<Option<Sym>> = vec![None; contexts.len()];
+    let blocks: Vec<HashSet<Sym>> = if config.use_blocking {
         let mut index = LabelIndex::new();
         for (i, ctx) in contexts.iter().enumerate() {
             if !ctx.normalized_label.is_empty() {
-                index.insert(i as u64, &ctx.normalized_label);
+                label_syms[i] = Some(index.insert(i as u64, &ctx.normalized_label));
             }
         }
+        let label_syms = &label_syms;
         contexts
             .par_iter()
-            .map(|ctx| {
+            .enumerate()
+            .map(|(i, ctx)| {
                 let mut set = HashSet::new();
-                if !ctx.normalized_label.is_empty() {
-                    set.insert(ctx.normalized_label.clone());
+                if let Some(sym) = label_syms[i] {
+                    set.insert(sym);
                     for m in index.lookup(&ctx.normalized_label, config.block_candidates) {
                         set.insert(m.normalized);
                     }
@@ -115,10 +124,9 @@ pub fn cluster_rows(
             })
             .collect()
     } else {
-        // Without blocking every row shares a single universal block.
-        let mut universal = HashSet::new();
-        universal.insert(String::from("*"));
-        vec![universal; contexts.len()]
+        // Without blocking the disjointness gates below are never
+        // consulted; rows carry empty block sets.
+        vec![HashSet::new(); contexts.len()]
     };
 
     // --- Parallel greedy correlation clustering -----------------------------
@@ -127,7 +135,7 @@ pub fn cluster_rows(
     // (creating new clusters as needed). This mirrors the paper's parallel
     // greedy pass whose occasional mistakes the KLj step repairs.
     let mut clusters: Vec<Vec<usize>> = Vec::new();
-    let mut cluster_blocks: Vec<HashSet<String>> = Vec::new();
+    let mut cluster_blocks: Vec<HashSet<Sym>> = Vec::new();
 
     let order: Vec<usize> = (0..contexts.len()).collect();
     for batch in order.chunks(config.batch_size.max(1)) {
@@ -142,7 +150,9 @@ pub fn cluster_rows(
                     }
                     let score: f64 = members
                         .iter()
-                        .map(|&m| model.score(&contexts[row_idx], &contexts[m], phi, implicit))
+                        .map(|&m| {
+                            model.score(&contexts[row_idx], &contexts[m], phi, implicit, interner)
+                        })
                         .sum();
                     if score > 0.0 && best.map(|(_, s)| score > s).unwrap_or(true) {
                         best = Some((cluster_idx, score));
@@ -156,7 +166,7 @@ pub fn cluster_rows(
             match target {
                 Some(cluster_idx) => {
                     clusters[cluster_idx].push(row_idx);
-                    cluster_blocks[cluster_idx].extend(blocks[row_idx].iter().cloned());
+                    cluster_blocks[cluster_idx].extend(blocks[row_idx].iter().copied());
                 }
                 None => {
                     clusters.push(vec![row_idx]);
@@ -168,7 +178,17 @@ pub fn cluster_rows(
 
     // --- KLj refinement ------------------------------------------------------
     if config.use_klj {
-        refine_klj(contexts, model, phi, implicit, &mut clusters, &mut cluster_blocks, config);
+        refine_klj(
+            contexts,
+            &label_syms,
+            model,
+            phi,
+            implicit,
+            &mut clusters,
+            &mut cluster_blocks,
+            config,
+            interner,
+        );
     }
 
     clusters.retain(|c| !c.is_empty());
@@ -176,6 +196,7 @@ pub fn cluster_rows(
 }
 
 /// Sum of pairwise scores between a row and a cluster's members.
+#[allow(clippy::too_many_arguments)]
 fn row_to_cluster_score(
     row: usize,
     members: &[usize],
@@ -183,26 +204,32 @@ fn row_to_cluster_score(
     model: &RowSimilarityModel,
     phi: &PhiTableVectors,
     implicit: &ImplicitAttributes,
+    interner: &Interner,
 ) -> f64 {
     members
         .iter()
         .filter(|&&m| m != row)
-        .map(|&m| model.score(&contexts[row], &contexts[m], phi, implicit))
+        .map(|&m| model.score(&contexts[row], &contexts[m], phi, implicit, interner))
         .sum()
 }
 
 /// Kernighan-Lin with joins: for cluster pairs sharing a block, try moving
 /// individual rows between them and merging them entirely; additionally try
 /// splitting rows out of their cluster when that improves the local fitness.
+///
+/// `label_syms[i]` is row i's own block key (its normalised label's sym in
+/// the blocking index), `None` for label-less rows.
 #[allow(clippy::too_many_arguments)]
 fn refine_klj(
     contexts: &[RowContext],
+    label_syms: &[Option<Sym>],
     model: &RowSimilarityModel,
     phi: &PhiTableVectors,
     implicit: &ImplicitAttributes,
     clusters: &mut Vec<Vec<usize>>,
-    cluster_blocks: &mut Vec<HashSet<String>>,
+    cluster_blocks: &mut Vec<HashSet<Sym>>,
     config: &ClusteringConfig,
+    interner: &Interner,
 ) {
     for _ in 0..config.max_klj_passes {
         let mut improved = false;
@@ -223,8 +250,9 @@ fn refine_klj(
         all_rows.sort_unstable();
         for row in all_rows {
             let current = row_cluster[&row];
-            let current_score =
-                row_to_cluster_score(row, &clusters[current], contexts, model, phi, implicit);
+            let current_score = row_to_cluster_score(
+                row, &clusters[current], contexts, model, phi, implicit, interner,
+            );
             // Candidate targets: clusters sharing a block with the row.
             let mut best_target: Option<(usize, f64)> = None;
             for (ci, members) in clusters.iter().enumerate() {
@@ -232,15 +260,18 @@ fn refine_klj(
                     continue;
                 }
                 if config.use_blocking {
-                    let shares = members.iter().any(|&m| {
-                        !blocks_of(contexts, m).is_disjoint(&blocks_of(contexts, row))
-                    });
+                    // A member shares the row's block iff the two label syms
+                    // are equal (label-less rows share no block).
+                    let shares = label_syms[row]
+                        .map(|s| members.iter().any(|&m| label_syms[m] == Some(s)))
+                        .unwrap_or(false);
                     let shares = shares || !cluster_blocks[ci].is_disjoint(&cluster_blocks[current]);
                     if !shares {
                         continue;
                     }
                 }
-                let score = row_to_cluster_score(row, members, contexts, model, phi, implicit);
+                let score =
+                    row_to_cluster_score(row, members, contexts, model, phi, implicit, interner);
                 if best_target.map(|(_, s)| score > s).unwrap_or(true) {
                     best_target = Some((ci, score));
                 }
@@ -250,7 +281,7 @@ fn refine_klj(
                 if score > current_score && score > 0.0 {
                     clusters[current].retain(|&m| m != row);
                     clusters[target].push(row);
-                    cluster_blocks[target].extend(blocks_of(contexts, row).iter().cloned());
+                    cluster_blocks[target].extend(label_syms[row]);
                     row_cluster.insert(row, target);
                     improved = true;
                     continue;
@@ -260,7 +291,7 @@ fn refine_klj(
             if current_score < 0.0 && clusters[current].len() > 1 {
                 clusters[current].retain(|&m| m != row);
                 clusters.push(vec![row]);
-                cluster_blocks.push(blocks_of(contexts, row));
+                cluster_blocks.push(label_syms[row].into_iter().collect());
                 row_cluster.insert(row, clusters.len() - 1);
                 improved = true;
             }
@@ -292,7 +323,7 @@ fn refine_klj(
                 let score_row = |&a: &usize| {
                     right
                         .iter()
-                        .map(|&b| model.score(&contexts[a], &contexts[b], phi, implicit))
+                        .map(|&b| model.score(&contexts[a], &contexts[b], phi, implicit, interner))
                         .sum::<f64>()
                 };
                 let cross: f64 = if member_pairs >= MIN_PARALLEL_MERGE_PAIRS {
@@ -308,7 +339,7 @@ fn refine_klj(
                     let (from, to) = (j, i);
                     let moved: Vec<usize> = clusters[from].drain(..).collect();
                     clusters[to].extend(moved);
-                    let blocks: Vec<String> = cluster_blocks[from].drain().collect();
+                    let blocks: Vec<Sym> = cluster_blocks[from].drain().collect();
                     cluster_blocks[to].extend(blocks);
                     merged_into.insert(from, to);
                     improved = true;
@@ -321,15 +352,6 @@ fn refine_klj(
         }
     }
     clusters.retain(|c| !c.is_empty());
-}
-
-/// The blocking keys of a single row (its normalised label).
-fn blocks_of(contexts: &[RowContext], row: usize) -> HashSet<String> {
-    let mut set = HashSet::new();
-    if !contexts[row].normalized_label.is_empty() {
-        set.insert(contexts[row].normalized_label.clone());
-    }
-    set
 }
 
 #[cfg(test)]
@@ -366,17 +388,24 @@ mod tests {
         RowSimilarityModel { metrics, model }
     }
 
-    fn ctx(table: u64, row: usize, label: &str) -> RowContext {
+    fn ctx(interner: &mut ltee_intern::Interner, table: u64, row: usize, label: &str) -> RowContext {
+        let normalized_label = ltee_text::normalize_label(label);
+        let label_tokens = ltee_text::tokenize_interned(&normalized_label, interner);
         RowContext {
             row: RowRef::new(TableId(table), row),
             label: label.to_string(),
-            normalized_label: ltee_text::normalize_label(label),
+            normalized_label,
+            label_tokens,
             bow: BowVector::from_text(label),
             values: RowValues { label: label.to_string(), values: vec![] },
         }
     }
 
-    fn run(contexts: &[RowContext], config: &ClusteringConfig) -> Vec<Vec<usize>> {
+    fn run(
+        contexts: &[RowContext],
+        config: &ClusteringConfig,
+        interner: &ltee_intern::Interner,
+    ) -> Vec<Vec<usize>> {
         let model = label_model();
         let clustering = cluster_rows(
             contexts,
@@ -384,6 +413,7 @@ mod tests {
             &PhiTableVectors::default(),
             &ImplicitAttributes::default(),
             config,
+            interner,
         );
         clustering.clusters
     }
@@ -394,14 +424,15 @@ mod tests {
 
     #[test]
     fn identical_labels_cluster_together() {
+        let mut interner = ltee_intern::Interner::new();
         let contexts = vec![
-            ctx(1, 0, "Tom Brady"),
-            ctx(2, 0, "Tom Brady"),
-            ctx(3, 0, "Eli Manning"),
-            ctx(4, 0, "Eli Manning"),
-            ctx(5, 0, "Yellow Submarine"),
+            ctx(&mut interner, 1, 0, "Tom Brady"),
+            ctx(&mut interner, 2, 0, "Tom Brady"),
+            ctx(&mut interner, 3, 0, "Eli Manning"),
+            ctx(&mut interner, 4, 0, "Eli Manning"),
+            ctx(&mut interner, 5, 0, "Yellow Submarine"),
         ];
-        let clusters = run(&contexts, &ClusteringConfig::default());
+        let clusters = run(&contexts, &ClusteringConfig::default(), &interner);
         assert_eq!(clusters.len(), 3);
         assert_eq!(cluster_of(&clusters, 0), cluster_of(&clusters, 1));
         assert_eq!(cluster_of(&clusters, 2), cluster_of(&clusters, 3));
@@ -410,9 +441,10 @@ mod tests {
 
     #[test]
     fn every_row_is_clustered_exactly_once() {
+        let mut interner = ltee_intern::Interner::new();
         let contexts: Vec<RowContext> =
-            (0..30).map(|i| ctx(i as u64, 0, &format!("Entity {}", i % 10))).collect();
-        let clusters = run(&contexts, &ClusteringConfig::default());
+            (0..30).map(|i| ctx(&mut interner, i as u64, 0, &format!("Entity {}", i % 10))).collect();
+        let clusters = run(&contexts, &ClusteringConfig::default(), &interner);
         let total: usize = clusters.iter().map(|c| c.len()).sum();
         assert_eq!(total, 30);
         let mut seen = HashSet::new();
@@ -425,46 +457,58 @@ mod tests {
 
     #[test]
     fn typo_labels_still_cluster() {
-        let contexts = vec![ctx(1, 0, "Peyton Manning"), ctx(2, 0, "Peyton Maning")];
-        let clusters = run(&contexts, &ClusteringConfig::default());
+        let mut interner = ltee_intern::Interner::new();
+        let contexts =
+            vec![ctx(&mut interner, 1, 0, "Peyton Manning"), ctx(&mut interner, 2, 0, "Peyton Maning")];
+        let clusters = run(&contexts, &ClusteringConfig::default(), &interner);
         assert_eq!(clusters.len(), 1, "near-identical labels should merge: {clusters:?}");
     }
 
     #[test]
     fn blocking_and_no_blocking_agree_on_easy_data() {
+        let mut interner = ltee_intern::Interner::new();
         let contexts: Vec<RowContext> =
-            (0..20).map(|i| ctx(i as u64, 0, &format!("Entity {}", i % 5))).collect();
-        let with = run(&contexts, &ClusteringConfig::default());
-        let without = run(&contexts, &ClusteringConfig { use_blocking: false, ..Default::default() });
+            (0..20).map(|i| ctx(&mut interner, i as u64, 0, &format!("Entity {}", i % 5))).collect();
+        let with = run(&contexts, &ClusteringConfig::default(), &interner);
+        let without = run(
+            &contexts,
+            &ClusteringConfig { use_blocking: false, ..Default::default() },
+            &interner,
+        );
         assert_eq!(with.len(), without.len());
     }
 
     #[test]
     fn klj_disabled_still_produces_valid_clustering() {
+        let mut interner = ltee_intern::Interner::new();
         let contexts: Vec<RowContext> =
-            (0..12).map(|i| ctx(i as u64, 0, &format!("Entity {}", i % 4))).collect();
-        let clusters = run(&contexts, &ClusteringConfig { use_klj: false, ..Default::default() });
+            (0..12).map(|i| ctx(&mut interner, i as u64, 0, &format!("Entity {}", i % 4))).collect();
+        let clusters =
+            run(&contexts, &ClusteringConfig { use_klj: false, ..Default::default() }, &interner);
         let total: usize = clusters.iter().map(|c| c.len()).sum();
         assert_eq!(total, 12);
     }
 
     #[test]
     fn empty_input_gives_empty_clustering() {
-        let clusters = run(&[], &ClusteringConfig::default());
+        let clusters = run(&[], &ClusteringConfig::default(), &ltee_intern::Interner::new());
         assert!(clusters.is_empty());
     }
 
     #[test]
     fn rows_of_same_table_can_still_separate() {
         // Two different entities in one table must not be forced together.
-        let contexts = vec![ctx(1, 0, "Alpha Bravo"), ctx(1, 1, "Charlie Delta")];
-        let clusters = run(&contexts, &ClusteringConfig::default());
+        let mut interner = ltee_intern::Interner::new();
+        let contexts =
+            vec![ctx(&mut interner, 1, 0, "Alpha Bravo"), ctx(&mut interner, 1, 1, "Charlie Delta")];
+        let clusters = run(&contexts, &ClusteringConfig::default(), &interner);
         assert_eq!(clusters.len(), 2);
     }
 
     #[test]
     fn to_row_refs_preserves_membership() {
-        let contexts = vec![ctx(1, 0, "A"), ctx(2, 0, "A")];
+        let mut interner = ltee_intern::Interner::new();
+        let contexts = vec![ctx(&mut interner, 1, 0, "A"), ctx(&mut interner, 2, 0, "A")];
         let model = label_model();
         let clustering = cluster_rows(
             &contexts,
@@ -472,6 +516,7 @@ mod tests {
             &PhiTableVectors::default(),
             &ImplicitAttributes::default(),
             &ClusteringConfig::default(),
+            &interner,
         );
         let refs = clustering.to_row_refs(&contexts);
         let total: usize = refs.iter().map(|c| c.len()).sum();

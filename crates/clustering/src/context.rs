@@ -4,9 +4,10 @@
 use std::collections::HashMap;
 
 use ltee_index::LabelIndex;
+use ltee_intern::{Interner, TokenSeq};
 use ltee_kb::{ClassKey, InstanceId, KnowledgeBase};
 use ltee_matching::{CorpusMapping, RowValues};
-use ltee_text::{normalize_label, BowVector};
+use ltee_text::{normalize_label, tokenize_interned, BowVector};
 use ltee_types::{value_equivalent, EquivalenceConfig, Value};
 use ltee_webtables::{Corpus, RowRef, TableId};
 
@@ -20,21 +21,40 @@ pub struct RowContext {
     pub label: String,
     /// The normalised label (blocking key).
     pub normalized_label: String,
+    /// Interned tokens of the normalised label, minted by the pipeline
+    /// run's interner. The `LABEL` metric scores these instead of
+    /// re-tokenising `normalized_label` per comparison.
+    pub label_tokens: TokenSeq,
     /// Binary bag-of-words vector over all cells of the row.
     pub bow: BowVector,
     /// Schema-mapped values of the row.
     pub values: RowValues,
 }
 
-/// Build the row contexts for a set of rows under a corpus mapping.
-pub fn build_row_contexts(corpus: &Corpus, mapping: &CorpusMapping, rows: &[RowRef]) -> Vec<RowContext> {
+/// Build the row contexts for a set of rows under a corpus mapping,
+/// interning each label's tokens into the run interner (sequential — the
+/// sym ids depend only on row order, never on thread count).
+pub fn build_row_contexts(
+    corpus: &Corpus,
+    mapping: &CorpusMapping,
+    rows: &[RowRef],
+    interner: &mut Interner,
+) -> Vec<RowContext> {
     rows.iter()
         .map(|&row| {
             let values = mapping.row_values(corpus, row);
             let cells = corpus.row_cells(row);
             let bow = BowVector::from_texts(cells.iter().copied());
             let normalized_label = normalize_label(&values.label);
-            RowContext { row, label: values.label.clone(), normalized_label, bow, values }
+            let label_tokens = tokenize_interned(&normalized_label, interner);
+            RowContext {
+                row,
+                label: values.label.clone(),
+                normalized_label,
+                label_tokens,
+                bow,
+                values,
+            }
         })
         .collect()
 }
@@ -181,11 +201,16 @@ mod tests {
         let class = ClassKey::GridironFootballPlayer;
         let rows = mapping.class_rows(&corpus, class);
         assert!(!rows.is_empty(), "schema matching should map some tables to the class");
-        let contexts = build_row_contexts(&corpus, &mapping, &rows);
+        let mut interner = Interner::new();
+        let contexts = build_row_contexts(&corpus, &mapping, &rows, &mut interner);
         assert_eq!(contexts.len(), rows.len());
         let with_labels = contexts.iter().filter(|c| !c.label.is_empty()).count();
         assert!(with_labels as f64 > contexts.len() as f64 * 0.9);
         assert!(contexts.iter().all(|c| !c.bow.is_empty()));
+        // Interned tokens mirror the normalised labels.
+        for c in &contexts {
+            assert_eq!(c.label_tokens.is_empty(), ltee_text::tokenize(&c.normalized_label).is_empty());
+        }
     }
 
     #[test]

@@ -32,6 +32,7 @@
 use std::collections::{BTreeSet, HashMap, HashSet};
 
 use ltee_index::LabelIndex;
+use ltee_intern::{Interner, Sym};
 use ltee_webtables::{RowRef, TableId};
 use rayon::prelude::*;
 
@@ -135,8 +136,12 @@ pub struct StreamingClusterer {
     config: ClusteringConfig,
     contexts: Vec<RowContext>,
     clusters: Vec<Vec<usize>>,
-    cluster_blocks: Vec<HashSet<String>>,
-    /// Labels of all ingested rows (prefix blocking index).
+    /// Integer block keys per cluster: syms of `block_index`'s interner.
+    /// Sym ids are a function of row ingest order alone, so they are
+    /// identical however the stream is split into micro-batches.
+    cluster_blocks: Vec<HashSet<Sym>>,
+    /// Labels of all ingested rows (prefix blocking index; owns the
+    /// interner that mints the block syms).
     block_index: LabelIndex,
 }
 
@@ -160,13 +165,15 @@ impl StreamingClusterer {
     ///
     /// Rows are processed strictly in order; each row's candidate-cluster
     /// scores are computed in parallel with an ordered reduction, so the
-    /// assignment is bit-identical at every thread count.
+    /// assignment is bit-identical at every thread count. `interner` is the
+    /// pipeline interner behind the contexts' interned label tokens.
     pub fn ingest(
         &mut self,
         new_contexts: Vec<RowContext>,
         model: &RowSimilarityModel,
         phi: &PhiTableVectors,
         implicit: &ImplicitAttributes,
+        interner: &Interner,
     ) -> Vec<usize> {
         let mut touched: BTreeSet<usize> = BTreeSet::new();
         for ctx in new_contexts {
@@ -175,10 +182,14 @@ impl StreamingClusterer {
             let label = self.contexts[row_idx].normalized_label.clone();
 
             // Blocks: the row's own label plus similar labels among the
-            // rows ingested before it.
-            let mut blocks: HashSet<String> = HashSet::new();
+            // rows ingested before it — as integer syms of the prefix
+            // index. The row's own label is interned *before* the lookup
+            // (interning never changes lookup results) so its block key
+            // exists even though the row itself is only indexed below,
+            // after the assignment decision.
+            let mut blocks: HashSet<Sym> = HashSet::new();
             if !label.is_empty() {
-                blocks.insert(label.clone());
+                blocks.insert(self.block_index.intern_label(&label));
                 if self.config.use_blocking {
                     for m in self.block_index.lookup(&label, self.config.block_candidates) {
                         blocks.insert(m.normalized);
@@ -201,7 +212,9 @@ impl StreamingClusterer {
                     }
                     let score: f64 = clusters[ci]
                         .iter()
-                        .map(|&m| model.score(&contexts[row_idx], &contexts[m], phi, implicit))
+                        .map(|&m| {
+                            model.score(&contexts[row_idx], &contexts[m], phi, implicit, interner)
+                        })
                         .sum();
                     Some(score)
                 })
@@ -305,18 +318,21 @@ mod tests {
         RowSimilarityModel { metrics, model }
     }
 
-    fn ctx(table: u64, row: usize, label: &str) -> RowContext {
+    fn ctx(interner: &mut Interner, table: u64, row: usize, label: &str) -> RowContext {
+        let normalized_label = ltee_text::normalize_label(label);
+        let label_tokens = ltee_text::tokenize_interned(&normalized_label, interner);
         RowContext {
             row: RowRef::new(TableId(table), row),
             label: label.to_string(),
-            normalized_label: ltee_text::normalize_label(label),
+            normalized_label,
+            label_tokens,
             bow: BowVector::from_text(label),
             values: RowValues { label: label.to_string(), values: vec![] },
         }
     }
 
-    fn sample_rows() -> Vec<RowContext> {
-        (0..24).map(|i| ctx(i as u64, 0, &format!("Entity {}", i % 6))).collect()
+    fn sample_rows(interner: &mut Interner) -> Vec<RowContext> {
+        (0..24).map(|i| ctx(interner, i as u64, 0, &format!("Entity {}", i % 6))).collect()
     }
 
     #[test]
@@ -324,15 +340,16 @@ mod tests {
         let model = label_model();
         let phi = PhiTableVectors::default();
         let implicit = ImplicitAttributes::default();
-        let rows = sample_rows();
+        let mut interner = Interner::new();
+        let rows = sample_rows(&mut interner);
 
         let mut all = StreamingClusterer::new(ClusteringConfig::default());
-        all.ingest(rows.clone(), &model, &phi, &implicit);
+        all.ingest(rows.clone(), &model, &phi, &implicit, &interner);
 
         for split in [1usize, 3, 5, 7, 24] {
             let mut parts = StreamingClusterer::new(ClusteringConfig::default());
             for chunk in rows.chunks(split) {
-                parts.ingest(chunk.to_vec(), &model, &phi, &implicit);
+                parts.ingest(chunk.to_vec(), &model, &phi, &implicit, &interner);
             }
             assert_eq!(parts.clusters(), all.clusters(), "split size {split}");
         }
@@ -343,16 +360,19 @@ mod tests {
         let model = label_model();
         let phi = PhiTableVectors::default();
         let implicit = ImplicitAttributes::default();
+        let mut interner = Interner::new();
         let mut clusterer = StreamingClusterer::new(ClusteringConfig::default());
         let touched = clusterer.ingest(
-            vec![ctx(1, 0, "Tom Brady"), ctx(2, 0, "Eli Manning")],
+            vec![ctx(&mut interner, 1, 0, "Tom Brady"), ctx(&mut interner, 2, 0, "Eli Manning")],
             &model,
             &phi,
             &implicit,
+            &interner,
         );
         assert_eq!(touched, vec![0, 1]);
         // A repeat label joins its cluster; only that cluster is touched.
-        let touched = clusterer.ingest(vec![ctx(3, 0, "Tom Brady")], &model, &phi, &implicit);
+        let row = ctx(&mut interner, 3, 0, "Tom Brady");
+        let touched = clusterer.ingest(vec![row], &model, &phi, &implicit, &interner);
         assert_eq!(touched, vec![0]);
         assert_eq!(clusterer.len(), 2);
         assert_eq!(clusterer.num_rows(), 3);
@@ -364,7 +384,7 @@ mod tests {
         let phi = PhiTableVectors::default();
         let implicit = ImplicitAttributes::default();
         let mut clusterer = StreamingClusterer::new(ClusteringConfig::default());
-        let touched = clusterer.ingest(Vec::new(), &model, &phi, &implicit);
+        let touched = clusterer.ingest(Vec::new(), &model, &phi, &implicit, &Interner::new());
         assert!(touched.is_empty());
         assert!(clusterer.is_empty());
     }
@@ -374,8 +394,10 @@ mod tests {
         let model = label_model();
         let phi = PhiTableVectors::default();
         let implicit = ImplicitAttributes::default();
+        let mut interner = Interner::new();
         let mut clusterer = StreamingClusterer::new(ClusteringConfig::default());
-        clusterer.ingest(vec![ctx(1, 0, ""), ctx(2, 0, "")], &model, &phi, &implicit);
+        let rows = vec![ctx(&mut interner, 1, 0, ""), ctx(&mut interner, 2, 0, "")];
+        clusterer.ingest(rows, &model, &phi, &implicit, &interner);
         assert_eq!(clusterer.len(), 2);
     }
 

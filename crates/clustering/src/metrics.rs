@@ -3,8 +3,9 @@
 
 use std::collections::HashMap;
 
+use ltee_intern::Interner;
 use ltee_ml::PairwiseModel;
-use ltee_text::{cosine_similarity, monge_elkan_similarity};
+use ltee_text::{cosine_similarity, monge_elkan_tokens};
 use ltee_types::{value_similarity, Value};
 use ltee_webtables::{Corpus, TableId};
 use serde::{Deserialize, Serialize};
@@ -219,15 +220,20 @@ impl PhiTableVectors {
 }
 
 /// Compute the similarity (and confidence) of one metric for a row pair.
+///
+/// `interner` is the run interner that minted both contexts'
+/// `label_tokens`; the `LABEL` metric scores those interned tokens
+/// directly (bit-identical to the string path, no re-tokenisation).
 pub fn metric_score(
     kind: RowMetricKind,
     a: &RowContext,
     b: &RowContext,
     phi: &PhiTableVectors,
     implicit: &ImplicitAttributes,
+    interner: &Interner,
 ) -> (f64, f64) {
     match kind {
-        RowMetricKind::Label => (monge_elkan_similarity(&a.normalized_label, &b.normalized_label), 1.0),
+        RowMetricKind::Label => (monge_elkan_tokens(&a.label_tokens, &b.label_tokens, interner), 1.0),
         RowMetricKind::Bow => (cosine_similarity(&a.bow, &b.bow), 1.0),
         RowMetricKind::Phi => (phi.table_similarity(a.row.table, b.row.table), 1.0),
         RowMetricKind::Attribute => attribute_score(a, b),
@@ -308,11 +314,12 @@ pub fn metric_features(
     b: &RowContext,
     phi: &PhiTableVectors,
     implicit: &ImplicitAttributes,
+    interner: &Interner,
 ) -> Vec<f64> {
     let mut sims = Vec::with_capacity(metrics.len() + 2);
     let mut confs = Vec::new();
     for &kind in metrics {
-        let (sim, conf) = metric_score(kind, a, b, phi, implicit);
+        let (sim, conf) = metric_score(kind, a, b, phi, implicit, interner);
         sims.push(sim);
         if kind.has_confidence() {
             confs.push(conf);
@@ -344,15 +351,17 @@ pub struct RowSimilarityModel {
 }
 
 impl RowSimilarityModel {
-    /// Score a row pair: positive means "same instance".
+    /// Score a row pair: positive means "same instance". `interner` is the
+    /// run interner behind both contexts' interned tokens.
     pub fn score(
         &self,
         a: &RowContext,
         b: &RowContext,
         phi: &PhiTableVectors,
         implicit: &ImplicitAttributes,
+        interner: &Interner,
     ) -> f64 {
-        let features = metric_features(&self.metrics, a, b, phi, implicit);
+        let features = metric_features(&self.metrics, a, b, phi, implicit, interner);
         self.model.score(&features)
     }
 
@@ -399,13 +408,23 @@ mod tests {
     use ltee_text::BowVector;
     use ltee_webtables::RowRef;
 
-    fn ctx(table: u64, row: usize, label: &str, values: Vec<(&str, Value)>, extra_terms: &str) -> RowContext {
+    fn ctx(
+        interner: &mut Interner,
+        table: u64,
+        row: usize,
+        label: &str,
+        values: Vec<(&str, Value)>,
+        extra_terms: &str,
+    ) -> RowContext {
         let mut bow = BowVector::from_text(label);
         bow.add_text(extra_terms);
+        let normalized_label = ltee_text::normalize_label(label);
+        let label_tokens = ltee_text::tokenize_interned(&normalized_label, interner);
         RowContext {
             row: RowRef::new(TableId(table), row),
             label: label.to_string(),
-            normalized_label: ltee_text::normalize_label(label),
+            normalized_label,
+            label_tokens,
             bow,
             values: RowValues {
                 label: label.to_string(),
@@ -416,28 +435,56 @@ mod tests {
 
     #[test]
     fn label_metric_high_for_same_label() {
-        let a = ctx(1, 0, "Tom Brady", vec![], "");
-        let b = ctx(2, 0, "Tom Brady", vec![], "");
-        let (sim, _) = metric_score(RowMetricKind::Label, &a, &b, &PhiTableVectors::default(), &ImplicitAttributes::default());
+        let mut interner = Interner::new();
+        let a = ctx(&mut interner, 1, 0, "Tom Brady", vec![], "");
+        let b = ctx(&mut interner, 2, 0, "Tom Brady", vec![], "");
+        let (sim, _) = metric_score(
+            RowMetricKind::Label,
+            &a,
+            &b,
+            &PhiTableVectors::default(),
+            &ImplicitAttributes::default(),
+            &interner,
+        );
         assert!(sim > 0.99);
     }
 
     #[test]
+    fn label_metric_bit_matches_string_monge_elkan() {
+        let mut interner = Interner::new();
+        let a = ctx(&mut interner, 1, 0, "Peyton Maning", vec![], "");
+        let b = ctx(&mut interner, 2, 0, "Peyton Manning (QB)", vec![], "");
+        let (sim, _) = metric_score(
+            RowMetricKind::Label,
+            &a,
+            &b,
+            &PhiTableVectors::default(),
+            &ImplicitAttributes::default(),
+            &interner,
+        );
+        let expected =
+            ltee_text::monge_elkan_similarity(&a.normalized_label, &b.normalized_label);
+        assert_eq!(sim.to_bits(), expected.to_bits());
+    }
+
+    #[test]
     fn bow_metric_reflects_shared_cells() {
-        let a = ctx(1, 0, "Tom Brady", vec![], "patriots qb michigan");
-        let b = ctx(2, 0, "Tom Brady", vec![], "patriots qb");
-        let c = ctx(3, 0, "Tom Brady", vec![], "unrelated terms here");
+        let mut interner = Interner::new();
+        let a = ctx(&mut interner, 1, 0, "Tom Brady", vec![], "patriots qb michigan");
+        let b = ctx(&mut interner, 2, 0, "Tom Brady", vec![], "patriots qb");
+        let c = ctx(&mut interner, 3, 0, "Tom Brady", vec![], "unrelated terms here");
         let phi = PhiTableVectors::default();
         let imp = ImplicitAttributes::default();
-        let (ab, _) = metric_score(RowMetricKind::Bow, &a, &b, &phi, &imp);
-        let (ac, _) = metric_score(RowMetricKind::Bow, &a, &c, &phi, &imp);
+        let (ab, _) = metric_score(RowMetricKind::Bow, &a, &b, &phi, &imp, &interner);
+        let (ac, _) = metric_score(RowMetricKind::Bow, &a, &c, &phi, &imp, &interner);
         assert!(ab > ac);
     }
 
     #[test]
     fn attribute_metric_counts_overlapping_pairs() {
-        let a = ctx(1, 0, "X", vec![("team", Value::InstanceRef("Packers".into())), ("number", Value::NominalInt(4))], "");
-        let b = ctx(2, 0, "X", vec![("team", Value::InstanceRef("Packers".into())), ("number", Value::NominalInt(12))], "");
+        let mut interner = Interner::new();
+        let a = ctx(&mut interner, 1, 0, "X", vec![("team", Value::InstanceRef("Packers".into())), ("number", Value::NominalInt(4))], "");
+        let b = ctx(&mut interner, 2, 0, "X", vec![("team", Value::InstanceRef("Packers".into())), ("number", Value::NominalInt(12))], "");
         let (sim, conf) = attribute_score(&a, &b);
         assert!((sim - 0.5).abs() < 1e-12);
         assert_eq!(conf, 2.0);
@@ -445,8 +492,9 @@ mod tests {
 
     #[test]
     fn attribute_metric_no_overlap_zero_confidence() {
-        let a = ctx(1, 0, "X", vec![("team", Value::InstanceRef("Packers".into()))], "");
-        let b = ctx(2, 0, "X", vec![("number", Value::NominalInt(12))], "");
+        let mut interner = Interner::new();
+        let a = ctx(&mut interner, 1, 0, "X", vec![("team", Value::InstanceRef("Packers".into()))], "");
+        let b = ctx(&mut interner, 2, 0, "X", vec![("number", Value::NominalInt(12))], "");
         let (sim, conf) = attribute_score(&a, &b);
         assert_eq!(sim, 0.0);
         assert_eq!(conf, 0.0);
@@ -454,25 +502,27 @@ mod tests {
 
     #[test]
     fn same_table_metric() {
-        let a = ctx(1, 0, "A", vec![], "");
-        let b = ctx(1, 1, "B", vec![], "");
-        let c = ctx(2, 0, "C", vec![], "");
+        let mut interner = Interner::new();
+        let a = ctx(&mut interner, 1, 0, "A", vec![], "");
+        let b = ctx(&mut interner, 1, 1, "B", vec![], "");
+        let c = ctx(&mut interner, 2, 0, "C", vec![], "");
         let phi = PhiTableVectors::default();
         let imp = ImplicitAttributes::default();
-        assert_eq!(metric_score(RowMetricKind::SameTable, &a, &b, &phi, &imp).0, 0.0);
-        assert_eq!(metric_score(RowMetricKind::SameTable, &a, &c, &phi, &imp).0, 1.0);
+        assert_eq!(metric_score(RowMetricKind::SameTable, &a, &b, &phi, &imp, &interner).0, 0.0);
+        assert_eq!(metric_score(RowMetricKind::SameTable, &a, &c, &phi, &imp, &interner).0, 1.0);
     }
 
     #[test]
     fn phi_vectors_give_higher_similarity_to_tables_sharing_labels() {
         // Tables 1 and 2 share two labels; table 3 shares none.
+        let mut interner = Interner::new();
         let contexts = vec![
-            ctx(1, 0, "alpha", vec![], ""),
-            ctx(1, 1, "beta", vec![], ""),
-            ctx(2, 0, "alpha", vec![], ""),
-            ctx(2, 1, "beta", vec![], ""),
-            ctx(3, 0, "gamma", vec![], ""),
-            ctx(3, 1, "delta", vec![], ""),
+            ctx(&mut interner, 1, 0, "alpha", vec![], ""),
+            ctx(&mut interner, 1, 1, "beta", vec![], ""),
+            ctx(&mut interner, 2, 0, "alpha", vec![], ""),
+            ctx(&mut interner, 2, 1, "beta", vec![], ""),
+            ctx(&mut interner, 3, 0, "gamma", vec![], ""),
+            ctx(&mut interner, 3, 1, "delta", vec![], ""),
         ];
         let corpus = Corpus::new();
         let phi = PhiTableVectors::build(&corpus, &contexts);
@@ -484,13 +534,21 @@ mod tests {
 
     #[test]
     fn feature_vector_layout_matches_names() {
+        let mut interner = Interner::new();
         let metrics = RowMetricKind::ALL.to_vec();
         let names = metric_feature_names(&metrics);
         assert_eq!(names.len(), 8); // 6 similarities + 2 confidences
         assert_eq!(names[6], "ATTRIBUTE_confidence");
-        let a = ctx(1, 0, "A", vec![], "");
-        let b = ctx(2, 0, "A", vec![], "");
-        let features = metric_features(&metrics, &a, &b, &PhiTableVectors::default(), &ImplicitAttributes::default());
+        let a = ctx(&mut interner, 1, 0, "A", vec![], "");
+        let b = ctx(&mut interner, 2, 0, "A", vec![], "");
+        let features = metric_features(
+            &metrics,
+            &a,
+            &b,
+            &PhiTableVectors::default(),
+            &ImplicitAttributes::default(),
+            &interner,
+        );
         assert_eq!(features.len(), names.len());
     }
 

@@ -6,6 +6,7 @@
 
 use std::collections::HashMap;
 
+use ltee_intern::Interner;
 use ltee_ml::{AggregationMethod, Dataset, PairwiseModel, PairwiseTrainingConfig, Sample};
 use ltee_webtables::{GoldStandard, RowRef};
 use rayon::prelude::*;
@@ -63,6 +64,7 @@ pub fn build_pair_dataset(
     phi: &PhiTableVectors,
     implicit: &ImplicitAttributes,
     config: &RowModelTrainingConfig,
+    interner: &Interner,
 ) -> Dataset {
     let names = metric_feature_names(metrics);
     let mut dataset = Dataset::new(names);
@@ -115,9 +117,10 @@ pub fn build_pair_dataset(
                         if ci == cj {
                             return None;
                         }
-                        let label_sim = ltee_text::monge_elkan_similarity(
-                            &contexts[i].normalized_label,
-                            &contexts[j].normalized_label,
+                        let label_sim = ltee_text::monge_elkan_tokens(
+                            &contexts[i].label_tokens,
+                            &contexts[j].label_tokens,
+                            interner,
                         );
                         Some((j, label_sim >= 0.3))
                     })
@@ -146,13 +149,19 @@ pub fn build_pair_dataset(
     let positive_samples: Vec<Sample> = positives
         .par_iter()
         .map(|&(i, j)| {
-            Sample::new(metric_features(metrics, &contexts[i], &contexts[j], phi, implicit), 1.0)
+            Sample::new(
+                metric_features(metrics, &contexts[i], &contexts[j], phi, implicit, interner),
+                1.0,
+            )
         })
         .collect();
     let negative_samples: Vec<Sample> = negatives
         .par_iter()
         .map(|&(i, j)| {
-            Sample::new(metric_features(metrics, &contexts[i], &contexts[j], phi, implicit), 0.0)
+            Sample::new(
+                metric_features(metrics, &contexts[i], &contexts[j], phi, implicit, interner),
+                0.0,
+            )
         })
         .collect();
     for sample in positive_samples.into_iter().chain(negative_samples) {
@@ -178,7 +187,7 @@ mod tests {
     use ltee_matching::{match_corpus, MatcherWeights, SchemaMatchingConfig};
     use ltee_webtables::{generate_corpus, CorpusConfig};
 
-    fn setup() -> (Vec<RowContext>, GoldStandard, PhiTableVectors, ImplicitAttributes) {
+    fn setup() -> (Vec<RowContext>, GoldStandard, PhiTableVectors, ImplicitAttributes, Interner) {
         let world = generate_world(&GeneratorConfig::new(Scale::tiny(), 51));
         let corpus = generate_corpus(&world, &CorpusConfig::tiny());
         let mapping = match_corpus(
@@ -191,18 +200,19 @@ mod tests {
         let class = ClassKey::GridironFootballPlayer;
         let gold = GoldStandard::build(&world, &corpus, class);
         let rows = mapping.class_rows(&corpus, class);
-        let contexts = crate::context::build_row_contexts(&corpus, &mapping, &rows);
+        let mut interner = Interner::new();
+        let contexts = crate::context::build_row_contexts(&corpus, &mapping, &rows, &mut interner);
         let phi = PhiTableVectors::build(&corpus, &contexts);
         let index = world.kb().label_index(class);
         let implicit = ImplicitAttributes::build(&corpus, &mapping, world.kb(), class, &index);
-        (contexts, gold, phi, implicit)
+        (contexts, gold, phi, implicit, interner)
     }
 
     #[test]
     fn pair_dataset_has_both_classes_and_correct_arity() {
-        let (contexts, gold, phi, implicit) = setup();
+        let (contexts, gold, phi, implicit, interner) = setup();
         let metrics = RowMetricKind::ALL.to_vec();
-        let ds = build_pair_dataset(&contexts, &gold, &metrics, &phi, &implicit, &RowModelTrainingConfig::fast());
+        let ds = build_pair_dataset(&contexts, &gold, &metrics, &phi, &implicit, &RowModelTrainingConfig::fast(), &interner);
         assert!(ds.positives() > 0, "need positive pairs");
         assert!(ds.negatives() > 0, "need negative pairs");
         assert_eq!(ds.num_features(), 8);
@@ -210,10 +220,10 @@ mod tests {
 
     #[test]
     fn trained_model_separates_same_and_different_entities() {
-        let (contexts, gold, phi, implicit) = setup();
+        let (contexts, gold, phi, implicit, interner) = setup();
         let metrics = RowMetricKind::ALL.to_vec();
         let config = RowModelTrainingConfig::fast();
-        let ds = build_pair_dataset(&contexts, &gold, &metrics, &phi, &implicit, &config);
+        let ds = build_pair_dataset(&contexts, &gold, &metrics, &phi, &implicit, &config, &interner);
         let model = train_row_model(&ds, metrics, &config);
 
         // Evaluate on the training pairs themselves (sanity, not rigour):
@@ -237,10 +247,10 @@ mod tests {
 
     #[test]
     fn metric_importances_cover_all_metrics() {
-        let (contexts, gold, phi, implicit) = setup();
+        let (contexts, gold, phi, implicit, interner) = setup();
         let metrics = RowMetricKind::ALL.to_vec();
         let config = RowModelTrainingConfig::fast();
-        let ds = build_pair_dataset(&contexts, &gold, &metrics, &phi, &implicit, &config);
+        let ds = build_pair_dataset(&contexts, &gold, &metrics, &phi, &implicit, &config, &interner);
         let model = train_row_model(&ds, metrics, &config);
         let importances = model.metric_importances();
         assert_eq!(importances.len(), 6);
@@ -250,10 +260,10 @@ mod tests {
 
     #[test]
     fn label_only_model_trains() {
-        let (contexts, gold, phi, implicit) = setup();
+        let (contexts, gold, phi, implicit, interner) = setup();
         let metrics = vec![RowMetricKind::Label];
         let config = RowModelTrainingConfig::fast();
-        let ds = build_pair_dataset(&contexts, &gold, &metrics, &phi, &implicit, &config);
+        let ds = build_pair_dataset(&contexts, &gold, &metrics, &phi, &implicit, &config, &interner);
         assert_eq!(ds.num_features(), 1);
         let model = train_row_model(&ds, metrics, &config);
         assert_eq!(model.metrics.len(), 1);

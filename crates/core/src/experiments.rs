@@ -14,6 +14,7 @@ use ltee_eval::{
     fact_accuracy_against_world, EntityTruth, RankedEvaluation,
 };
 use ltee_fusion::{create_entities, EntityCreationConfig, ScoringMethod};
+use ltee_intern::Interner;
 use ltee_kb::{
     generate_world, ClassProfile, GeneratorConfig, Scale, World, CLASS_KEYS,
 };
@@ -349,13 +350,14 @@ pub fn table07_row_clustering_ablation(config: &ExperimentConfig) -> Vec<Table7R
     let mut per_set_pcp: Vec<Vec<f64>> = vec![Vec::new(); metric_sets.len()];
     let mut per_set_ar: Vec<Vec<f64>> = vec![Vec::new(); metric_sets.len()];
 
+    let mut interner = Interner::new();
     for gold in &golds {
         let class = gold.class;
         let rows = mapping.class_rows(&corpus, class);
         if rows.is_empty() {
             continue;
         }
-        let contexts = build_row_contexts(&corpus, &mapping, &rows);
+        let contexts = build_row_contexts(&corpus, &mapping, &rows, &mut interner);
         let phi = PhiTableVectors::build(&corpus, &contexts);
         let index = kb.label_index(class);
         let implicit = ImplicitAttributes::build(&corpus, &mapping, kb, class, &index);
@@ -374,12 +376,27 @@ pub fn table07_row_clustering_ablation(config: &ExperimentConfig) -> Vec<Table7R
             contexts.iter().filter(|c| test_rows.contains(&c.row)).cloned().collect();
 
         for (set_idx, metrics) in metric_sets.iter().enumerate() {
-            let ds = build_pair_dataset(&contexts, &train_gold, metrics, &phi, &implicit, &config.pipeline.row_training);
+            let ds = build_pair_dataset(
+                &contexts,
+                &train_gold,
+                metrics,
+                &phi,
+                &implicit,
+                &config.pipeline.row_training,
+                &interner,
+            );
             if ds.positives() == 0 || ds.negatives() == 0 {
                 continue;
             }
             let model = train_row_model(&ds, metrics.clone(), &config.pipeline.row_training);
-            let clustering = cluster_rows(&test_contexts, &model, &phi, &implicit, &config.pipeline.clustering);
+            let clustering = cluster_rows(
+                &test_contexts,
+                &model,
+                &phi,
+                &implicit,
+                &config.pipeline.clustering,
+                &interner,
+            );
             let produced = clustering.to_row_refs(&test_contexts);
             let gold_clusters: Vec<Vec<RowRef>> = test_gold.clusters.iter().map(|c| c.rows.clone()).collect();
             let eval = evaluate_clustering(&produced, &gold_clusters);
@@ -476,6 +493,7 @@ pub fn table08_new_detection_ablation(config: &ExperimentConfig) -> Vec<Table8Ro
     let mut per_set_f1n: Vec<Vec<f64>> = vec![Vec::new(); metric_sets.len()];
     let mut importance_acc: HashMap<&'static str, (f64, usize)> = HashMap::new();
 
+    let mut interner = Interner::new();
     for gold in &golds {
         let class = gold.class;
         let index = kb.label_index(class);
@@ -485,8 +503,10 @@ pub fn table08_new_detection_ablation(config: &ExperimentConfig) -> Vec<Table8Ro
         // new detection by using gold clustering).
         let clusters: Vec<Vec<RowRef>> = gold.clusters.iter().map(|c| c.rows.clone()).collect();
         let entities = create_entities(&clusters, &corpus, &mapping, kb, class, &config.pipeline.fusion);
-        let contexts: Vec<EntityContext> =
-            entities.into_iter().map(|e| EntityContext::build(e, &corpus, &implicit)).collect();
+        let contexts: Vec<EntityContext> = entities
+            .into_iter()
+            .map(|e| EntityContext::build(e, &corpus, &implicit, &mut interner))
+            .collect();
         let truths: Vec<EntityTruth> = gold
             .clusters
             .iter()
@@ -513,6 +533,7 @@ pub fn table08_new_detection_ablation(config: &ExperimentConfig) -> Vec<Table8Ro
                 &index,
                 metrics,
                 &config.pipeline.entity_training,
+                &mut interner,
             );
             if ds.positives() == 0 || ds.negatives() == 0 {
                 continue;
@@ -520,7 +541,14 @@ pub fn table08_new_detection_ablation(config: &ExperimentConfig) -> Vec<Table8Ro
             let model = train_entity_model(&ds, metrics.clone(), &config.pipeline.entity_training);
             let test_contexts: Vec<EntityContext> =
                 test_idx.iter().map(|&i| contexts[i].clone()).collect();
-            let results = detect_new(&test_contexts, kb, &index, &model, &config.pipeline.newdetect);
+            let results = detect_new(
+                &test_contexts,
+                kb,
+                &index,
+                &model,
+                &config.pipeline.newdetect,
+                &mut interner,
+            );
             let outcomes: Vec<_> = results.iter().map(|r| r.outcome).collect();
             let test_truths: Vec<EntityTruth> = test_idx.iter().map(|&i| truths[i]).collect();
             let eval = evaluate_new_detection(&outcomes, &test_truths);
@@ -608,6 +636,7 @@ pub fn table09_10_end_to_end(config: &ExperimentConfig) -> (Vec<Table9Row>, Vec<
     let mut table10 = Vec::new();
     let mut avg_all: Vec<(f64, f64, f64)> = Vec::new();
 
+    let mut interner = Interner::new();
     for gold in &golds {
         let class = gold.class;
         let Some(class_output) = output.class(class) else { continue };
@@ -621,7 +650,7 @@ pub fn table09_10_end_to_end(config: &ExperimentConfig) -> (Vec<Table9Row>, Vec<
         let gs_contexts: Vec<EntityContext> = gs_entities
             .iter()
             .cloned()
-            .map(|e| EntityContext::build(e, &corpus, &implicit))
+            .map(|e| EntityContext::build(e, &corpus, &implicit, &mut interner))
             .collect();
         let gs_results = detect_new(
             &gs_contexts,
@@ -629,6 +658,7 @@ pub fn table09_10_end_to_end(config: &ExperimentConfig) -> (Vec<Table9Row>, Vec<
             &index,
             &pipeline.models().entity_model,
             &config.pipeline.newdetect,
+            &mut interner,
         );
         let gs_outcomes: Vec<_> = gs_results.iter().map(|r| r.outcome).collect();
         let gs_eval = evaluate_new_instances(&gs_entities, &gs_outcomes, gold);

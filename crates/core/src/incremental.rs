@@ -39,6 +39,7 @@ use ltee_clustering::{
 };
 use ltee_fusion::Entity;
 use ltee_index::LabelIndex;
+use ltee_intern::Interner;
 use ltee_kb::{ClassKey, KnowledgeBase, CLASS_KEYS};
 use ltee_matching::{match_corpus, CorpusMapping};
 use ltee_newdetect::NewDetectionResult;
@@ -129,6 +130,11 @@ pub struct IncrementalPipeline<'a> {
     corpus: Corpus,
     /// Accumulated schema mapping of all ingested tables.
     mapping: CorpusMapping,
+    /// The run interner: every label/token of the stream is interned once,
+    /// in arrival order, and all similarity scoring compares integers. Its
+    /// lifetime is the pipeline's — syms are never persisted (the artifact
+    /// stores strings; a new serving process re-interns from scratch).
+    interner: Interner,
     states: Vec<ClassState>,
 }
 
@@ -148,7 +154,15 @@ impl<'a> IncrementalPipeline<'a> {
                 results: Vec::new(),
             })
             .collect();
-        Self { kb, models, config, corpus: Corpus::new(), mapping: CorpusMapping::default(), states }
+        Self {
+            kb,
+            models,
+            config,
+            corpus: Corpus::new(),
+            mapping: CorpusMapping::default(),
+            interner: Interner::new(),
+            states,
+        }
     }
 
     /// Create a serving pipeline from a persisted artifact, verifying that
@@ -223,7 +237,7 @@ impl<'a> IncrementalPipeline<'a> {
             // Corpus statistics for the delta: per-table implicit
             // attributes and frozen PHI vectors (both depend only on the
             // table and the frozen KB, so they are batch-invariant).
-            let contexts = build_row_contexts(batch, &batch_mapping, &rows);
+            let contexts = build_row_contexts(batch, &batch_mapping, &rows, &mut self.interner);
             let implicit_delta =
                 ImplicitAttributes::build(batch, &batch_mapping, self.kb, class, &state.kb_index);
             state.implicit.merge(implicit_delta);
@@ -258,6 +272,7 @@ impl<'a> IncrementalPipeline<'a> {
                 &self.models.row_model,
                 state.phi.vectors(),
                 &state.implicit,
+                &self.interner,
             );
             let previously_known = state.entities.len();
             report.new_clusters += touched.iter().filter(|&&c| c >= previously_known).count();
@@ -311,6 +326,7 @@ impl<'a> IncrementalPipeline<'a> {
                 &self.models,
                 &self.config,
                 Some(&state.kbt),
+                &mut self.interner,
             );
             for ((cluster_idx, entity), mut result) in
                 touched.iter().copied().zip(entities).zip(results)

@@ -98,6 +98,7 @@ pub mod prelude {
     };
     pub use ltee_clustering::{AggregationMethod, ClusteringConfig, RowMetricKind};
     pub use ltee_fusion::ScoringMethod;
+    pub use ltee_intern::{Interner, Sym, TokenSeq};
     pub use ltee_kb::{
         generate_world, ClassKey, GeneratorConfig, KnowledgeBase, Scale, World, CLASS_KEYS,
     };

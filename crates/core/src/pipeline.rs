@@ -8,6 +8,7 @@ use ltee_clustering::{
 };
 use ltee_clustering::metrics::PhiTableVectors;
 use ltee_fusion::{create_entities, Entity, EntityCreationConfig};
+use ltee_intern::Interner;
 use ltee_kb::{ClassKey, KnowledgeBase, CLASS_KEYS};
 use ltee_matching::{
     learn_weights, match_corpus, CorpusFeedback, CorpusMapping, MatcherWeights, SchemaMatchingConfig,
@@ -154,6 +155,9 @@ pub fn train_models(
         return Err(PipelineError::NoGoldStandards);
     }
     config.parallelism.install();
+    // One interner per training run: every normalised label / token is
+    // interned once, and all similarity kernels compare integers.
+    let mut interner = Interner::new();
     let gold_refs: Vec<&GoldStandard> = golds.iter().collect();
     // Matcher weights from the gold attribute annotations (first iteration:
     // no feedback available).
@@ -166,11 +170,19 @@ pub fn train_models(
     let mut row_dataset: Option<ltee_ml::Dataset> = None;
     for gold in golds {
         let rows = mapping.class_rows(corpus, gold.class);
-        let contexts = build_row_contexts(corpus, &mapping, &rows);
+        let contexts = build_row_contexts(corpus, &mapping, &rows, &mut interner);
         let phi = PhiTableVectors::build(corpus, &contexts);
         let index = kb.label_index(gold.class);
         let implicit = ImplicitAttributes::build(corpus, &mapping, kb, gold.class, &index);
-        let ds = build_pair_dataset(&contexts, gold, &config.row_metrics, &phi, &implicit, &config.row_training);
+        let ds = build_pair_dataset(
+            &contexts,
+            gold,
+            &config.row_metrics,
+            &phi,
+            &implicit,
+            &config.row_training,
+            &interner,
+        );
         row_dataset = Some(match row_dataset {
             None => ds,
             Some(mut acc) => {
@@ -195,8 +207,10 @@ pub fn train_models(
         let implicit = ImplicitAttributes::build(corpus, &mapping, kb, gold.class, &index);
         let clusters: Vec<Vec<RowRef>> = gold.clusters.iter().map(|c| c.rows.clone()).collect();
         let entities = create_entities(&clusters, corpus, &mapping, kb, gold.class, &config.fusion);
-        let contexts: Vec<EntityContext> =
-            entities.into_iter().map(|e| EntityContext::build(e, corpus, &implicit)).collect();
+        let contexts: Vec<EntityContext> = entities
+            .into_iter()
+            .map(|e| EntityContext::build(e, corpus, &implicit, &mut interner))
+            .collect();
         let truth: Vec<Option<ltee_kb::InstanceId>> =
             gold.clusters.iter().map(|c| c.kb_instance).collect();
         let ds = build_entity_pair_dataset(
@@ -206,6 +220,7 @@ pub fn train_models(
             &index,
             &config.entity_metrics,
             &config.entity_training,
+            &mut interner,
         );
         entity_dataset = Some(match entity_dataset {
             None => ds,
@@ -308,6 +323,10 @@ impl<'a> Pipeline<'a> {
             return Err(PipelineError::EmptyCorpus);
         }
         self.config.parallelism.install();
+        // One interner per run, shared by every class and iteration: labels
+        // and tokens are interned exactly once (sequentially, in row order)
+        // and every scoring stage compares integers.
+        let mut interner = Interner::new();
         let mut feedback: Option<CorpusFeedback> = None;
         let mut final_output: Option<PipelineOutput> = None;
 
@@ -325,9 +344,15 @@ impl<'a> Pipeline<'a> {
             let mut cluster_instance: HashMap<usize, ltee_kb::InstanceId> = HashMap::new();
 
             for class in CLASS_KEYS {
-                let Some(class_output) =
-                    run_class_batch(corpus, &mapping, self.kb, class, &self.models, &self.config)
-                else {
+                let Some(class_output) = run_class_batch(
+                    corpus,
+                    &mapping,
+                    self.kb,
+                    class,
+                    &self.models,
+                    &self.config,
+                    &mut interner,
+                ) else {
                     continue;
                 };
 
@@ -391,21 +416,29 @@ pub fn run_class_batch(
     class: ClassKey,
     models: &TrainedModels,
     config: &PipelineConfig,
+    interner: &mut Interner,
 ) -> Option<ClassOutput> {
     let rows = mapping.class_rows(corpus, class);
     if rows.is_empty() {
         return None;
     }
-    let contexts = build_row_contexts(corpus, mapping, &rows);
+    let contexts = build_row_contexts(corpus, mapping, &rows, interner);
     let phi = PhiTableVectors::build(corpus, &contexts);
     let index = kb.label_index(class);
     let implicit = ImplicitAttributes::build(corpus, mapping, kb, class, &index);
 
-    let clustering = cluster_rows(&contexts, &models.row_model, &phi, &implicit, &config.clustering);
+    let clustering = cluster_rows(
+        &contexts,
+        &models.row_model,
+        &phi,
+        &implicit,
+        &config.clustering,
+        interner,
+    );
     let clusters = clustering.to_row_refs(&contexts);
 
     let (entities, results) = fuse_and_detect(
-        &clusters, corpus, mapping, kb, class, &implicit, &index, models, config, None,
+        &clusters, corpus, mapping, kb, class, &implicit, &index, models, config, None, interner,
     );
     Some(ClassOutput { class, clusters, entities, results })
 }
@@ -433,6 +466,7 @@ pub fn fuse_and_detect(
     models: &TrainedModels,
     config: &PipelineConfig,
     kbt: Option<&std::collections::HashMap<(ltee_webtables::TableId, usize), f64>>,
+    interner: &mut Interner,
 ) -> (Vec<Entity>, Vec<NewDetectionResult>) {
     let entities = match kbt {
         Some(kbt) => ltee_fusion::create_entities_with_scores(
@@ -446,10 +480,13 @@ pub fn fuse_and_detect(
         ),
         None => create_entities(clusters, corpus, mapping, kb, class, &config.fusion),
     };
-    let entity_contexts: Vec<EntityContext> =
-        entities.iter().cloned().map(|e| EntityContext::build(e, corpus, implicit)).collect();
+    let entity_contexts: Vec<EntityContext> = entities
+        .iter()
+        .cloned()
+        .map(|e| EntityContext::build(e, corpus, implicit, interner))
+        .collect();
     let results =
-        detect_new(&entity_contexts, kb, index, &models.entity_model, &config.newdetect);
+        detect_new(&entity_contexts, kb, index, &models.entity_model, &config.newdetect, interner);
     (entities, results)
 }
 

@@ -1,31 +1,43 @@
 //! Token-level inverted index over labels with fuzzy top-k lookup.
+//!
+//! Since the interned-symbol refactor the index stores **no per-entry
+//! strings**: every raw label, normalised label and token lives once in
+//! the index's own [`Interner`], and postings / exact-label blocks are
+//! keyed by dense [`Sym`] integers. Lookups hash each query token once,
+//! then work entirely on integers; near-miss scoring resolves candidate
+//! tokens to `&str` slices of the arena without allocating.
 
 use std::collections::HashMap;
 
-use ltee_text::{levenshtein_similarity, normalize_label, tokenize};
+use ltee_intern::{Interner, Sym, TokenSeq};
+use ltee_text::{levenshtein_similarity, normalize_label, tokenize, tokenize_interned};
 
-/// One indexed label.
+/// One indexed label. All text fields are syms of the owning
+/// [`LabelIndex`]'s interner — resolve them via [`LabelIndex::resolve`].
+/// The raw label is deliberately not retained: the index only ever
+/// compares normalised forms, and raw labels are mostly distinct, so
+/// storing them would double the arena for nothing.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LabelEntry {
     /// Caller-provided identifier (row id, instance id, …).
     pub id: u64,
-    /// The raw label as supplied.
-    pub raw: String,
-    /// The normalised label that forms the entry's block key.
-    pub normalized: String,
-    /// Tokens of the normalised label, memoised at insert time so that
-    /// lookups (which score every candidate against the query tokens) never
-    /// re-tokenise the same label.
-    pub tokens: Vec<String>,
+    /// The normalised label that forms the entry's block key, interned.
+    pub normalized: Sym,
+    /// Interned tokens of the normalised label, memoised at insert time so
+    /// that lookups (which score every candidate against the query tokens)
+    /// never re-tokenise the same label.
+    pub tokens: TokenSeq,
 }
 
 /// A candidate returned by a lookup.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LabelMatch {
     /// Identifier of the matched entry.
     pub id: u64,
-    /// Normalised label of the matched entry.
-    pub normalized: String,
+    /// Normalised label of the matched entry (a sym of the queried index —
+    /// this *is* the entry's block key, directly usable as an integer
+    /// blocking key).
+    pub normalized: Sym,
     /// Ranking score in `[0, 1]`: fraction of query tokens found, softened
     /// by per-token edit similarity for near-miss tokens.
     pub score: f64,
@@ -37,13 +49,20 @@ pub struct LabelMatch {
 /// and under every token of that label. Lookups tokenise the query, collect
 /// every entry sharing at least one exact token (plus entries sharing the
 /// full normalised label), score them, and return the top-k.
+///
+/// Postings and blocks are integer-keyed (`Sym → positions`); the index
+/// owns the interner that defines those syms. Insertions mutate the
+/// interner and must be sequential; lookups are read-only and safe to run
+/// in parallel.
 #[derive(Debug, Default, Clone)]
 pub struct LabelIndex {
+    /// Arena + symbol table for every raw label, normalised label and token.
+    interner: Interner,
     entries: Vec<LabelEntry>,
-    /// token → indices into `entries`.
-    postings: HashMap<String, Vec<u32>>,
-    /// normalised label → indices into `entries` (exact-label block).
-    by_label: HashMap<String, Vec<u32>>,
+    /// token sym → indices into `entries`.
+    postings: HashMap<Sym, Vec<u32>>,
+    /// normalised label sym → indices into `entries` (exact-label block).
+    by_label: HashMap<Sym, Vec<u32>>,
 }
 
 impl LabelIndex {
@@ -63,17 +82,20 @@ impl LabelIndex {
         idx
     }
 
-    /// Insert a label under the given identifier. Duplicate ids are allowed
-    /// (an instance can have several labels); each call adds one entry.
-    pub fn insert(&mut self, id: u64, label: &str) {
-        let normalized = normalize_label(label);
-        let tokens = tokenize(&normalized);
+    /// Insert a label under the given identifier and return the normalised
+    /// label's sym (the entry's block key). Duplicate ids are allowed (an
+    /// instance can have several labels); each call adds one entry.
+    pub fn insert(&mut self, id: u64, label: &str) -> Sym {
+        let normalized_str = normalize_label(label);
+        let normalized = self.interner.intern(&normalized_str);
+        let tokens = tokenize_interned(&normalized_str, &mut self.interner);
         let entry_pos = self.entries.len() as u32;
-        for token in &tokens {
-            self.postings.entry(token.clone()).or_default().push(entry_pos);
+        for &token in tokens.tokens() {
+            self.postings.entry(token).or_default().push(entry_pos);
         }
-        self.by_label.entry(normalized.clone()).or_default().push(entry_pos);
-        self.entries.push(LabelEntry { id, raw: label.to_string(), normalized, tokens });
+        self.by_label.entry(normalized).or_default().push(entry_pos);
+        self.entries.push(LabelEntry { id, normalized, tokens });
+        normalized
     }
 
     /// Insert many `(id, label)` pairs at once. Equivalent to calling
@@ -87,6 +109,26 @@ impl LabelIndex {
         for (id, label) in items {
             self.insert(id, label.as_ref());
         }
+    }
+
+    /// Normalise a label and intern it **without adding an entry**.
+    /// Returns the sym the label would block under. Used by streaming
+    /// blocking, where a row's own label must become an integer key before
+    /// the row is (or without the row ever being) indexed; interning alone
+    /// never affects lookup results. Tokens are not touched — they are
+    /// interned if and when the label is actually [`LabelIndex::insert`]ed.
+    pub fn intern_label(&mut self, label: &str) -> Sym {
+        self.interner.intern(&normalize_label(label))
+    }
+
+    /// The string behind one of this index's syms.
+    pub fn resolve(&self, sym: Sym) -> &str {
+        self.interner.resolve(sym)
+    }
+
+    /// The index's interner (read access; e.g. for diagnostics).
+    pub fn interner(&self) -> &Interner {
+        &self.interner
     }
 
     /// Number of indexed entries.
@@ -103,8 +145,9 @@ impl LabelIndex {
     /// query (the query's *block* in the paper's blocking scheme).
     pub fn exact_block(&self, label: &str) -> Vec<&LabelEntry> {
         let normalized = normalize_label(label);
+        let Some(sym) = self.interner.get(&normalized) else { return Vec::new() };
         self.by_label
-            .get(&normalized)
+            .get(&sym)
             .map(|positions| positions.iter().map(|&p| &self.entries[p as usize]).collect())
             .unwrap_or_default()
     }
@@ -116,7 +159,9 @@ impl LabelIndex {
     /// least one token with the query); when the query has no tokens in the
     /// index the result is empty. Scores combine exact token overlap with a
     /// Levenshtein-based credit for near-miss tokens so that e.g.
-    /// "Jon Smith" still retrieves "John Smith".
+    /// "Jon Smith" still retrieves "John Smith". Query tokens are mapped to
+    /// syms via a read-only interner probe — a token never interned cannot
+    /// match any posting, and the query leaves the index untouched.
     pub fn lookup(&self, label: &str, k: usize) -> Vec<LabelMatch> {
         if k == 0 || self.entries.is_empty() {
             return Vec::new();
@@ -126,11 +171,13 @@ impl LabelIndex {
         if query_tokens.is_empty() {
             return Vec::new();
         }
+        let query_syms: Vec<Option<Sym>> =
+            query_tokens.iter().map(|t| self.interner.get(t)).collect();
 
         // Gather candidate entry positions with their exact-token hit counts.
         let mut hits: HashMap<u32, usize> = HashMap::new();
-        for token in &query_tokens {
-            if let Some(postings) = self.postings.get(token) {
+        for sym in query_syms.iter().flatten() {
+            if let Some(postings) = self.postings.get(sym) {
                 for &pos in postings {
                     *hits.entry(pos).or_insert(0) += 1;
                 }
@@ -140,12 +187,20 @@ impl LabelIndex {
             return Vec::new();
         }
 
+        // Per-query-token memo of Levenshtein similarity by candidate token
+        // *sym*: candidate sets share a small token vocabulary (postings
+        // guarantee overlap), so each distinct (query token, candidate
+        // token) pair is edit-scored once — not once per entry occurrence.
+        // Only possible because tokens are interned; a String index would
+        // have to hash full tokens to get the same effect.
+        let mut sim_memo: Vec<HashMap<Sym, f64>> = vec![HashMap::new(); query_tokens.len()];
         let mut scored: Vec<LabelMatch> = hits
             .into_iter()
             .map(|(pos, exact_hits)| {
                 let entry = &self.entries[pos as usize];
-                let score = score_candidate(&query_tokens, &entry.tokens, exact_hits);
-                LabelMatch { id: entry.id, normalized: entry.normalized.clone(), score }
+                let score =
+                    self.score_candidate(&query_tokens, &query_syms, &mut sim_memo, entry, exact_hits);
+                LabelMatch { id: entry.id, normalized: entry.normalized, score }
             })
             .collect();
 
@@ -166,42 +221,62 @@ impl LabelIndex {
     pub fn lookup_ids(&self, label: &str, k: usize) -> Vec<u64> {
         self.lookup(label, k).into_iter().map(|m| m.id).collect()
     }
-}
 
-/// Score a candidate's (pre-tokenised) label against the query tokens.
-///
-/// Each query token contributes its best per-token similarity against the
-/// candidate tokens (1.0 for an exact hit); the mean over query tokens is
-/// then slightly penalised by the relative difference in token counts so
-/// that "paris" prefers "paris" over "paris hilton discography".
-fn score_candidate(query_tokens: &[String], candidate_tokens: &[String], exact_hits: usize) -> f64 {
-    if candidate_tokens.is_empty() {
-        return 0.0;
-    }
-    let mut total = 0.0;
-    for qt in query_tokens {
-        let mut best: f64 = 0.0;
-        for ct in candidate_tokens {
-            let s = if qt == ct { 1.0 } else { levenshtein_similarity(qt, ct) };
-            if s > best {
-                best = s;
-            }
-            if best >= 1.0 {
-                break;
-            }
+    /// Score a candidate's (pre-tokenised) label against the query tokens.
+    ///
+    /// Each query token contributes its best per-token similarity against
+    /// the candidate tokens — 1.0 for an exact hit, decided by a binary
+    /// search on the candidate's sorted syms instead of a string scan;
+    /// Levenshtein runs only for tokens the candidate provably lacks, and
+    /// each distinct (query token, candidate sym) pair is edit-scored once
+    /// per lookup via `sim_memo`. The mean over query tokens is then
+    /// slightly penalised by the relative difference in token counts so
+    /// that "paris" prefers "paris" over "paris hilton discography".
+    fn score_candidate(
+        &self,
+        query_tokens: &[String],
+        query_syms: &[Option<Sym>],
+        sim_memo: &mut [HashMap<Sym, f64>],
+        entry: &LabelEntry,
+        exact_hits: usize,
+    ) -> f64 {
+        let candidate_tokens = &entry.tokens;
+        if candidate_tokens.is_empty() {
+            return 0.0;
         }
-        total += best;
+        let mut total = 0.0;
+        for ((qt, qsym), memo) in query_tokens.iter().zip(query_syms).zip(sim_memo) {
+            // Exact membership: an interned query token equal to a candidate
+            // token. A query token that was never interned cannot equal any
+            // candidate token (all candidate tokens are interned).
+            let best = match qsym {
+                Some(sym) if candidate_tokens.contains(*sym) => 1.0,
+                _ => {
+                    let mut best: f64 = 0.0;
+                    for &ct in candidate_tokens.tokens() {
+                        let s = *memo
+                            .entry(ct)
+                            .or_insert_with(|| levenshtein_similarity(qt, self.interner.resolve(ct)));
+                        if s > best {
+                            best = s;
+                        }
+                    }
+                    best
+                }
+            };
+            total += best;
+        }
+        let coverage = total / query_tokens.len() as f64;
+        let len_penalty = {
+            let q = query_tokens.len() as f64;
+            let c = candidate_tokens.len() as f64;
+            1.0 - (q - c).abs() / (q + c)
+        };
+        // Exact hits give a small additive bonus to stabilise the ordering
+        // among candidates that tie on coverage.
+        let bonus = exact_hits as f64 * 1e-6;
+        (coverage * 0.8 + len_penalty * 0.2 + bonus).min(1.0)
     }
-    let coverage = total / query_tokens.len() as f64;
-    let len_penalty = {
-        let q = query_tokens.len() as f64;
-        let c = candidate_tokens.len() as f64;
-        1.0 - (q - c).abs() / (q + c)
-    };
-    // Exact hits give a small additive bonus to stabilise the ordering among
-    // candidates that tie on coverage.
-    let bonus = exact_hits as f64 * 1e-6;
-    (coverage * 0.8 + len_penalty * 0.2 + bonus).min(1.0)
 }
 
 #[cfg(test)]
@@ -230,6 +305,36 @@ mod tests {
         let ids: Vec<u64> = block.iter().map(|e| e.id).collect();
         assert!(ids.contains(&7));
         assert!(ids.contains(&8));
+    }
+
+    #[test]
+    fn entries_share_syms_for_shared_labels() {
+        let idx = sample_index();
+        let block = idx.exact_block("yellow submarine");
+        assert_eq!(block.len(), 2);
+        // Same normalised label → same sym, one arena copy.
+        assert_eq!(block[0].normalized, block[1].normalized);
+        assert_eq!(idx.resolve(block[0].normalized), "yellow submarine");
+    }
+
+    #[test]
+    fn insert_returns_block_key_sym() {
+        let mut idx = LabelIndex::new();
+        let a = idx.insert(1, "Abbey Road");
+        let b = idx.insert(2, "  ABBEY   road ");
+        assert_eq!(a, b, "same normalised label must yield the same block sym");
+        assert_eq!(idx.intern_label("Abbey Road!"), a);
+    }
+
+    #[test]
+    fn intern_label_does_not_add_entries() {
+        let mut idx = sample_index();
+        let before = idx.len();
+        let sym = idx.intern_label("Completely New Label");
+        assert_eq!(idx.len(), before);
+        assert_eq!(idx.resolve(sym), "completely new label");
+        // A label interned but never inserted is not retrievable.
+        assert!(idx.exact_block("Completely New Label").is_empty());
     }
 
     #[test]
@@ -294,6 +399,13 @@ mod tests {
         let idx = LabelIndex::new();
         assert!(idx.lookup("anything", 5).is_empty());
         assert!(idx.is_empty());
+    }
+
+    #[test]
+    fn match_normalized_sym_resolves_to_block_label() {
+        let idx = sample_index();
+        let m = idx.lookup("Paris", 1).remove(0);
+        assert_eq!(idx.resolve(m.normalized), "paris");
     }
 
     proptest! {

@@ -17,6 +17,13 @@
 //! a cheap ranking function (shared-token count, tie-broken by a normalised
 //! length-difference penalty). It is deliberately not a general-purpose
 //! search engine.
+//!
+//! All postings and block keys are integer [`ltee_intern::Sym`]s backed by
+//! the index's own arena interner — no per-entry `String`s, no string
+//! hashing on the lookup path. The syms a lookup returns double as dense
+//! blocking keys for the clustering layer.
+
+#![warn(missing_docs)]
 
 pub mod label_index;
 

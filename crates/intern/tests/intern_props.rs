@@ -1,0 +1,91 @@
+//! Property tests for the interner (vendored proptest shim).
+//!
+//! Covers the determinism contract: intern/resolve round-trips, id
+//! stability under interleaved re-insertions, and the id-independence of
+//! the count-based set kernels.
+
+use ltee_intern::{containment, jaccard, token_overlap, Interner, TokenSeq};
+use proptest::prelude::*;
+
+fn seq(interner: &mut Interner, tokens: &[String]) -> TokenSeq {
+    TokenSeq::from_syms(tokens.iter().map(|t| interner.intern(t)).collect())
+}
+
+proptest! {
+    #[test]
+    fn intern_resolve_round_trip(words in proptest::collection::vec("[a-z0-9 ]{0,12}", 0..40)) {
+        let mut interner = Interner::new();
+        let syms: Vec<_> = words.iter().map(|w| interner.intern(w)).collect();
+        for (word, sym) in words.iter().zip(&syms) {
+            prop_assert_eq!(interner.resolve(*sym), word.as_str());
+            prop_assert_eq!(interner.get(word), Some(*sym));
+        }
+    }
+
+    #[test]
+    fn ids_stable_under_interleaved_inserts(words in proptest::collection::vec("[a-z]{1,8}", 1..30)) {
+        // Interning the word list once, and interning it with every prefix
+        // repeated in between, must assign identical ids: re-insertions
+        // never mint new syms or shift later ones.
+        let mut plain = Interner::new();
+        let plain_syms: Vec<_> = words.iter().map(|w| plain.intern(w)).collect();
+
+        let mut interleaved = Interner::new();
+        let mut interleaved_syms = Vec::new();
+        for (i, w) in words.iter().enumerate() {
+            interleaved_syms.push(interleaved.intern(w));
+            for earlier in &words[..i] {
+                interleaved.intern(earlier);
+            }
+        }
+        prop_assert_eq!(plain_syms, interleaved_syms);
+        prop_assert_eq!(plain.len(), interleaved.len());
+    }
+
+    #[test]
+    fn distinct_strings_get_distinct_syms(words in proptest::collection::vec("[a-z]{1,8}", 1..30)) {
+        let mut interner = Interner::new();
+        let syms: Vec<_> = words.iter().map(|w| interner.intern(w)).collect();
+        for (i, a) in words.iter().enumerate() {
+            for (j, b) in words.iter().enumerate() {
+                prop_assert_eq!(syms[i] == syms[j], a == b);
+            }
+        }
+    }
+
+    #[test]
+    fn kernels_are_id_independent(
+        a in proptest::collection::vec("[a-z]{1,6}", 0..12),
+        b in proptest::collection::vec("[a-z]{1,6}", 0..12),
+        noise in proptest::collection::vec("[a-z]{1,6}", 0..12),
+    ) {
+        // The same token lists interned into two interners with different
+        // insertion histories (and therefore different ids) must yield
+        // bit-identical kernel values.
+        let mut plain = Interner::new();
+        let (pa, pb) = (seq(&mut plain, &a), seq(&mut plain, &b));
+
+        let mut shifted = Interner::new();
+        for w in &noise {
+            shifted.intern(w);
+        }
+        let (sb, sa) = (seq(&mut shifted, &b), seq(&mut shifted, &a));
+
+        prop_assert_eq!(jaccard(&pa, &pb).to_bits(), jaccard(&sa, &sb).to_bits());
+        prop_assert_eq!(containment(&pa, &pb).to_bits(), containment(&sa, &sb).to_bits());
+        prop_assert_eq!(token_overlap(&pa, &pb), token_overlap(&sa, &sb));
+    }
+
+    #[test]
+    fn jaccard_symmetric_and_bounded(
+        a in proptest::collection::vec("[a-z]{1,6}", 0..12),
+        b in proptest::collection::vec("[a-z]{1,6}", 0..12),
+    ) {
+        let mut interner = Interner::new();
+        let (sa, sb) = (seq(&mut interner, &a), seq(&mut interner, &b));
+        let ab = jaccard(&sa, &sb);
+        prop_assert_eq!(ab.to_bits(), jaccard(&sb, &sa).to_bits());
+        prop_assert!((0.0..=1.0).contains(&ab));
+        prop_assert!(token_overlap(&sa, &sb) <= sa.distinct_len().min(sb.distinct_len()));
+    }
+}

@@ -20,16 +20,20 @@ pub fn detect_column_types(table: &WebTable) -> Vec<DetectedType> {
 /// If no column was detected as text, the leftmost column is used as a
 /// fallback so that downstream components always have a label source.
 pub fn detect_label_attribute(table: &WebTable, detected: &[DetectedType]) -> usize {
+    // One table-local interner maps every normalised cell to a dense sym:
+    // uniqueness counting then dedupes integers instead of owned strings,
+    // and cells repeated across columns normalise into one arena slot.
+    let mut interner = ltee_intern::Interner::new();
     let mut best: Option<(usize, usize)> = None; // (unique count, column) — compared as (count, -col)
     for (col, dtype) in detected.iter().enumerate() {
         if *dtype != DetectedType::Text {
             continue;
         }
-        let unique: std::collections::HashSet<String> = table.columns[col]
+        let unique: std::collections::HashSet<ltee_intern::Sym> = table.columns[col]
             .cells
             .iter()
             .filter(|c| !c.trim().is_empty())
-            .map(|c| ltee_text::normalize_label(c))
+            .map(|c| ltee_text::normalize_and_intern(c, &mut interner))
             .collect();
         let count = unique.len();
         let better = match best {

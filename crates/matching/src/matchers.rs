@@ -171,12 +171,19 @@ pub fn kb_duplicate(
 /// preliminary run, to derive label-to-property scores, where the score
 /// represents the likelihood that an attribute with a certain header row
 /// label corresponds to a certain candidate property".
+///
+/// Headers and property names are interned: the count maps are keyed by
+/// dense `(Sym, Sym)` integers, and the (hot) [`HeaderStatistics::likelihood`]
+/// probe is a read-only interner lookup plus two integer map hits — no
+/// per-call `String` keys.
 #[derive(Debug, Clone, Default)]
 pub struct HeaderStatistics {
+    /// Arena for normalised headers and property names.
+    interner: ltee_intern::Interner,
     /// (normalised header, property) → number of columns matched that way.
-    counts: HashMap<(String, String), usize>,
+    counts: HashMap<(ltee_intern::Sym, ltee_intern::Sym), usize>,
     /// normalised header → total matched columns with that header.
-    totals: HashMap<String, usize>,
+    totals: HashMap<ltee_intern::Sym, usize>,
 }
 
 impl HeaderStatistics {
@@ -190,7 +197,9 @@ impl HeaderStatistics {
                 if header.is_empty() {
                     continue;
                 }
-                *stats.counts.entry((header.clone(), m.property.clone())).or_insert(0) += 1;
+                let header = stats.interner.intern(&header);
+                let property = stats.interner.intern(&m.property);
+                *stats.counts.entry((header, property)).or_insert(0) += 1;
                 *stats.totals.entry(header).or_insert(0) += 1;
             }
         }
@@ -198,14 +207,19 @@ impl HeaderStatistics {
     }
 
     /// The likelihood that a column with this header corresponds to the
-    /// property, i.e. `count(header, property) / count(header)`.
+    /// property, i.e. `count(header, property) / count(header)`. A header
+    /// or property never observed during [`HeaderStatistics::build`] has
+    /// likelihood 0.
     pub fn likelihood(&self, header: &str, property: &str) -> f64 {
-        let header = ltee_text::normalize_label(header);
+        let Some(header) = self.interner.get(&ltee_text::normalize_label(header)) else {
+            return 0.0;
+        };
         let total = self.totals.get(&header).copied().unwrap_or(0);
         if total == 0 {
             return 0.0;
         }
-        let hits = self.counts.get(&(header, property.to_string())).copied().unwrap_or(0);
+        let Some(property) = self.interner.get(property) else { return 0.0 };
+        let hits = self.counts.get(&(header, property)).copied().unwrap_or(0);
         hits as f64 / total as f64
     }
 
@@ -389,12 +403,16 @@ mod tests {
     #[test]
     fn header_statistics_likelihood() {
         let mut stats = HeaderStatistics::default();
-        stats.counts.insert(("club".into(), "team".into()), 8);
-        stats.counts.insert(("club".into(), "college".into()), 2);
-        stats.totals.insert("club".into(), 10);
+        let club = stats.interner.intern("club");
+        let team = stats.interner.intern("team");
+        let college = stats.interner.intern("college");
+        stats.counts.insert((club, team), 8);
+        stats.counts.insert((club, college), 2);
+        stats.totals.insert(club, 10);
         assert!((stats.likelihood("Club", "team") - 0.8).abs() < 1e-12);
         assert!((stats.likelihood("club", "college") - 0.2).abs() < 1e-12);
         assert_eq!(stats.likelihood("unknown", "team"), 0.0);
+        assert_eq!(stats.likelihood("club", "unobserved"), 0.0);
         assert_eq!(stats.distinct_headers(), 1);
     }
 

@@ -1,6 +1,9 @@
 //! Candidate selection and new/existing classification.
 
+use std::collections::HashMap;
+
 use ltee_index::LabelIndex;
+use ltee_intern::Interner;
 use ltee_kb::{InstanceId, KnowledgeBase};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -69,19 +72,70 @@ pub struct NewDetectionResult {
 /// Run new detection over a set of created entities.
 ///
 /// `label_index` must be a label index over the knowledge base instances of
-/// the entity's class (built via [`KnowledgeBase::label_index`]).
+/// the entity's class (built via [`KnowledgeBase::label_index`]);
+/// `interner` is the run interner that minted the entity contexts' label
+/// tokens, and candidate instance contexts are interned into it too.
+///
+/// The work runs in three phases so that each distinct candidate instance
+/// is materialised **once**, not once per entity that retrieves it:
+///
+/// 1. candidate ids per entity — parallel, read-only index lookups;
+/// 2. one [`InstanceContext`] per distinct candidate — sequential (it
+///    interns labels), in first-retrieval order, so sym assignment is
+///    deterministic;
+/// 3. ranking and scoring — parallel over entities against the shared
+///    read-only candidate cache.
 pub fn detect_new(
     entities: &[EntityContext],
     kb: &KnowledgeBase,
     label_index: &LabelIndex,
     model: &EntitySimilarityModel,
     config: &NewDetectionConfig,
+    interner: &mut Interner,
 ) -> Vec<NewDetectionResult> {
+    // Phase 1: candidate ids per entity.
+    let ids_per_entity: Vec<Vec<InstanceId>> = entities
+        .par_iter()
+        .map(|entity| candidate_ids(entity, label_index, config))
+        .collect();
+
+    // Phase 2: build each distinct candidate's context exactly once —
+    // only for candidates that pass the class gate of at least one
+    // retrieving entity, so class-incompatible instances never cost a
+    // context build or grow the run interner's arena.
+    let mut cache: HashMap<InstanceId, InstanceContext> = HashMap::new();
+    for (entity, ids) in entities.iter().zip(&ids_per_entity) {
+        for &id in ids {
+            if cache.contains_key(&id) {
+                continue;
+            }
+            if let Some(instance) = kb.instance(id) {
+                if class_compatible(instance.class, entity) {
+                    cache.insert(id, InstanceContext::build(instance, kb, interner));
+                }
+            }
+        }
+    }
+
+    // Phase 3: rank and score.
+    let interner = &*interner;
+    let cache = &cache;
     entities
         .par_iter()
         .enumerate()
         .map(|(idx, entity)| {
-            let candidates = candidate_instances(entity, kb, label_index, config);
+            // Candidates must share the class (the label index is per class
+            // already, but keep the check for robustness) or a parent class.
+            // Re-checked per entity: a cached context may have been built
+            // for a different retrieving entity's class.
+            let mut candidates: Vec<&InstanceContext> = ids_per_entity[idx]
+                .iter()
+                .filter_map(|id| cache.get(id))
+                .filter(|inst| class_compatible(inst.class, entity))
+                .collect();
+            // Popularity: rank by page links (stable sort — retrieval order
+            // breaks ties), score = 1/rank; single candidate → 1.0.
+            candidates.sort_by_key(|c| std::cmp::Reverse(c.page_links));
             if candidates.is_empty() {
                 return NewDetectionResult {
                     entity: idx,
@@ -90,9 +144,11 @@ pub fn detect_new(
                     candidate_count: 0,
                 };
             }
+            let n = candidates.len();
             let mut best: Option<(InstanceId, f64)> = None;
-            for (instance_ctx, popularity) in &candidates {
-                let score = model.score(entity, instance_ctx, *popularity);
+            for (rank, instance_ctx) in candidates.iter().enumerate() {
+                let popularity = if n == 1 { 1.0 } else { 1.0 / (rank + 1) as f64 };
+                let score = model.score(entity, instance_ctx, popularity, interner);
                 if best.map(|(_, s)| score > s).unwrap_or(true) {
                     best = Some((instance_ctx.id, score));
                 }
@@ -103,20 +159,26 @@ pub fn detect_new(
             } else {
                 NewDetectionOutcome::New
             };
-            NewDetectionResult { entity: idx, outcome, best_score: score, candidate_count: candidates.len() }
+            NewDetectionResult { entity: idx, outcome, best_score: score, candidate_count: n }
         })
         .collect()
 }
 
-/// Retrieve and rank the candidate instances of an entity: label-index
-/// lookups for every entity label, filtered by class compatibility, with a
-/// rank-based popularity score attached.
-fn candidate_instances(
+/// Whether an instance of `class` is a valid candidate for `entity`: same
+/// class, or the two classes share an ancestor.
+fn class_compatible(class: ltee_kb::ClassKey, entity: &EntityContext) -> bool {
+    class == entity.entity.class
+        || class.ancestors().iter().any(|a| entity.entity.class.ancestors().contains(a))
+}
+
+/// Gather the candidate instance ids of an entity: label-index lookups for
+/// every entity label, score-filtered, deduplicated in retrieval order and
+/// capped at the configured candidate count.
+fn candidate_ids(
     entity: &EntityContext,
-    kb: &KnowledgeBase,
     label_index: &LabelIndex,
     config: &NewDetectionConfig,
-) -> Vec<(InstanceContext, f64)> {
+) -> Vec<InstanceId> {
     let mut ids: Vec<InstanceId> = Vec::new();
     for label in &entity.entity.labels {
         for m in label_index.lookup(label, config.candidates) {
@@ -133,34 +195,7 @@ fn candidate_instances(
         }
     }
     ids.truncate(config.candidates);
-
-    // Candidates must share the class (the label index is per class already,
-    // but keep the check for robustness) or a parent class.
-    let mut contexts: Vec<InstanceContext> = ids
-        .into_iter()
-        .filter_map(|id| kb.instance(id))
-        .filter(|inst| {
-            inst.class == entity.entity.class
-                || inst
-                    .class
-                    .ancestors()
-                    .iter()
-                    .any(|a| entity.entity.class.ancestors().contains(a))
-        })
-        .map(|inst| InstanceContext::build(inst, kb))
-        .collect();
-
-    // Popularity: rank by page links, score = 1/rank; single candidate → 1.0.
-    contexts.sort_by_key(|c| std::cmp::Reverse(c.page_links));
-    let n = contexts.len();
-    contexts
-        .into_iter()
-        .enumerate()
-        .map(|(rank, ctx)| {
-            let score = if n == 1 { 1.0 } else { 1.0 / (rank + 1) as f64 };
-            (ctx, score)
-        })
-        .collect()
+    ids
 }
 
 #[cfg(test)]
@@ -198,7 +233,7 @@ mod tests {
         EntitySimilarityModel { metrics, model }
     }
 
-    fn entity_for(class: ClassKey, label: &str) -> EntityContext {
+    fn entity_for(interner: &mut Interner, class: ClassKey, label: &str) -> EntityContext {
         EntityContext::from_parts(
             Entity {
                 class,
@@ -208,6 +243,7 @@ mod tests {
             },
             BowVector::from_text(label),
             vec![],
+            interner,
         )
     }
 
@@ -218,13 +254,15 @@ mod tests {
         let class = ClassKey::GridironFootballPlayer;
         let index = kb.label_index(class);
         let model = label_model();
+        let mut interner = Interner::new();
 
         let head = &world.head_of_class(class)[0];
         let entities = vec![
-            entity_for(class, &head.canonical_label),
-            entity_for(class, "Zxqwy Unheardof"),
+            entity_for(&mut interner, class, &head.canonical_label),
+            entity_for(&mut interner, class, "Zxqwy Unheardof"),
         ];
-        let results = detect_new(&entities, kb, &index, &model, &NewDetectionConfig::default());
+        let results =
+            detect_new(&entities, kb, &index, &model, &NewDetectionConfig::default(), &mut interner);
         assert_eq!(results.len(), 2);
         // The head entity must be linked to its KB instance.
         let expected_instance = world.instance_for_entity(head.id).unwrap();
@@ -256,9 +294,13 @@ mod tests {
             .filter(|e| !head_labels.contains(&ltee_text::normalize_label(&e.canonical_label)))
             .take(10)
             .collect();
-        let entities: Vec<EntityContext> =
-            non_homonym.iter().map(|e| entity_for(class, &e.canonical_label)).collect();
-        let results = detect_new(&entities, kb, &index, &model, &NewDetectionConfig::default());
+        let mut interner = Interner::new();
+        let entities: Vec<EntityContext> = non_homonym
+            .iter()
+            .map(|e| entity_for(&mut interner, class, &e.canonical_label))
+            .collect();
+        let results =
+            detect_new(&entities, kb, &index, &model, &NewDetectionConfig::default(), &mut interner);
         let new_count = results.iter().filter(|r| r.outcome.is_new()).count();
         assert!(
             new_count as f64 >= entities.len() as f64 * 0.8,
@@ -281,7 +323,14 @@ mod tests {
         let world = generate_world(&GeneratorConfig::new(Scale::tiny(), 73));
         let kb = world.kb();
         let index = kb.label_index(ClassKey::Song);
-        let results = detect_new(&[], kb, &index, &label_model(), &NewDetectionConfig::default());
+        let results = detect_new(
+            &[],
+            kb,
+            &index,
+            &label_model(),
+            &NewDetectionConfig::default(),
+            &mut Interner::new(),
+        );
         assert!(results.is_empty());
     }
 }

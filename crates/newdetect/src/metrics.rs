@@ -1,9 +1,10 @@
 //! Entity-to-instance similarity metrics.
 
 use ltee_fusion::Entity;
-use ltee_kb::{Instance, KnowledgeBase};
+use ltee_intern::{Interner, TokenSeq};
+use ltee_kb::{ClassKey, Instance, KnowledgeBase};
 use ltee_ml::PairwiseModel;
-use ltee_text::{cosine_similarity, monge_elkan_similarity, normalize_label, BowVector};
+use ltee_text::{cosine_similarity, monge_elkan_tokens, normalize_label, tokenize_interned, BowVector};
 use ltee_types::{value_similarity, Value};
 use ltee_webtables::Corpus;
 use serde::{Deserialize, Serialize};
@@ -83,10 +84,15 @@ impl EntityMetricKind {
 pub struct EntityContext {
     /// The created entity.
     pub entity: Entity,
-    /// Normalised forms of the entity's labels, memoised once so candidate
-    /// scoring does not re-normalise the same labels for every candidate
-    /// instance (parallel workers score many candidates per entity).
-    pub normalized_labels: Vec<String>,
+    /// Interned tokens of each normalised entity label, memoised once so
+    /// candidate scoring neither re-normalises nor re-tokenises the same
+    /// labels for every candidate instance (parallel workers score many
+    /// candidates per entity). One `TokenSeq` per `entity.labels` entry,
+    /// minted by the pipeline run's interner.
+    pub label_tokens: Vec<TokenSeq>,
+    /// The entity's class hierarchy (class name + ancestors), precomputed
+    /// for the `TYPE` metric.
+    pub class_hierarchy: Vec<&'static str>,
     /// Combined bag-of-words vector of all the entity's rows.
     pub bow: BowVector,
     /// Entity-level implicit attributes: (property, value, confidence).
@@ -94,15 +100,31 @@ pub struct EntityContext {
 }
 
 impl EntityContext {
-    /// Assemble a context from its parts, memoising the normalised labels.
-    pub fn from_parts(entity: Entity, bow: BowVector, implicit: Vec<(String, Value, f64)>) -> Self {
-        let normalized_labels = entity.labels.iter().map(|l| normalize_label(l)).collect();
-        Self { entity, normalized_labels, bow, implicit }
+    /// Assemble a context from its parts, interning the normalised labels'
+    /// tokens into the run interner.
+    pub fn from_parts(
+        entity: Entity,
+        bow: BowVector,
+        implicit: Vec<(String, Value, f64)>,
+        interner: &mut Interner,
+    ) -> Self {
+        let label_tokens = entity
+            .labels
+            .iter()
+            .map(|l| tokenize_interned(&normalize_label(l), interner))
+            .collect();
+        let class_hierarchy = class_hierarchy_of(entity.class);
+        Self { entity, label_tokens, class_hierarchy, bow, implicit }
     }
 
     /// Build the context of an entity from the corpus and the table-level
     /// implicit attributes.
-    pub fn build(entity: Entity, corpus: &Corpus, implicit: &ImplicitAttributes) -> Self {
+    pub fn build(
+        entity: Entity,
+        corpus: &Corpus,
+        implicit: &ImplicitAttributes,
+        interner: &mut Interner,
+    ) -> Self {
         let mut bow = BowVector::new();
         for row in &entity.rows {
             for cell in corpus.row_cells(*row) {
@@ -126,19 +148,30 @@ impl EntityContext {
             *s /= rows;
         }
         acc.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
-        Self::from_parts(entity, bow, acc)
+        Self::from_parts(entity, bow, acc, interner)
     }
+}
+
+/// The static class hierarchy (class name + ancestors) of a class.
+fn class_hierarchy_of(class: ClassKey) -> Vec<&'static str> {
+    let mut hierarchy = vec![class.name()];
+    hierarchy.extend(class.ancestors().iter().copied());
+    hierarchy
 }
 
 /// Precomputed view of a knowledge base instance used by the metrics.
 #[derive(Debug, Clone)]
 pub struct InstanceContext {
-    /// Normalised labels of the instance.
-    pub labels: Vec<String>,
+    /// Interned tokens of each normalised instance label (one `TokenSeq`
+    /// per label), minted by the same interner as the entity contexts the
+    /// instance is scored against.
+    pub label_tokens: Vec<TokenSeq>,
     /// Bag-of-words vector over labels, abstract and facts.
     pub bow: BowVector,
+    /// The instance's class.
+    pub class: ClassKey,
     /// Class ancestors (including the class itself).
-    pub class_hierarchy: Vec<String>,
+    pub class_hierarchy: Vec<&'static str>,
     /// Facts of the instance: (property name, value).
     pub facts: Vec<(String, Value)>,
     /// Page-link popularity.
@@ -148,8 +181,8 @@ pub struct InstanceContext {
 }
 
 impl InstanceContext {
-    /// Build the context for an instance.
-    pub fn build(instance: &Instance, kb: &KnowledgeBase) -> Self {
+    /// Build the context for an instance, interning its labels' tokens.
+    pub fn build(instance: &Instance, kb: &KnowledgeBase, interner: &mut Interner) -> Self {
         let mut bow = BowVector::new();
         for label in &instance.labels {
             bow.add_text(label);
@@ -162,12 +195,15 @@ impl InstanceContext {
                 facts.push((prop.name.clone(), fact.value.clone()));
             }
         }
-        let mut class_hierarchy = vec![instance.class.name().to_string()];
-        class_hierarchy.extend(instance.class.ancestors().iter().map(|s| s.to_string()));
         Self {
-            labels: instance.labels.iter().map(|l| normalize_label(l)).collect(),
+            label_tokens: instance
+                .labels
+                .iter()
+                .map(|l| tokenize_interned(&normalize_label(l), interner))
+                .collect(),
             bow,
-            class_hierarchy,
+            class: instance.class,
+            class_hierarchy: class_hierarchy_of(instance.class),
             facts,
             page_links: instance.page_links,
             id: instance.id,
@@ -183,19 +219,21 @@ impl InstanceContext {
 /// Compute one metric for an entity / candidate-instance pair.
 ///
 /// `popularity_score` is the rank-based score of this candidate among the
-/// entity's candidate set (1.0 when it is the only candidate).
+/// entity's candidate set (1.0 when it is the only candidate). `interner`
+/// is the interner behind both contexts' interned label tokens.
 pub fn entity_metric_score(
     kind: EntityMetricKind,
     entity: &EntityContext,
     instance: &InstanceContext,
     popularity_score: f64,
+    interner: &Interner,
 ) -> (f64, f64) {
     match kind {
         EntityMetricKind::Label => {
             let mut best: f64 = 0.0;
-            for el_n in &entity.normalized_labels {
-                for il in &instance.labels {
-                    best = best.max(monge_elkan_similarity(el_n, il));
+            for el in &entity.label_tokens {
+                for il in &instance.label_tokens {
+                    best = best.max(monge_elkan_tokens(el, il, interner));
                 }
             }
             (best, 1.0)
@@ -203,14 +241,13 @@ pub fn entity_metric_score(
         EntityMetricKind::Type => {
             // The entity's class hierarchy (class + ancestors) vs the
             // instance's: fraction of the entity's hierarchy present in the
-            // instance's hierarchy.
-            let mut entity_hierarchy = vec![entity.entity.class.name().to_string()];
-            entity_hierarchy.extend(entity.entity.class.ancestors().iter().map(|s| s.to_string()));
-            let overlap = entity_hierarchy
+            // instance's hierarchy (both memoised on the contexts).
+            let overlap = entity
+                .class_hierarchy
                 .iter()
                 .filter(|c| instance.class_hierarchy.contains(c))
                 .count();
-            (overlap as f64 / entity_hierarchy.len().max(1) as f64, 1.0)
+            (overlap as f64 / entity.class_hierarchy.len().max(1) as f64, 1.0)
         }
         EntityMetricKind::Bow => (cosine_similarity(&entity.bow, &instance.bow), 1.0),
         EntityMetricKind::Attribute => {
@@ -257,11 +294,12 @@ pub fn entity_metric_features(
     entity: &EntityContext,
     instance: &InstanceContext,
     popularity_score: f64,
+    interner: &Interner,
 ) -> Vec<f64> {
     let mut sims = Vec::with_capacity(metrics.len() + 2);
     let mut confs = Vec::new();
     for &kind in metrics {
-        let (sim, conf) = entity_metric_score(kind, entity, instance, popularity_score);
+        let (sim, conf) = entity_metric_score(kind, entity, instance, popularity_score, interner);
         sims.push(sim);
         if kind.has_confidence() {
             confs.push(conf);
@@ -292,9 +330,17 @@ pub struct EntitySimilarityModel {
 }
 
 impl EntitySimilarityModel {
-    /// Score an entity / candidate pair in `[-1, 1]`.
-    pub fn score(&self, entity: &EntityContext, instance: &InstanceContext, popularity_score: f64) -> f64 {
-        let features = entity_metric_features(&self.metrics, entity, instance, popularity_score);
+    /// Score an entity / candidate pair in `[-1, 1]`. `interner` is the
+    /// interner behind both contexts' interned label tokens.
+    pub fn score(
+        &self,
+        entity: &EntityContext,
+        instance: &InstanceContext,
+        popularity_score: f64,
+        interner: &Interner,
+    ) -> f64 {
+        let features =
+            entity_metric_features(&self.metrics, entity, instance, popularity_score, interner);
         self.model.score(&features)
     }
 
@@ -339,27 +385,37 @@ mod tests {
     use ltee_kb::ClassKey;
     use ltee_webtables::{RowRef, TableId};
 
-    fn entity_ctx(class: ClassKey, label: &str, facts: Vec<(&str, Value)>) -> EntityContext {
+    fn entity_ctx(
+        interner: &mut Interner,
+        class: ClassKey,
+        label: &str,
+        facts: Vec<(&str, Value)>,
+    ) -> EntityContext {
         let entity = Entity {
             class,
             rows: vec![RowRef::new(TableId(1), 0)],
             labels: vec![label.to_string()],
             facts: facts.into_iter().map(|(p, v)| (p.to_string(), v, 1.0)).collect(),
         };
-        EntityContext::from_parts(entity, BowVector::from_text(label), vec![])
+        EntityContext::from_parts(entity, BowVector::from_text(label), vec![], interner)
     }
 
-    fn instance_ctx(class: ClassKey, label: &str, facts: Vec<(&str, Value)>, links: u64) -> InstanceContext {
+    fn instance_ctx(
+        interner: &mut Interner,
+        class: ClassKey,
+        label: &str,
+        facts: Vec<(&str, Value)>,
+        links: u64,
+    ) -> InstanceContext {
         let mut bow = BowVector::from_text(label);
         for (_, v) in &facts {
             bow.add_text(&v.render());
         }
-        let mut class_hierarchy = vec![class.name().to_string()];
-        class_hierarchy.extend(class.ancestors().iter().map(|s| s.to_string()));
         InstanceContext {
-            labels: vec![normalize_label(label)],
+            label_tokens: vec![tokenize_interned(&normalize_label(label), interner)],
             bow,
-            class_hierarchy,
+            class,
+            class_hierarchy: super::class_hierarchy_of(class),
             facts: facts.into_iter().map(|(p, v)| (p.to_string(), v)).collect(),
             page_links: links,
             id: ltee_kb::InstanceId(0),
@@ -368,91 +424,105 @@ mod tests {
 
     #[test]
     fn label_metric_distinguishes_matching_labels() {
-        let e = entity_ctx(ClassKey::Song, "Hey Jude", vec![]);
-        let same = instance_ctx(ClassKey::Song, "Hey Jude", vec![], 10);
-        let other = instance_ctx(ClassKey::Song, "Yellow Submarine", vec![], 10);
-        let (s1, _) = entity_metric_score(EntityMetricKind::Label, &e, &same, 1.0);
-        let (s2, _) = entity_metric_score(EntityMetricKind::Label, &e, &other, 1.0);
+        let mut interner = Interner::new();
+        let e = entity_ctx(&mut interner, ClassKey::Song, "Hey Jude", vec![]);
+        let same = instance_ctx(&mut interner, ClassKey::Song, "Hey Jude", vec![], 10);
+        let other = instance_ctx(&mut interner, ClassKey::Song, "Yellow Submarine", vec![], 10);
+        let (s1, _) = entity_metric_score(EntityMetricKind::Label, &e, &same, 1.0, &interner);
+        let (s2, _) = entity_metric_score(EntityMetricKind::Label, &e, &other, 1.0, &interner);
         assert!(s1 > 0.95);
         assert!(s2 < 0.6);
     }
 
     #[test]
     fn type_metric_full_for_same_class() {
-        let e = entity_ctx(ClassKey::Settlement, "Springfield", vec![]);
-        let same = instance_ctx(ClassKey::Settlement, "Springfield", vec![], 1);
-        let (s, _) = entity_metric_score(EntityMetricKind::Type, &e, &same, 1.0);
+        let mut interner = Interner::new();
+        let e = entity_ctx(&mut interner, ClassKey::Settlement, "Springfield", vec![]);
+        let same = instance_ctx(&mut interner, ClassKey::Settlement, "Springfield", vec![], 1);
+        let (s, _) = entity_metric_score(EntityMetricKind::Type, &e, &same, 1.0, &interner);
         assert!((s - 1.0).abs() < 1e-12);
-        let diff = instance_ctx(ClassKey::Song, "Springfield", vec![], 1);
-        let (s2, _) = entity_metric_score(EntityMetricKind::Type, &e, &diff, 1.0);
+        let diff = instance_ctx(&mut interner, ClassKey::Song, "Springfield", vec![], 1);
+        let (s2, _) = entity_metric_score(EntityMetricKind::Type, &e, &diff, 1.0, &interner);
         assert!(s2 < s);
     }
 
     #[test]
     fn attribute_metric_counts_overlapping_facts() {
+        let mut interner = Interner::new();
         let e = entity_ctx(
+            &mut interner,
             ClassKey::Song,
             "Hey Jude",
             vec![("runtime", Value::Quantity(431.0)), ("genre", Value::Nominal("Rock".into()))],
         );
         let inst = instance_ctx(
+            &mut interner,
             ClassKey::Song,
             "Hey Jude",
             vec![("runtime", Value::Quantity(431.0)), ("genre", Value::Nominal("Pop".into()))],
             5,
         );
-        let (sim, conf) = entity_metric_score(EntityMetricKind::Attribute, &e, &inst, 1.0);
+        let (sim, conf) = entity_metric_score(EntityMetricKind::Attribute, &e, &inst, 1.0, &interner);
         assert!((sim - 0.5).abs() < 1e-12);
         assert_eq!(conf, 2.0);
     }
 
     #[test]
     fn attribute_metric_zero_confidence_without_overlap() {
-        let e = entity_ctx(ClassKey::Song, "Hey Jude", vec![("runtime", Value::Quantity(431.0))]);
-        let inst = instance_ctx(ClassKey::Song, "Hey Jude", vec![("genre", Value::Nominal("Rock".into()))], 5);
-        let (sim, conf) = entity_metric_score(EntityMetricKind::Attribute, &e, &inst, 1.0);
+        let mut interner = Interner::new();
+        let e = entity_ctx(&mut interner, ClassKey::Song, "Hey Jude", vec![("runtime", Value::Quantity(431.0))]);
+        let inst = instance_ctx(&mut interner, ClassKey::Song, "Hey Jude", vec![("genre", Value::Nominal("Rock".into()))], 5);
+        let (sim, conf) = entity_metric_score(EntityMetricKind::Attribute, &e, &inst, 1.0, &interner);
         assert_eq!(sim, 0.0);
         assert_eq!(conf, 0.0);
     }
 
     #[test]
     fn bow_metric_rewards_shared_terms() {
-        let e = entity_ctx(ClassKey::Song, "Hey Jude Beatles", vec![]);
-        let close = instance_ctx(ClassKey::Song, "Hey Jude", vec![("musicalArtist", Value::InstanceRef("Beatles".into()))], 1);
-        let far = instance_ctx(ClassKey::Song, "Completely Different Title", vec![], 1);
-        let (s1, _) = entity_metric_score(EntityMetricKind::Bow, &e, &close, 1.0);
-        let (s2, _) = entity_metric_score(EntityMetricKind::Bow, &e, &far, 1.0);
+        let mut interner = Interner::new();
+        let e = entity_ctx(&mut interner, ClassKey::Song, "Hey Jude Beatles", vec![]);
+        let close = instance_ctx(&mut interner, ClassKey::Song, "Hey Jude", vec![("musicalArtist", Value::InstanceRef("Beatles".into()))], 1);
+        let far = instance_ctx(&mut interner, ClassKey::Song, "Completely Different Title", vec![], 1);
+        let (s1, _) = entity_metric_score(EntityMetricKind::Bow, &e, &close, 1.0, &interner);
+        let (s2, _) = entity_metric_score(EntityMetricKind::Bow, &e, &far, 1.0, &interner);
         assert!(s1 > s2);
     }
 
     #[test]
     fn popularity_metric_passes_through_rank_score() {
-        let e = entity_ctx(ClassKey::Song, "Hey Jude", vec![]);
-        let inst = instance_ctx(ClassKey::Song, "Hey Jude", vec![], 1);
-        assert_eq!(entity_metric_score(EntityMetricKind::Popularity, &e, &inst, 0.5).0, 0.5);
+        let mut interner = Interner::new();
+        let e = entity_ctx(&mut interner, ClassKey::Song, "Hey Jude", vec![]);
+        let inst = instance_ctx(&mut interner, ClassKey::Song, "Hey Jude", vec![], 1);
+        assert_eq!(
+            entity_metric_score(EntityMetricKind::Popularity, &e, &inst, 0.5, &interner).0,
+            0.5
+        );
     }
 
     #[test]
     fn feature_layout_matches_names() {
+        let mut interner = Interner::new();
         let metrics = EntityMetricKind::ALL.to_vec();
         let names = entity_metric_feature_names(&metrics);
         assert_eq!(names.len(), 8);
-        let e = entity_ctx(ClassKey::Song, "Hey Jude", vec![]);
-        let inst = instance_ctx(ClassKey::Song, "Hey Jude", vec![], 1);
-        assert_eq!(entity_metric_features(&metrics, &e, &inst, 1.0).len(), 8);
+        let e = entity_ctx(&mut interner, ClassKey::Song, "Hey Jude", vec![]);
+        let inst = instance_ctx(&mut interner, ClassKey::Song, "Hey Jude", vec![], 1);
+        assert_eq!(entity_metric_features(&metrics, &e, &inst, 1.0, &interner).len(), 8);
     }
 
     #[test]
     fn implicit_metric_uses_entity_level_attributes() {
-        let mut e = entity_ctx(ClassKey::Song, "Hey Jude", vec![]);
+        let mut interner = Interner::new();
+        let mut e = entity_ctx(&mut interner, ClassKey::Song, "Hey Jude", vec![]);
         e.implicit = vec![("musicalArtist".into(), Value::InstanceRef("The Beatles".into()), 0.8)];
         let matching = instance_ctx(
+            &mut interner,
             ClassKey::Song,
             "Hey Jude",
             vec![("musicalArtist", Value::InstanceRef("The Beatles".into()))],
             1,
         );
-        let (sim, conf) = entity_metric_score(EntityMetricKind::ImplicitAtt, &e, &matching, 1.0);
+        let (sim, conf) = entity_metric_score(EntityMetricKind::ImplicitAtt, &e, &matching, 1.0, &interner);
         assert_eq!(sim, 1.0);
         assert!((conf - 0.8).abs() < 1e-12);
     }

@@ -1,6 +1,7 @@
 //! Training the entity-to-instance similarity model from gold clusters.
 
 use ltee_index::LabelIndex;
+use ltee_intern::Interner;
 use ltee_kb::{InstanceId, KnowledgeBase};
 use ltee_ml::{AggregationMethod, Dataset, PairwiseModel, PairwiseTrainingConfig, Sample};
 use serde::{Deserialize, Serialize};
@@ -55,9 +56,15 @@ pub fn build_entity_pair_dataset(
     label_index: &LabelIndex,
     metrics: &[EntityMetricKind],
     config: &EntityModelTrainingConfig,
+    interner: &mut Interner,
 ) -> Dataset {
     assert_eq!(entities.len(), truth.len(), "one truth entry per entity");
     let mut dataset = Dataset::new(entity_metric_feature_names(metrics));
+
+    // Each distinct candidate instance is materialised (and its labels
+    // interned) once, however many entities retrieve it.
+    let mut cache: std::collections::HashMap<InstanceId, InstanceContext> =
+        std::collections::HashMap::new();
 
     for (entity, true_instance) in entities.iter().zip(truth.iter()) {
         // Candidate instances via the label index (as at detection time).
@@ -80,13 +87,20 @@ pub fn build_entity_pair_dataset(
         if ids.is_empty() {
             continue;
         }
-        let mut contexts: Vec<InstanceContext> =
-            ids.iter().filter_map(|id| kb.instance(*id)).map(|i| InstanceContext::build(i, kb)).collect();
+        for &id in &ids {
+            if let std::collections::hash_map::Entry::Vacant(slot) = cache.entry(id) {
+                if let Some(instance) = kb.instance(id) {
+                    slot.insert(InstanceContext::build(instance, kb, interner));
+                }
+            }
+        }
+        let mut contexts: Vec<&InstanceContext> =
+            ids.iter().filter_map(|id| cache.get(id)).collect();
         contexts.sort_by_key(|c| std::cmp::Reverse(c.page_links));
         let n = contexts.len();
         for (rank, ctx) in contexts.iter().enumerate() {
             let popularity = if n == 1 { 1.0 } else { 1.0 / (rank + 1) as f64 };
-            let features = entity_metric_features(metrics, entity, ctx, popularity);
+            let features = entity_metric_features(metrics, entity, ctx, popularity, interner);
             let target = if Some(ctx.id) == *true_instance { 1.0 } else { 0.0 };
             dataset.push(Sample::new(features, target));
         }
@@ -114,7 +128,11 @@ mod tests {
     use ltee_text::BowVector;
     use ltee_webtables::{RowRef, TableId};
 
-    fn entity_from_world(world: &World, e: &ltee_kb::WorldEntity) -> EntityContext {
+    fn entity_from_world(
+        world: &World,
+        e: &ltee_kb::WorldEntity,
+        interner: &mut Interner,
+    ) -> EntityContext {
         // Build an entity straight from the world's ground truth — a stand-in
         // for "perfect clustering and fusion" used to test new detection in
         // isolation.
@@ -130,7 +148,7 @@ mod tests {
             bow.add_text(&v.render());
         }
         let _ = world;
-        EntityContext::from_parts(entity, bow, vec![])
+        EntityContext::from_parts(entity, bow, vec![], interner)
     }
 
     #[test]
@@ -139,6 +157,7 @@ mod tests {
         let kb = world.kb();
         let class = ClassKey::GridironFootballPlayer;
         let index = kb.label_index(class);
+        let mut interner = Interner::new();
 
         // Training set: half heads (existing) + half tails (new).
         let heads = world.head_of_class(class);
@@ -146,17 +165,18 @@ mod tests {
         let mut entities = Vec::new();
         let mut truth = Vec::new();
         for e in heads.iter().take(20) {
-            entities.push(entity_from_world(&world, e));
+            entities.push(entity_from_world(&world, e, &mut interner));
             truth.push(world.instance_for_entity(e.id));
         }
         for e in tails.iter().take(15) {
-            entities.push(entity_from_world(&world, e));
+            entities.push(entity_from_world(&world, e, &mut interner));
             truth.push(None);
         }
 
         let metrics = EntityMetricKind::ALL.to_vec();
         let config = EntityModelTrainingConfig::fast();
-        let ds = build_entity_pair_dataset(&entities, &truth, kb, &index, &metrics, &config);
+        let ds =
+            build_entity_pair_dataset(&entities, &truth, kb, &index, &metrics, &config, &mut interner);
         assert!(ds.positives() > 5, "need positive pairs, got {}", ds.positives());
         assert!(ds.negatives() > 5, "need negative pairs, got {}", ds.negatives());
         let model = train_entity_model(&ds, metrics, &config);
@@ -166,16 +186,23 @@ mod tests {
         let mut eval_new = Vec::new();
         let mut eval_instance = Vec::new();
         for e in heads.iter().skip(20).take(10) {
-            eval_entities.push(entity_from_world(&world, e));
+            eval_entities.push(entity_from_world(&world, e, &mut interner));
             eval_new.push(false);
             eval_instance.push(world.instance_for_entity(e.id));
         }
         for e in tails.iter().skip(15).take(8) {
-            eval_entities.push(entity_from_world(&world, e));
+            eval_entities.push(entity_from_world(&world, e, &mut interner));
             eval_new.push(true);
             eval_instance.push(None);
         }
-        let results = detect_new(&eval_entities, kb, &index, &model, &NewDetectionConfig::default());
+        let results = detect_new(
+            &eval_entities,
+            kb,
+            &index,
+            &model,
+            &NewDetectionConfig::default(),
+            &mut interner,
+        );
         let mut correct = 0usize;
         for (r, (is_new, instance)) in results.iter().zip(eval_new.iter().zip(eval_instance.iter())) {
             let ok = if *is_new {
@@ -198,12 +225,21 @@ mod tests {
         let class = ClassKey::Song;
         let index = kb.label_index(class);
         let heads = world.head_of_class(class);
+        let mut interner = Interner::new();
         let entities: Vec<EntityContext> =
-            heads.iter().take(5).map(|e| entity_from_world(&world, e)).collect();
+            heads.iter().take(5).map(|e| entity_from_world(&world, e, &mut interner)).collect();
         let truth: Vec<Option<InstanceId>> =
             heads.iter().take(5).map(|e| world.instance_for_entity(e.id)).collect();
         let metrics = vec![EntityMetricKind::Label, EntityMetricKind::Attribute];
-        let ds = build_entity_pair_dataset(&entities, &truth, kb, &index, &metrics, &EntityModelTrainingConfig::fast());
+        let ds = build_entity_pair_dataset(
+            &entities,
+            &truth,
+            kb,
+            &index,
+            &metrics,
+            &EntityModelTrainingConfig::fast(),
+            &mut interner,
+        );
         assert_eq!(ds.num_features(), 3); // 2 sims + 1 confidence
         assert!(!ds.is_empty());
     }
@@ -221,6 +257,7 @@ mod tests {
             &index,
             &[EntityMetricKind::Label],
             &EntityModelTrainingConfig::fast(),
+            &mut Interner::new(),
         );
     }
 
@@ -234,7 +271,12 @@ mod tests {
             labels: vec!["Something".into()],
             facts: vec![],
         };
-        let ctx = EntityContext::build(entity, &corpus, &ImplicitAttributes::default());
+        let ctx = EntityContext::build(
+            entity,
+            &corpus,
+            &ImplicitAttributes::default(),
+            &mut Interner::new(),
+        );
         assert!(!ctx.bow.is_empty());
         assert!(ctx.implicit.is_empty());
     }

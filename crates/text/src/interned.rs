@@ -1,0 +1,134 @@
+//! Interned entry points of the shared text layer.
+//!
+//! These functions produce and consume [`ltee_intern`] symbols instead of
+//! owned `String`s, so the pipeline normalises and tokenises each distinct
+//! label **once per run** and then compares integers. Every function here
+//! is bit-for-bit compatible with its `String`-based sibling: feeding the
+//! same text through [`tokenize_interned`] + [`monge_elkan_tokens`] yields
+//! exactly the floats that [`crate::tokenize`] +
+//! [`crate::monge_elkan_similarity`] yield (a property-tested invariant).
+
+use ltee_intern::{Interner, Sym, TokenSeq};
+
+use crate::levenshtein::levenshtein_similarity;
+use crate::normalize::normalize_label;
+
+/// Normalise a label (see [`normalize_label`]) and intern the result.
+pub fn normalize_and_intern(label: &str, interner: &mut Interner) -> Sym {
+    interner.intern(&normalize_label(label))
+}
+
+/// Tokenise already cleaned text exactly like [`crate::tokenize`] (both
+/// run on the same token-splitting core), but intern each token instead
+/// of allocating an owned `String` per token. One scratch buffer is
+/// reused across tokens; known tokens allocate nothing.
+pub fn tokenize_interned(text: &str, interner: &mut Interner) -> TokenSeq {
+    let mut syms = Vec::new();
+    crate::normalize::for_each_token(text, |t| syms.push(interner.intern(t)));
+    TokenSeq::from_syms(syms)
+}
+
+/// Directed Monge-Elkan over interned tokens: mean over `a`'s tokens of
+/// the best Levenshtein similarity against `b`'s tokens, with a sym
+/// equality fast path (an exact shared token scores 1.0 without running
+/// Levenshtein — the value the string scan would reach anyway, since only
+/// identical strings have similarity 1.0).
+fn directed_monge_elkan_tokens(a: &TokenSeq, b: &TokenSeq, interner: &Interner) -> f64 {
+    if a.is_empty() {
+        return if b.is_empty() { 1.0 } else { 0.0 };
+    }
+    let mut total = 0.0;
+    for &at in a.tokens() {
+        let best = if b.contains(at) {
+            1.0
+        } else {
+            let at_str = interner.resolve(at);
+            let mut best: f64 = 0.0;
+            for &bt in b.tokens() {
+                let s = levenshtein_similarity(at_str, interner.resolve(bt));
+                if s > best {
+                    best = s;
+                }
+            }
+            best
+        };
+        total += best;
+    }
+    total / a.len() as f64
+}
+
+/// Symmetric Monge-Elkan similarity over pre-tokenised, interned labels.
+///
+/// Both sequences must come from the same `interner`. Bit-for-bit equal to
+/// [`crate::monge_elkan_similarity`] on the corresponding strings, while
+/// skipping re-tokenisation and all per-call allocation.
+pub fn monge_elkan_tokens(a: &TokenSeq, b: &TokenSeq, interner: &Interner) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let forward = directed_monge_elkan_tokens(a, b, interner);
+    let backward = directed_monge_elkan_tokens(b, a, interner);
+    (forward + backward) / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{monge_elkan_similarity, tokenize};
+
+    #[test]
+    fn tokenize_interned_matches_string_tokenize() {
+        let mut interner = Interner::new();
+        for text in ["hey-you 42", "  --  ", "ABBA Gold", "İstanbul (city)", "the the song"] {
+            let interned = tokenize_interned(text, &mut interner);
+            let strings: Vec<&str> =
+                interned.tokens().iter().map(|&s| interner.resolve(s)).collect();
+            assert_eq!(strings, tokenize(text), "{text:?}");
+        }
+    }
+
+    #[test]
+    fn repeated_tokens_share_syms() {
+        let mut interner = Interner::new();
+        let seq = tokenize_interned("the the song", &mut interner);
+        assert_eq!(seq.len(), 3);
+        assert_eq!(seq.distinct_len(), 2);
+        assert_eq!(interner.len(), 2);
+    }
+
+    #[test]
+    fn normalize_and_intern_dedupes_across_variants() {
+        let mut interner = Interner::new();
+        let a = normalize_and_intern("Yellow Submarine (Remastered)", &mut interner);
+        let b = normalize_and_intern("  yellow   SUBMARINE ", &mut interner);
+        assert_eq!(a, b);
+        assert_eq!(interner.resolve(a), "yellow submarine");
+    }
+
+    #[test]
+    fn monge_elkan_tokens_bit_matches_string_version() {
+        let mut interner = Interner::new();
+        let cases = [
+            ("Tom Brady", "Tom Brady"),
+            ("Brady Tom", "Tom Brady"),
+            ("T. Brady", "Tom Brady"),
+            ("Yellow Submarine", "Quarterback Draft"),
+            ("", "Tom Brady"),
+            ("", ""),
+            ("New York City", "New York"),
+            ("Peyton Maning", "Peyton Manning"),
+        ];
+        for (a, b) in cases {
+            let sa = tokenize_interned(a, &mut interner);
+            let sb = tokenize_interned(b, &mut interner);
+            assert_eq!(
+                monge_elkan_tokens(&sa, &sb, &interner).to_bits(),
+                monge_elkan_similarity(a, b).to_bits(),
+                "({a:?}, {b:?})"
+            );
+        }
+    }
+}

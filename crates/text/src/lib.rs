@@ -18,13 +18,22 @@
 //!
 //! All functions operate on already-normalised text; [`normalize`] provides
 //! the shared cleaning / tokenisation used across the pipeline.
+//!
+//! The [`interned`] module provides the symbol-based entry points
+//! ([`normalize_and_intern`], [`tokenize_interned`],
+//! [`monge_elkan_tokens`]) that the hot paths use: same values, one
+//! normalisation per distinct label per run instead of one per comparison.
 
+#![warn(missing_docs)]
+
+pub mod interned;
 pub mod jaccard;
 pub mod levenshtein;
 pub mod monge_elkan;
 pub mod normalize;
 pub mod vector;
 
+pub use interned::{monge_elkan_tokens, normalize_and_intern, tokenize_interned};
 pub use jaccard::{jaccard_similarity, token_overlap};
 pub use levenshtein::{levenshtein_distance, levenshtein_similarity};
 pub use monge_elkan::monge_elkan_similarity;

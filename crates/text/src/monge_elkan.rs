@@ -13,6 +13,12 @@ use crate::normalize::tokenize;
 
 /// Directed Monge-Elkan score: mean over tokens of `a` of the best inner
 /// similarity against any token of `b`.
+///
+/// [`crate::interned::monge_elkan_tokens`] implements the same kernel over
+/// interned syms (with an exact-match fast path); the two must stay
+/// bit-for-bit interchangeable — any change here needs the mirror change
+/// there, and `crates/text/tests/intern_agreement.rs` property-tests the
+/// equivalence.
 fn directed_monge_elkan(a_tokens: &[String], b_tokens: &[String]) -> f64 {
     if a_tokens.is_empty() {
         return if b_tokens.is_empty() { 1.0 } else { 0.0 };

@@ -22,25 +22,19 @@ pub fn normalize_label(label: &str) -> String {
     let mut out = String::with_capacity(source.len());
     let mut last_space = true;
     for ch in source.chars() {
-        let mapped = if ch.is_alphanumeric() {
-            Some(ch.to_lowercase().next().unwrap_or(ch))
-        } else if ch.is_whitespace() || ch.is_ascii_punctuation() {
-            None
-        } else {
-            // Keep other unicode symbols as-is but lower-cased.
-            Some(ch.to_lowercase().next().unwrap_or(ch))
-        };
-        match mapped {
-            Some(c) => {
-                out.push(c);
-                last_space = false;
+        // Alphanumerics and non-punctuation unicode symbols are kept,
+        // lower-cased; punctuation and whitespace collapse to one space.
+        // Lower-casing can expand to multiple chars ('İ' → "i\u{307}"),
+        // so every produced char is emitted — taking only the first would
+        // silently truncate such labels.
+        if ch.is_alphanumeric() || !(ch.is_whitespace() || ch.is_ascii_punctuation()) {
+            for lc in ch.to_lowercase() {
+                out.push(lc);
             }
-            None => {
-                if !last_space {
-                    out.push(' ');
-                    last_space = true;
-                }
-            }
+            last_space = false;
+        } else if !last_space {
+            out.push(' ');
+            last_space = true;
         }
     }
     out.trim().to_string()
@@ -86,12 +80,11 @@ pub fn clean_label(raw: &str) -> String {
     out
 }
 
-/// Tokenise an already cleaned string into lower-cased alphanumeric tokens.
-///
-/// This is the tokenisation used to build bag-of-words vectors and blocking
-/// keys. Tokens of length zero are never produced.
-pub fn tokenize(text: &str) -> Vec<String> {
-    let mut tokens = Vec::new();
+/// The single token-splitting core behind [`tokenize`] and
+/// [`crate::interned::tokenize_interned`]: lower-cased alphanumeric runs,
+/// each yielded through `f` from a reused scratch buffer. Both public
+/// tokenisers must go through here so they cannot drift apart.
+pub(crate) fn for_each_token(text: &str, mut f: impl FnMut(&str)) {
     let mut current = String::new();
     for ch in text.chars() {
         if ch.is_alphanumeric() {
@@ -99,12 +92,22 @@ pub fn tokenize(text: &str) -> Vec<String> {
                 current.push(lc);
             }
         } else if !current.is_empty() {
-            tokens.push(std::mem::take(&mut current));
+            f(&current);
+            current.clear();
         }
     }
     if !current.is_empty() {
-        tokens.push(current);
+        f(&current);
     }
+}
+
+/// Tokenise an already cleaned string into lower-cased alphanumeric tokens.
+///
+/// This is the tokenisation used to build bag-of-words vectors and blocking
+/// keys. Tokens of length zero are never produced.
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    for_each_token(text, |t| tokens.push(t.to_string()));
     tokens
 }
 
@@ -136,6 +139,18 @@ mod tests {
     #[test]
     fn normalize_empty_is_empty() {
         assert_eq!(normalize_label(""), "");
+    }
+
+    #[test]
+    fn normalize_keeps_multi_char_lowercase_expansions() {
+        // 'İ' (U+0130) lower-cases to "i\u{307}" — two chars. The per-char
+        // path used to keep only the first, silently truncating the label.
+        assert_eq!(normalize_label("\u{130}stanbul"), "i\u{307}stanbul");
+        // 'ẞ' (U+1E9E) lower-cases to 'ß' and must stay intact too.
+        assert_eq!(normalize_label("STRA\u{1E9E}E"), "stra\u{DF}e");
+        // `tokenize` already emitted the full expansion (its line-98 path);
+        // the normalised form now matches it char for char.
+        assert_eq!(tokenize("\u{130}stanbul"), vec!["i\u{307}stanbul"]);
     }
 
     #[test]

@@ -1,0 +1,66 @@
+//! Property tests: the interned token kernels must agree — bit for bit —
+//! with the `String`-based `ltee-text` implementations on random inputs.
+//!
+//! This is the contract that lets the pipeline swap its hot paths to
+//! interned tokens without changing a single score.
+
+use ltee_intern::{jaccard, token_overlap, Interner};
+use ltee_text::{
+    jaccard_similarity, monge_elkan_similarity, monge_elkan_tokens, normalize_and_intern,
+    normalize_label, tokenize, tokenize_interned,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn interned_tokens_resolve_to_string_tokens(text in "[a-zA-Z0-9 ,.()-]{0,30}") {
+        let mut interner = Interner::new();
+        let seq = tokenize_interned(&text, &mut interner);
+        let resolved: Vec<String> =
+            seq.tokens().iter().map(|&s| interner.resolve(s).to_string()).collect();
+        prop_assert_eq!(resolved, tokenize(&text));
+    }
+
+    #[test]
+    fn interned_jaccard_agrees_with_string_jaccard(
+        a in "[a-z0-9 ]{0,25}",
+        b in "[a-z0-9 ]{0,25}",
+    ) {
+        let mut interner = Interner::new();
+        let sa = tokenize_interned(&a, &mut interner);
+        let sb = tokenize_interned(&b, &mut interner);
+        prop_assert_eq!(jaccard(&sa, &sb).to_bits(), jaccard_similarity(&a, &b).to_bits());
+    }
+
+    #[test]
+    fn interned_overlap_agrees_with_string_overlap(
+        a in "[a-z ]{0,25}",
+        b in "[a-z ]{0,25}",
+    ) {
+        let mut interner = Interner::new();
+        let sa = tokenize_interned(&a, &mut interner);
+        let sb = tokenize_interned(&b, &mut interner);
+        prop_assert_eq!(token_overlap(&sa, &sb), ltee_text::token_overlap(&a, &b));
+    }
+
+    #[test]
+    fn interned_monge_elkan_agrees_with_string_monge_elkan(
+        a in "[a-z ]{0,25}",
+        b in "[a-z ]{0,25}",
+    ) {
+        let mut interner = Interner::new();
+        let sa = tokenize_interned(&a, &mut interner);
+        let sb = tokenize_interned(&b, &mut interner);
+        prop_assert_eq!(
+            monge_elkan_tokens(&sa, &sb, &interner).to_bits(),
+            monge_elkan_similarity(&a, &b).to_bits()
+        );
+    }
+
+    #[test]
+    fn normalize_and_intern_agrees_with_normalize(label in "[a-zA-Z0-9 ,.()]{0,30}") {
+        let mut interner = Interner::new();
+        let sym = normalize_and_intern(&label, &mut interner);
+        prop_assert_eq!(interner.resolve(sym), normalize_label(&label).as_str());
+    }
+}

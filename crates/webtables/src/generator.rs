@@ -7,6 +7,7 @@
 //! and tables about confusable sibling-class entities.
 
 use std::collections::HashMap;
+use std::rc::Rc;
 
 use ltee_kb::{class_schema, ClassKey, EntityId, World, CLASS_KEYS};
 use ltee_types::{DateGranularity, Value};
@@ -149,12 +150,23 @@ pub fn generate_corpus(world: &World, config: &CorpusConfig) -> Corpus {
         let heads = world.head_of_class(class);
         let tails = world.long_tail_of_class(class);
         let confusables = world.confusables_of_class(class);
-        // Index of entities by (theme property, rendered theme value).
-        let mut theme_index: HashMap<(String, String), Vec<EntityId>> = HashMap::new();
+        // Index of entities by theme property → rendered theme value. The
+        // property side is a static str and each distinct rendered value is
+        // stored once as a shared `Rc<str>` (probed by `&str`, so repeated
+        // values allocate no duplicate key), instead of a fresh
+        // `(String, String)` tuple per (entity, theme) pair.
+        let mut theme_index: ThemeIndex = HashMap::new();
         for e in heads.iter().chain(tails.iter()) {
             for theme in theme_properties(class) {
                 if let Some(v) = e.fact(theme) {
-                    theme_index.entry((theme.to_string(), v.render())).or_default().push(e.id);
+                    let values = theme_index.entry(theme).or_default();
+                    let rendered = v.render();
+                    match values.get_mut(rendered.as_str()) {
+                        Some(ids) => ids.push(e.id),
+                        None => {
+                            values.insert(Rc::from(rendered.as_str()), vec![e.id]);
+                        }
+                    }
                 }
             }
         }
@@ -187,6 +199,10 @@ pub fn generate_corpus(world: &World, config: &CorpusConfig) -> Corpus {
     corpus
 }
 
+/// Entities indexed by theme property → rendered theme value. One shared
+/// `Rc<str>` per distinct value; cloning a theme key is a pointer bump.
+type ThemeIndex = HashMap<&'static str, HashMap<Rc<str>, Vec<EntityId>>>;
+
 /// Generate a regular table about `class`.
 #[allow(clippy::too_many_arguments)]
 fn generate_class_table(
@@ -194,7 +210,7 @@ fn generate_class_table(
     class: ClassKey,
     id: TableId,
     config: &CorpusConfig,
-    theme_index: &HashMap<(String, String), Vec<EntityId>>,
+    theme_index: &ThemeIndex,
     tail_usage: &mut HashMap<EntityId, usize>,
     rng: &mut ChaCha8Rng,
 ) -> WebTable {
@@ -202,17 +218,23 @@ fn generate_class_table(
 
     // Pick a theme (or none) and collect the candidate entity pool.
     let themed = rng.gen::<f64>() < 0.7;
-    let mut theme: Option<(String, String)> = None;
+    let mut theme: Option<(&'static str, Rc<str>)> = None;
     let mut pool: Vec<EntityId> = Vec::new();
     if themed {
-        // Choose a theme key that has enough members.
-        let mut keys: Vec<&(String, String)> = theme_index.keys().collect();
+        // Choose a theme key that has enough members. Keys sort exactly as
+        // the former `(String, String)` tuples did (property, then value),
+        // keeping the corpus a pure function of the seed.
+        let mut keys: Vec<(&'static str, &Rc<str>)> = theme_index
+            .iter()
+            .flat_map(|(prop, values)| values.keys().map(move |v| (*prop, v)))
+            .collect();
         keys.sort();
         keys.shuffle(rng);
-        for key in keys {
-            if theme_index[key].len() >= config.min_rows.max(2) {
-                theme = Some(key.clone());
-                pool = theme_index[key].clone();
+        for (prop, value) in keys {
+            let members = &theme_index[prop][value];
+            if members.len() >= config.min_rows.max(2) {
+                theme = Some((prop, Rc::clone(value)));
+                pool = members.clone();
                 break;
             }
         }
@@ -296,7 +318,7 @@ fn generate_class_table(
         let mut p = spec.table_density;
         // The theme property is usually left implicit.
         if let Some((theme_prop, _)) = &theme {
-            if theme_prop == spec.name && rng.gen::<f64>() < 0.6 {
+            if *theme_prop == spec.name && rng.gen::<f64>() < 0.6 {
                 p = 0.0;
             }
         }

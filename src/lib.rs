@@ -15,6 +15,7 @@ pub use ltee_core as core;
 pub use ltee_eval as eval;
 pub use ltee_fusion as fusion;
 pub use ltee_index as index;
+pub use ltee_intern as intern;
 pub use ltee_kb as kb;
 pub use ltee_matching as matching;
 pub use ltee_ml as ml;

@@ -38,14 +38,15 @@ fn setup(class: ClassKey) -> Setup {
 fn run_clustering(setup: &Setup, metrics: Vec<RowMetricKind>, config: &ClusteringConfig) -> f64 {
     let class = setup.gold.class;
     let rows = setup.mapping.class_rows(&setup.corpus, class);
-    let contexts = build_row_contexts(&setup.corpus, &setup.mapping, &rows);
+    let mut interner = ltee_intern::Interner::new();
+    let contexts = build_row_contexts(&setup.corpus, &setup.mapping, &rows, &mut interner);
     let phi = PhiTableVectors::build(&setup.corpus, &contexts);
     let index = setup.world.kb().label_index(class);
     let implicit = ImplicitAttributes::build(&setup.corpus, &setup.mapping, setup.world.kb(), class, &index);
     let training = RowModelTrainingConfig::fast();
-    let ds = build_pair_dataset(&contexts, &setup.gold, &metrics, &phi, &implicit, &training);
+    let ds = build_pair_dataset(&contexts, &setup.gold, &metrics, &phi, &implicit, &training, &interner);
     let model = train_row_model(&ds, metrics, &training);
-    let clustering = cluster_rows(&contexts, &model, &phi, &implicit, config);
+    let clustering = cluster_rows(&contexts, &model, &phi, &implicit, config, &interner);
     let produced = clustering.to_row_refs(&contexts);
     let gold_clusters: Vec<Vec<RowRef>> = setup
         .gold

@@ -1,0 +1,31 @@
+//! Shared fixtures for the tier-1 determinism proofs.
+
+use ltee_core::prelude::*;
+use ltee_webtables::TableId;
+
+/// Append copies of the first few generated tables whose labels carry
+/// bracketed qualifiers and non-ASCII text, so the interned normalisation /
+/// tokenisation / blocking paths are exercised on label shapes the plain
+/// ASCII generator never produces — inside the bit-identity proofs.
+///
+/// `qualifiers` are the three decorations applied round-robin per row:
+/// a `(...)` suffix, a `[...]` suffix, and a non-ASCII prefix that should
+/// include a multi-char lowercase expansion such as 'İ'.
+pub fn with_exotic_labels(mut corpus: Corpus, qualifiers: [&str; 3]) -> Corpus {
+    let max_id = corpus.tables().iter().map(|t| t.id.raw()).max().unwrap_or(0);
+    let templates: Vec<_> = corpus.tables().iter().take(3).cloned().collect();
+    for (i, mut table) in templates.into_iter().enumerate() {
+        table.id = TableId(max_id + 1 + i as u64);
+        let label_col = table.truth.label_column;
+        for (row, cell) in table.columns[label_col].cells.iter_mut().enumerate() {
+            *cell = match row % 3 {
+                0 => format!("{cell} {}", qualifiers[0]),
+                1 => format!("{cell} {}", qualifiers[1]),
+                _ => format!("{} {cell}", qualifiers[2]),
+            };
+        }
+        assert!(table.validate().is_ok(), "exotic fixture table must stay consistent");
+        corpus.push(table);
+    }
+    corpus
+}

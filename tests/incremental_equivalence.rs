@@ -9,6 +9,8 @@
 
 use ltee_core::prelude::*;
 
+mod common;
+
 fn setup() -> (World, Corpus, ModelArtifact) {
     let world = generate_world(&GeneratorConfig::new(Scale::tiny(), 4711));
     let corpus = generate_corpus(&world, &CorpusConfig::tiny());
@@ -17,6 +19,12 @@ fn setup() -> (World, Corpus, ModelArtifact) {
     let config = config_with(Parallelism::Sequential);
     let models = train_models(&corpus, world.kb(), &golds, &config).expect("trainable corpus");
     let artifact = ModelArtifact::new(models, &config);
+    // Serve-time stream: the training corpus plus exotic (bracketed /
+    // non-ASCII, incl. multi-char-lowercase 'İ') label tables, so the serve
+    // path's interned blocking and scoring sit inside the K-batches ==
+    // union equivalence proof.
+    let corpus =
+        common::with_exotic_labels(corpus, ["(Live)", "[Zürich]", "\u{130}zmir"]);
     (world, corpus, artifact)
 }
 

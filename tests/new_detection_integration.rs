@@ -25,6 +25,7 @@ fn new_detection_on_gold_clusters_beats_the_label_baseline() {
 
     let mut accuracies_all = Vec::new();
     let mut accuracies_label = Vec::new();
+    let mut interner = ltee_intern::Interner::new();
 
     for &class in &CLASS_KEYS {
         let gold = GoldStandard::build(&world, &corpus, class);
@@ -33,8 +34,10 @@ fn new_detection_on_gold_clusters_beats_the_label_baseline() {
 
         let clusters: Vec<Vec<RowRef>> = gold.clusters.iter().map(|c| c.rows.clone()).collect();
         let entities = create_entities(&clusters, &corpus, &mapping, kb, class, &Default::default());
-        let contexts: Vec<EntityContext> =
-            entities.into_iter().map(|e| EntityContext::build(e, &corpus, &implicit)).collect();
+        let contexts: Vec<EntityContext> = entities
+            .into_iter()
+            .map(|e| EntityContext::build(e, &corpus, &implicit, &mut interner))
+            .collect();
         let instance_truth: Vec<_> = gold.clusters.iter().map(|c| c.kb_instance).collect();
         let truths: Vec<EntityTruth> = gold
             .clusters
@@ -59,12 +62,14 @@ fn new_detection_on_gold_clusters_beats_the_label_baseline() {
                 &index,
                 &metrics,
                 &training_cfg,
+                &mut interner,
             );
             if ds.positives() == 0 || ds.negatives() == 0 {
                 continue;
             }
             let model = train_entity_model(&ds, metrics, &training_cfg);
-            let results = detect_new(&contexts[split..], kb, &index, &model, &Default::default());
+            let results =
+                detect_new(&contexts[split..], kb, &index, &model, &Default::default(), &mut interner);
             let outcomes: Vec<_> = results.iter().map(|r| r.outcome).collect();
             let eval = evaluate_new_detection(&outcomes, &truths[split..]);
             accs.push(eval.accuracy);
@@ -99,13 +104,24 @@ fn detection_results_reference_valid_entities() {
     let implicit = ImplicitAttributes::build(&corpus, &mapping, kb, class, &index);
     let clusters: Vec<Vec<RowRef>> = gold.clusters.iter().map(|c| c.rows.clone()).collect();
     let entities = create_entities(&clusters, &corpus, &mapping, kb, class, &Default::default());
-    let contexts: Vec<EntityContext> =
-        entities.into_iter().map(|e| EntityContext::build(e, &corpus, &implicit)).collect();
+    let mut interner = ltee_intern::Interner::new();
+    let contexts: Vec<EntityContext> = entities
+        .into_iter()
+        .map(|e| EntityContext::build(e, &corpus, &implicit, &mut interner))
+        .collect();
     let instance_truth: Vec<_> = gold.clusters.iter().map(|c| c.kb_instance).collect();
     let cfg = EntityModelTrainingConfig::fast();
-    let ds = build_entity_pair_dataset(&contexts, &instance_truth, kb, &index, &EntityMetricKind::ALL, &cfg);
+    let ds = build_entity_pair_dataset(
+        &contexts,
+        &instance_truth,
+        kb,
+        &index,
+        &EntityMetricKind::ALL,
+        &cfg,
+        &mut interner,
+    );
     let model = train_entity_model(&ds, EntityMetricKind::ALL.to_vec(), &cfg);
-    let results = detect_new(&contexts, kb, &index, &model, &Default::default());
+    let results = detect_new(&contexts, kb, &index, &model, &Default::default(), &mut interner);
     assert_eq!(results.len(), contexts.len());
     for r in &results {
         assert!(r.entity < contexts.len());

@@ -11,13 +11,20 @@
 
 use ltee_core::prelude::*;
 
+mod common;
+
 fn run_with(threads: usize) -> PipelineOutput {
     let config = PipelineConfig {
         parallelism: Parallelism::Threads(threads),
         ..PipelineConfig::fast()
     };
     let world = generate_world(&GeneratorConfig::new(Scale::tiny(), 2024));
-    let corpus = generate_corpus(&world, &CorpusConfig::tiny());
+    // Exotic (bracketed / non-ASCII, incl. multi-char-lowercase 'İ') label
+    // fixtures sit inside the bit-identity proof, training included.
+    let corpus = common::with_exotic_labels(
+        generate_corpus(&world, &CorpusConfig::tiny()),
+        ["(Remastered)", "[São Paulo]", "\u{130}stanbul"],
+    );
     let golds: Vec<GoldStandard> =
         CLASS_KEYS.iter().map(|&c| GoldStandard::build(&world, &corpus, c)).collect();
     let models = train_models(&corpus, world.kb(), &golds, &config).expect("trainable corpus");
