@@ -111,6 +111,11 @@ pub struct IngestReport {
     /// Entities currently classified as new that this batch created or
     /// re-classified.
     pub new_entities: usize,
+    /// The classes whose clusters (and therefore entities/results) this
+    /// batch created or changed, in [`CLASS_KEYS`] order. Snapshot
+    /// publishers use this to rebuild only the class projections a batch
+    /// actually touched and share the rest with the previous version.
+    pub touched_classes: Vec<ClassKey>,
 }
 
 /// A serving pipeline: frozen trained models plus accumulated stream state.
@@ -190,6 +195,22 @@ impl<'a> IncrementalPipeline<'a> {
     /// Number of raw rows ingested so far.
     pub fn ingested_rows(&self) -> usize {
         self.corpus.total_rows()
+    }
+
+    /// The accumulated entities and detection results of one class, parallel
+    /// vectors with one slot per cluster (`results[i].entity == i`).
+    /// Returns `None` while the class has no clusters. This is the
+    /// per-class projection surface snapshot publishers read after an
+    /// ingest — borrowing, not cloning, so publication cost is driven by
+    /// the projection the publisher builds, not by this accessor.
+    pub fn class_entities(
+        &self,
+        class: ClassKey,
+    ) -> Option<(&[Entity], &[NewDetectionResult])> {
+        self.states
+            .iter()
+            .find(|s| s.class == class && !s.clusterer.is_empty())
+            .map(|s| (s.entities.as_slice(), s.results.as_slice()))
     }
 
     /// Ingest one micro-batch of new tables.
@@ -313,6 +334,7 @@ impl<'a> IncrementalPipeline<'a> {
                 continue;
             }
             let class = state.class;
+            report.touched_classes.push(class);
             let touched_clusters: Vec<Vec<ltee_webtables::RowRef>> =
                 touched.iter().map(|&c| state.clusterer.cluster_row_refs(c)).collect();
             let (entities, results) = fuse_and_detect(

@@ -52,6 +52,16 @@ impl Entity {
     pub fn row_count(&self) -> usize {
         self.rows.len()
     }
+
+    /// The distinct web tables the entity's rows came from, ascending by
+    /// table id — the entity's table-level provenance, as served by the
+    /// query layer alongside the fused facts.
+    pub fn provenance_tables(&self) -> Vec<ltee_webtables::TableId> {
+        let mut tables: Vec<_> = self.rows.iter().map(|r| r.table).collect();
+        tables.sort_unstable();
+        tables.dedup();
+        tables
+    }
 }
 
 #[cfg(test)]
@@ -72,6 +82,24 @@ mod tests {
         assert!(e.fact("genre").is_none());
         assert_eq!(e.fact_count(), 1);
         assert_eq!(e.row_count(), 2);
+    }
+
+    #[test]
+    fn provenance_tables_are_distinct_and_sorted() {
+        let e = Entity {
+            class: ClassKey::Song,
+            rows: vec![
+                RowRef::new(TableId(9), 0),
+                RowRef::new(TableId(2), 3),
+                RowRef::new(TableId(9), 4),
+                RowRef::new(TableId(2), 1),
+            ],
+            labels: vec![],
+            facts: vec![],
+        };
+        assert_eq!(e.provenance_tables(), vec![TableId(2), TableId(9)]);
+        let empty = Entity { class: ClassKey::Song, rows: vec![], labels: vec![], facts: vec![] };
+        assert!(empty.provenance_tables().is_empty());
     }
 
     #[test]

@@ -8,8 +8,9 @@
 //! tokens to `&str` slices of the arena without allocating.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
-use ltee_intern::{Interner, Sym, TokenSeq};
+use ltee_intern::{FrozenInterner, Interner, Sym, TokenSeq};
 use ltee_text::{levenshtein_similarity, normalize_label, tokenize, tokenize_interned};
 
 /// One indexed label. All text fields are syms of the owning
@@ -144,12 +145,21 @@ impl LabelIndex {
     /// All entries whose normalised label is exactly equal to the normalised
     /// query (the query's *block* in the paper's blocking scheme).
     pub fn exact_block(&self, label: &str) -> Vec<&LabelEntry> {
-        let normalized = normalize_label(label);
-        let Some(sym) = self.interner.get(&normalized) else { return Vec::new() };
-        self.by_label
-            .get(&sym)
-            .map(|positions| positions.iter().map(|&p| &self.entries[p as usize]).collect())
-            .unwrap_or_default()
+        exact_block_core(&self.interner, &self.entries, &self.by_label, label)
+    }
+
+    /// Freeze the index into a cheaply cloneable read-only view that can be
+    /// shared across threads (see [`SharedLabelIndex`]). Insertion is
+    /// sealed; every lookup capability survives.
+    pub fn into_shared(self) -> SharedLabelIndex {
+        SharedLabelIndex {
+            interner: self.interner.freeze(),
+            tables: Arc::new(IndexTables {
+                entries: self.entries,
+                postings: self.postings,
+                by_label: self.by_label,
+            }),
+        }
     }
 
     /// Fuzzy top-k lookup: return up to `k` distinct entry ids whose labels
@@ -163,58 +173,52 @@ impl LabelIndex {
     /// syms via a read-only interner probe — a token never interned cannot
     /// match any posting, and the query leaves the index untouched.
     pub fn lookup(&self, label: &str, k: usize) -> Vec<LabelMatch> {
-        if k == 0 || self.entries.is_empty() {
-            return Vec::new();
-        }
-        let normalized = normalize_label(label);
-        let query_tokens = tokenize(&normalized);
-        if query_tokens.is_empty() {
-            return Vec::new();
-        }
-        let query_syms: Vec<Option<Sym>> =
-            query_tokens.iter().map(|t| self.interner.get(t)).collect();
+        lookup_core(&self.interner, &self.entries, &self.postings, label, k)
+    }
 
-        // Gather candidate entry positions with their exact-token hit counts.
-        let mut hits: HashMap<u32, usize> = HashMap::new();
-        for sym in query_syms.iter().flatten() {
-            if let Some(postings) = self.postings.get(sym) {
-                for &pos in postings {
-                    *hits.entry(pos).or_insert(0) += 1;
-                }
-            }
-        }
-        if hits.is_empty() {
-            return Vec::new();
-        }
+    /// Convenience: ids of the top-k fuzzy matches.
+    pub fn lookup_ids(&self, label: &str, k: usize) -> Vec<u64> {
+        self.lookup(label, k).into_iter().map(|m| m.id).collect()
+    }
+}
 
-        // Per-query-token memo of Levenshtein similarity by candidate token
-        // *sym*: candidate sets share a small token vocabulary (postings
-        // guarantee overlap), so each distinct (query token, candidate
-        // token) pair is edit-scored once — not once per entry occurrence.
-        // Only possible because tokens are interned; a String index would
-        // have to hash full tokens to get the same effect.
-        let mut sim_memo: Vec<HashMap<Sym, f64>> = vec![HashMap::new(); query_tokens.len()];
-        let mut scored: Vec<LabelMatch> = hits
-            .into_iter()
-            .map(|(pos, exact_hits)| {
-                let entry = &self.entries[pos as usize];
-                let score =
-                    self.score_candidate(&query_tokens, &query_syms, &mut sim_memo, entry, exact_hits);
-                LabelMatch { id: entry.id, normalized: entry.normalized, score }
-            })
-            .collect();
+/// The read-only lookup tables of an index, shared between a mutable
+/// [`LabelIndex`] (which owns them directly) and any number of
+/// [`SharedLabelIndex`] views (which hold them behind an `Arc`).
+#[derive(Debug)]
+struct IndexTables {
+    entries: Vec<LabelEntry>,
+    postings: HashMap<Sym, Vec<u32>>,
+    by_label: HashMap<Sym, Vec<u32>>,
+}
 
-        // Deduplicate by id, keeping the best score per id.
-        scored.sort_by(|a, b| {
-            b.score
-                .partial_cmp(&a.score)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| a.id.cmp(&b.id))
-        });
-        let mut seen = std::collections::HashSet::new();
-        scored.retain(|m| seen.insert(m.id));
-        scored.truncate(k);
-        scored
+/// A frozen, cheaply cloneable, thread-shareable view of a [`LabelIndex`].
+///
+/// Produced by [`LabelIndex::into_shared`]; cloning bumps two `Arc`s. The
+/// view supports every read operation of the mutable index — fuzzy top-k
+/// lookup, exact blocks, sym resolution — but can never be inserted into,
+/// which is what makes it safe to hand to concurrent readers without a
+/// lock: all clones observe one immutable postings/arena state forever.
+/// Published KB snapshots (`ltee-serve`) key their per-class entity label
+/// indexes on this type so that snapshot versions sharing an unchanged
+/// class share one physical index.
+#[derive(Debug, Clone)]
+pub struct SharedLabelIndex {
+    interner: FrozenInterner,
+    tables: Arc<IndexTables>,
+}
+
+impl SharedLabelIndex {
+    /// Fuzzy top-k lookup — identical results to [`LabelIndex::lookup`] on
+    /// the index this view was frozen from.
+    pub fn lookup(&self, label: &str, k: usize) -> Vec<LabelMatch> {
+        lookup_core(
+            self.interner.as_ref(),
+            &self.tables.entries,
+            &self.tables.postings,
+            label,
+            k,
+        )
     }
 
     /// Convenience: ids of the top-k fuzzy matches.
@@ -222,61 +226,178 @@ impl LabelIndex {
         self.lookup(label, k).into_iter().map(|m| m.id).collect()
     }
 
-    /// Score a candidate's (pre-tokenised) label against the query tokens.
-    ///
-    /// Each query token contributes its best per-token similarity against
-    /// the candidate tokens — 1.0 for an exact hit, decided by a binary
-    /// search on the candidate's sorted syms instead of a string scan;
-    /// Levenshtein runs only for tokens the candidate provably lacks, and
-    /// each distinct (query token, candidate sym) pair is edit-scored once
-    /// per lookup via `sim_memo`. The mean over query tokens is then
-    /// slightly penalised by the relative difference in token counts so
-    /// that "paris" prefers "paris" over "paris hilton discography".
-    fn score_candidate(
-        &self,
-        query_tokens: &[String],
-        query_syms: &[Option<Sym>],
-        sim_memo: &mut [HashMap<Sym, f64>],
-        entry: &LabelEntry,
-        exact_hits: usize,
-    ) -> f64 {
-        let candidate_tokens = &entry.tokens;
-        if candidate_tokens.is_empty() {
-            return 0.0;
-        }
-        let mut total = 0.0;
-        for ((qt, qsym), memo) in query_tokens.iter().zip(query_syms).zip(sim_memo) {
-            // Exact membership: an interned query token equal to a candidate
-            // token. A query token that was never interned cannot equal any
-            // candidate token (all candidate tokens are interned).
-            let best = match qsym {
-                Some(sym) if candidate_tokens.contains(*sym) => 1.0,
-                _ => {
-                    let mut best: f64 = 0.0;
-                    for &ct in candidate_tokens.tokens() {
-                        let s = *memo
-                            .entry(ct)
-                            .or_insert_with(|| levenshtein_similarity(qt, self.interner.resolve(ct)));
-                        if s > best {
-                            best = s;
-                        }
-                    }
-                    best
-                }
-            };
-            total += best;
-        }
-        let coverage = total / query_tokens.len() as f64;
-        let len_penalty = {
-            let q = query_tokens.len() as f64;
-            let c = candidate_tokens.len() as f64;
-            1.0 - (q - c).abs() / (q + c)
-        };
-        // Exact hits give a small additive bonus to stabilise the ordering
-        // among candidates that tie on coverage.
-        let bonus = exact_hits as f64 * 1e-6;
-        (coverage * 0.8 + len_penalty * 0.2 + bonus).min(1.0)
+    /// All entries whose normalised label equals the normalised query.
+    pub fn exact_block(&self, label: &str) -> Vec<&LabelEntry> {
+        exact_block_core(self.interner.as_ref(), &self.tables.entries, &self.tables.by_label, label)
     }
+
+    /// Distinct entry ids of the exact block, in insertion order.
+    pub fn exact_ids(&self, label: &str) -> Vec<u64> {
+        let mut ids: Vec<u64> = self.exact_block(label).iter().map(|e| e.id).collect();
+        let mut seen = std::collections::HashSet::new();
+        ids.retain(|id| seen.insert(*id));
+        ids
+    }
+
+    /// The string behind one of this view's syms.
+    pub fn resolve(&self, sym: Sym) -> &str {
+        self.interner.resolve(sym)
+    }
+
+    /// The frozen interner handle backing this view (shareable on its own).
+    pub fn interner(&self) -> &FrozenInterner {
+        &self.interner
+    }
+
+    /// Number of indexed entries.
+    pub fn len(&self) -> usize {
+        self.tables.entries.len()
+    }
+
+    /// True when nothing was indexed before the freeze.
+    pub fn is_empty(&self) -> bool {
+        self.tables.entries.is_empty()
+    }
+}
+
+fn exact_block_core<'a>(
+    interner: &Interner,
+    entries: &'a [LabelEntry],
+    by_label: &HashMap<Sym, Vec<u32>>,
+    label: &str,
+) -> Vec<&'a LabelEntry> {
+    let normalized = normalize_label(label);
+    let Some(sym) = interner.get(&normalized) else { return Vec::new() };
+    by_label
+        .get(&sym)
+        .map(|positions| positions.iter().map(|&p| &entries[p as usize]).collect())
+        .unwrap_or_default()
+}
+
+/// The lookup algorithm shared by [`LabelIndex`] and [`SharedLabelIndex`]
+/// (see [`LabelIndex::lookup`] for the semantics).
+fn lookup_core(
+    interner: &Interner,
+    entries: &[LabelEntry],
+    postings: &HashMap<Sym, Vec<u32>>,
+    label: &str,
+    k: usize,
+) -> Vec<LabelMatch> {
+    if k == 0 || entries.is_empty() {
+        return Vec::new();
+    }
+    let normalized = normalize_label(label);
+    let query_tokens = tokenize(&normalized);
+    if query_tokens.is_empty() {
+        return Vec::new();
+    }
+    let query_syms: Vec<Option<Sym>> = query_tokens.iter().map(|t| interner.get(t)).collect();
+
+    // Gather candidate entry positions with their exact-token hit counts.
+    let mut hits: HashMap<u32, usize> = HashMap::new();
+    for sym in query_syms.iter().flatten() {
+        if let Some(postings) = postings.get(sym) {
+            for &pos in postings {
+                *hits.entry(pos).or_insert(0) += 1;
+            }
+        }
+    }
+    if hits.is_empty() {
+        return Vec::new();
+    }
+
+    // Per-query-token memo of Levenshtein similarity by candidate token
+    // *sym*: candidate sets share a small token vocabulary (postings
+    // guarantee overlap), so each distinct (query token, candidate
+    // token) pair is edit-scored once — not once per entry occurrence.
+    // Only possible because tokens are interned; a String index would
+    // have to hash full tokens to get the same effect.
+    let mut sim_memo: Vec<HashMap<Sym, f64>> = vec![HashMap::new(); query_tokens.len()];
+    let mut scored: Vec<(LabelMatch, u32)> = hits
+        .into_iter()
+        .map(|(pos, exact_hits)| {
+            let entry = &entries[pos as usize];
+            let score =
+                score_candidate(interner, &query_tokens, &query_syms, &mut sim_memo, entry, exact_hits);
+            (LabelMatch { id: entry.id, normalized: entry.normalized, score }, pos)
+        })
+        .collect();
+
+    // Deduplicate by id, keeping the best score per id. The entry position
+    // is the final tie-break so the ordering is *total*: `hits` iterates in
+    // HashMap order, and without the position two same-id entries tying on
+    // score (an entity with several labels matching equally well) would
+    // surface a nondeterministically chosen `normalized` label.
+    scored.sort_by(|(a, a_pos), (b, b_pos)| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.id.cmp(&b.id))
+            .then_with(|| a_pos.cmp(b_pos))
+    });
+    let mut seen = std::collections::HashSet::new();
+    let mut out: Vec<LabelMatch> = scored
+        .into_iter()
+        .filter_map(|(m, _)| seen.insert(m.id).then_some(m))
+        .collect();
+    out.truncate(k);
+    out
+}
+
+/// Score a candidate's (pre-tokenised) label against the query tokens.
+///
+/// Each query token contributes its best per-token similarity against
+/// the candidate tokens — 1.0 for an exact hit, decided by a binary
+/// search on the candidate's sorted syms instead of a string scan;
+/// Levenshtein runs only for tokens the candidate provably lacks, and
+/// each distinct (query token, candidate sym) pair is edit-scored once
+/// per lookup via `sim_memo`. The mean over query tokens is then
+/// slightly penalised by the relative difference in token counts so
+/// that "paris" prefers "paris" over "paris hilton discography".
+fn score_candidate(
+    interner: &Interner,
+    query_tokens: &[String],
+    query_syms: &[Option<Sym>],
+    sim_memo: &mut [HashMap<Sym, f64>],
+    entry: &LabelEntry,
+    exact_hits: usize,
+) -> f64 {
+    let candidate_tokens = &entry.tokens;
+    if candidate_tokens.is_empty() {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for ((qt, qsym), memo) in query_tokens.iter().zip(query_syms).zip(sim_memo) {
+        // Exact membership: an interned query token equal to a candidate
+        // token. A query token that was never interned cannot equal any
+        // candidate token (all candidate tokens are interned).
+        let best = match qsym {
+            Some(sym) if candidate_tokens.contains(*sym) => 1.0,
+            _ => {
+                let mut best: f64 = 0.0;
+                for &ct in candidate_tokens.tokens() {
+                    let s = *memo
+                        .entry(ct)
+                        .or_insert_with(|| levenshtein_similarity(qt, interner.resolve(ct)));
+                    if s > best {
+                        best = s;
+                    }
+                }
+                best
+            }
+        };
+        total += best;
+    }
+    let coverage = total / query_tokens.len() as f64;
+    let len_penalty = {
+        let q = query_tokens.len() as f64;
+        let c = candidate_tokens.len() as f64;
+        1.0 - (q - c).abs() / (q + c)
+    };
+    // Exact hits give a small additive bonus to stabilise the ordering
+    // among candidates that tie on coverage.
+    let bonus = exact_hits as f64 * 1e-6;
+    (coverage * 0.8 + len_penalty * 0.2 + bonus).min(1.0)
 }
 
 #[cfg(test)]
@@ -399,6 +520,37 @@ mod tests {
         let idx = LabelIndex::new();
         assert!(idx.lookup("anything", 5).is_empty());
         assert!(idx.is_empty());
+    }
+
+    #[test]
+    fn shared_view_agrees_with_the_mutable_index() {
+        let idx = sample_index();
+        let shared = sample_index().into_shared();
+        for query in ["Tom Brady", "Peyton Maning", "paris", "yellow submarine", "zzz", ""] {
+            assert_eq!(idx.lookup(query, 5), shared.lookup(query, 5), "lookup({query:?})");
+            let mutable_ids: Vec<u64> = idx.exact_block(query).iter().map(|e| e.id).collect();
+            let shared_ids: Vec<u64> = shared.exact_block(query).iter().map(|e| e.id).collect();
+            assert_eq!(mutable_ids, shared_ids, "exact_block({query:?})");
+        }
+        assert_eq!(shared.len(), idx.len());
+        assert!(!shared.is_empty());
+        // Clones alias the same frozen state.
+        let clone = shared.clone();
+        assert_eq!(clone.lookup_ids("Manning", 4), shared.lookup_ids("Manning", 4));
+        let m = shared.lookup("Paris", 1).remove(0);
+        assert_eq!(clone.resolve(m.normalized), "paris");
+        assert_eq!(shared.interner().get("paris"), Some(m.normalized));
+    }
+
+    #[test]
+    fn shared_exact_ids_deduplicate() {
+        let mut idx = LabelIndex::new();
+        idx.insert(42, "Abbey Road");
+        idx.insert(42, "abbey ROAD");
+        idx.insert(7, "Abbey Road");
+        let shared = idx.into_shared();
+        assert_eq!(shared.exact_ids("abbey road"), vec![42, 7]);
+        assert!(shared.exact_ids("unknown").is_empty());
     }
 
     #[test]

@@ -27,4 +27,4 @@
 
 pub mod label_index;
 
-pub use label_index::{LabelEntry, LabelIndex, LabelMatch};
+pub use label_index::{LabelEntry, LabelIndex, LabelMatch, SharedLabelIndex};

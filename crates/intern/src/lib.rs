@@ -35,6 +35,7 @@
 #![warn(missing_docs)]
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// An interned string: a dense `u32` id into an [`Interner`].
 ///
@@ -163,6 +164,64 @@ impl Interner {
     /// Iterate `(sym, string)` pairs in insertion order.
     pub fn iter(&self) -> impl Iterator<Item = (Sym, &str)> {
         (0..self.spans.len() as u32).map(move |i| (Sym(i), self.resolve(Sym(i))))
+    }
+
+    /// Freeze the interner into a cheaply cloneable, read-only handle that
+    /// can be shared across threads. The sym ↔ string mapping is sealed at
+    /// this point: a [`FrozenInterner`] can probe and resolve but never
+    /// mint new syms, so every clone observes the same mapping forever.
+    pub fn freeze(self) -> FrozenInterner {
+        FrozenInterner { inner: Arc::new(self) }
+    }
+}
+
+/// A frozen, shareable view of an [`Interner`].
+///
+/// Cloning is an `Arc` bump; all clones alias the same sealed arena. This
+/// is the handle immutable data structures (published snapshots, read-only
+/// index views) hold so that concurrent readers can resolve syms without
+/// any locking: the underlying interner can no longer change.
+#[derive(Debug, Clone)]
+pub struct FrozenInterner {
+    inner: Arc<Interner>,
+}
+
+impl FrozenInterner {
+    /// Look up the sym of a string without (ever) interning it.
+    pub fn get(&self, s: &str) -> Option<Sym> {
+        self.inner.get(s)
+    }
+
+    /// The string behind a sym (same caveats as [`Interner::resolve`]).
+    #[inline]
+    pub fn resolve(&self, sym: Sym) -> &str {
+        self.inner.resolve(sym)
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// True when nothing was interned before the freeze.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Bytes held by the sealed string arena.
+    pub fn arena_bytes(&self) -> usize {
+        self.inner.arena_bytes()
+    }
+
+    /// Iterate `(sym, string)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (Sym, &str)> {
+        self.inner.iter()
+    }
+}
+
+impl AsRef<Interner> for FrozenInterner {
+    fn as_ref(&self) -> &Interner {
+        &self.inner
     }
 }
 
@@ -441,6 +500,21 @@ mod tests {
         let empty = TokenSeq::default();
         assert_eq!(weighted_overlap(&empty, &empty, |_| 1.0), 1.0);
         assert_eq!(weighted_overlap(&a, &b, |_| 0.0), 0.0);
+    }
+
+    #[test]
+    fn frozen_interner_probes_without_minting() {
+        let mut i = Interner::new();
+        let tom = i.intern("tom");
+        let frozen = i.freeze();
+        let clone = frozen.clone();
+        assert_eq!(frozen.get("tom"), Some(tom));
+        assert_eq!(clone.resolve(tom), "tom");
+        assert_eq!(frozen.get("brady"), None);
+        assert_eq!(clone.len(), 1);
+        assert_eq!(frozen.arena_bytes(), 3);
+        let all: Vec<&str> = frozen.iter().map(|(_, s)| s).collect();
+        assert_eq!(all, vec!["tom"]);
     }
 
     #[test]

@@ -190,6 +190,13 @@ impl KnowledgeBase {
         self.instance_lookup.get(&id).map(|&i| &self.instances[i])
     }
 
+    /// The canonical label of an instance, if the instance exists. Used by
+    /// the serving layer to project "linked to existing instance" results
+    /// into self-contained records (snapshots must not borrow the KB).
+    pub fn instance_label(&self, id: InstanceId) -> Option<&str> {
+        self.instance(id).map(Instance::canonical_label)
+    }
+
     /// Number of instances of a class.
     pub fn class_instance_count(&self, class: ClassKey) -> usize {
         self.instances.iter().filter(|i| i.class == class).count()
@@ -290,6 +297,14 @@ mod tests {
         assert_eq!(idx.len(), 3);
         let ids = idx.lookup_ids("yellow submarine", 3);
         assert!(ids.contains(&kb.instances()[0].id.raw()));
+    }
+
+    #[test]
+    fn instance_label_projects_canonical_label() {
+        let kb = tiny_kb();
+        let first = kb.instances()[0].id;
+        assert_eq!(kb.instance_label(first), Some("Yellow Submarine"));
+        assert_eq!(kb.instance_label(crate::ids::InstanceId(999)), None);
     }
 
     #[test]

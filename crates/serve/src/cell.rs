@@ -1,0 +1,217 @@
+//! The published-snapshot cell: wait-free reads, versioned history.
+//!
+//! [`SnapshotCell`] is a hand-rolled `Arc` swap. The constraint it is
+//! built for: **readers must be wait-free** — a query must never block on
+//! (or even contend a lock with) an ingest publishing the next version.
+//! `RwLock<Arc<KbSnapshot>>` fails that bar (a writer stalls every
+//! reader); this cell's [`SnapshotCell::load`] is one atomic pointer load
+//! plus one atomic reference-count increment, unconditionally.
+//!
+//! ## How reclamation works
+//!
+//! The classic hazard of a raw `AtomicPtr<T>` swap is the load/increment
+//! race: a reader loads the pointer, the writer swaps and drops the old
+//! value, the reader increments a freed count. The cell sidesteps the
+//! hazard instead of solving it: superseded snapshots are never dropped
+//! while the cell lives. `publish` moves the outgoing version's ownership
+//! into a history vector (under a writer-side mutex readers never touch),
+//! so every pointer a reader can possibly have observed stays backed by a
+//! strong count until the cell itself is dropped — at which point no
+//! reader can hold `&self` anymore.
+//!
+//! Retention is therefore the price of wait-freedom: all published
+//! versions stay resident for the cell's lifetime. Versions share
+//! *untouched* per-class slices physically (`Arc<ClassSnapshot>`, see
+//! [`crate::snapshot`]), so a version's marginal footprint is what its
+//! batch touched — but a class that every batch touches is re-projected
+//! per version, so sustained ingest of a growing class accumulates
+//! roughly O(versions × class size) across the history. That is fine for
+//! bounded ingest runs (and the history doubles as a feature:
+//! [`SnapshotCell::snapshot_at`] serves any historical version, which the
+//! snapshot-isolation tests use to re-check reader results after the
+//! fact), but an indefinitely running server needs a reclamation story —
+//! safely dropping a superseded version requires knowing no reader is
+//! paused between the pointer load and the count increment, i.e. an
+//! epoch/hazard scheme. That is tracked as a ROADMAP item; until then,
+//! restart the serving process to compact, exactly as with any
+//! append-only store.
+
+use std::sync::atomic::{AtomicPtr, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::snapshot::KbSnapshot;
+
+/// Lock-free publication point for [`KbSnapshot`] versions.
+///
+/// One writer publishes (the serve pipeline, serialised by `&mut self` on
+/// ingest); any number of readers [`load`](SnapshotCell::load) concurrently
+/// and wait-free. See the [module docs](self) for the reclamation scheme.
+#[derive(Debug)]
+pub struct SnapshotCell {
+    /// Points at the data of the current version's `Arc`. The pointed-to
+    /// snapshot is owned either by this field (one outstanding `into_raw`
+    /// count for the current version) or by `history` (every superseded
+    /// version) — never unowned.
+    current: AtomicPtr<KbSnapshot>,
+    /// Every superseded version, oldest first. Writer-side only.
+    history: Mutex<Vec<Arc<KbSnapshot>>>,
+}
+
+impl SnapshotCell {
+    /// Create a cell publishing `initial` as the current version.
+    /// Crate-internal: cells are only created (and written) by
+    /// [`crate::ServePipeline`], which is what enforces the single-writer
+    /// requirement at the type level.
+    pub(crate) fn new(initial: Arc<KbSnapshot>) -> Self {
+        Self {
+            current: AtomicPtr::new(Arc::into_raw(initial).cast_mut()),
+            history: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The current snapshot. **Wait-free**: one atomic load, one atomic
+    /// increment, no locks, no spinning — regardless of concurrent
+    /// publishes. The returned `Arc` pins that version for as long as the
+    /// caller holds it.
+    pub fn load(&self) -> Arc<KbSnapshot> {
+        let ptr = self.current.load(Ordering::Acquire);
+        // SAFETY: `ptr` was produced by `Arc::into_raw` (in `new` or
+        // `publish`) and its snapshot is kept alive for the cell's whole
+        // lifetime — by the outstanding `into_raw` count while current,
+        // and by `history` once superseded (`publish` transfers ownership
+        // *after* swapping, and history is never truncated). `&self`
+        // proves the cell is alive, so the count can be incremented and
+        // re-materialised as an owning `Arc`.
+        unsafe {
+            Arc::increment_strong_count(ptr);
+            Arc::from_raw(ptr)
+        }
+    }
+
+    /// Publish a new version and retire the current one into history.
+    ///
+    /// Writer-side and crate-internal: publishes must be serialised, and
+    /// keeping this `pub(crate)` makes the only writer
+    /// [`crate::ServePipeline::ingest`] (`&mut self`), so the monotonicity
+    /// contract cannot be broken by a second publisher racing the swap
+    /// and the history push. Readers are unaffected either way: a reader
+    /// that loaded the old pointer just before the swap still increments a
+    /// count that history keeps backed.
+    pub(crate) fn publish(&self, snapshot: Arc<KbSnapshot>) {
+        // The lock is held across swap *and* push: otherwise a concurrent
+        // `snapshot_at`/`version_count` could observe the post-swap,
+        // pre-push window in which the superseded version is in neither
+        // `current` nor `history` — violating the all-versions-retained
+        // contract. `load` never touches the lock, so reader wait-freedom
+        // is unaffected.
+        let mut history = self.history.lock().expect("snapshot history lock");
+        let new_raw = Arc::into_raw(snapshot).cast_mut();
+        let old_raw = self.current.swap(new_raw, Ordering::AcqRel);
+        // SAFETY: `old_raw` carries the `into_raw` count minted when it was
+        // published; re-materialising transfers that count into `history`.
+        let old = unsafe { Arc::from_raw(old_raw) };
+        history.push(old);
+    }
+
+    /// The current version number (equivalent to `self.load().version()`).
+    pub fn version(&self) -> u64 {
+        self.load().version()
+    }
+
+    /// A specific published version, if it exists: the current one or any
+    /// superseded one (all versions are retained, see the module docs).
+    /// Takes the history lock — meant for diagnostics and verification,
+    /// not the hot query path.
+    pub fn snapshot_at(&self, version: u64) -> Option<Arc<KbSnapshot>> {
+        let current = self.load();
+        if current.version() == version {
+            return Some(current);
+        }
+        self.history
+            .lock()
+            .expect("snapshot history lock")
+            .iter()
+            .find(|s| s.version() == version)
+            .cloned()
+    }
+
+    /// Number of versions published so far (history + current).
+    pub fn version_count(&self) -> usize {
+        self.history.lock().expect("snapshot history lock").len() + 1
+    }
+}
+
+impl Drop for SnapshotCell {
+    fn drop(&mut self) {
+        // Balance the current version's outstanding `into_raw` count.
+        // SAFETY: `&mut self` — no reader can be mid-`load`.
+        unsafe {
+            drop(Arc::from_raw(self.current.load(Ordering::Acquire)));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(version: u64) -> Arc<KbSnapshot> {
+        let mut s = KbSnapshot::empty();
+        // Test-only: fabricate distinct versions without a pipeline.
+        s.set_version_for_tests(version);
+        Arc::new(s)
+    }
+
+    #[test]
+    fn load_returns_latest_published() {
+        let cell = SnapshotCell::new(snap(0));
+        assert_eq!(cell.load().version(), 0);
+        cell.publish(snap(1));
+        cell.publish(snap(2));
+        assert_eq!(cell.load().version(), 2);
+        assert_eq!(cell.version(), 2);
+        assert_eq!(cell.version_count(), 3);
+    }
+
+    #[test]
+    fn history_serves_every_version() {
+        let cell = SnapshotCell::new(snap(0));
+        cell.publish(snap(1));
+        cell.publish(snap(2));
+        for v in 0..=2 {
+            assert_eq!(cell.snapshot_at(v).expect("retained").version(), v);
+        }
+        assert!(cell.snapshot_at(3).is_none());
+    }
+
+    #[test]
+    fn loaded_snapshot_outlives_supersession() {
+        let cell = SnapshotCell::new(snap(0));
+        let pinned = cell.load();
+        cell.publish(snap(1));
+        assert_eq!(pinned.version(), 0, "a pinned version never changes under the reader");
+        assert_eq!(cell.load().version(), 1);
+    }
+
+    #[test]
+    fn concurrent_loads_during_publishes_are_consistent() {
+        let cell = Arc::new(SnapshotCell::new(snap(0)));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let cell = Arc::clone(&cell);
+                scope.spawn(move || {
+                    let mut last = 0u64;
+                    for _ in 0..1000 {
+                        let v = cell.load().version();
+                        assert!(v >= last, "versions must be monotonic per reader");
+                        last = v;
+                    }
+                });
+            }
+            for v in 1..=50 {
+                cell.publish(snap(v));
+            }
+        });
+        assert_eq!(cell.load().version(), 50);
+    }
+}

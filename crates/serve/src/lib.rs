@@ -1,0 +1,349 @@
+//! # ltee-serve
+//!
+//! The consumption surface of the LTEE reproduction: a snapshot-isolated,
+//! read-concurrent query layer over the incremental serve pipeline.
+//!
+//! The papers this repository reproduces (and the T2K / WDC table-matching
+//! line of work around them) all assume the extended knowledge base is
+//! *queryable* — an endpoint applications hit for lookups — while new web
+//! tables keep arriving. This crate closes that gap:
+//!
+//! * [`ServePipeline`] wraps an [`IncrementalPipeline`]: every ingested
+//!   micro-batch publishes a new immutable [`KbSnapshot`] version.
+//! * [`SnapshotReader`] handles are cheap, `Send + Sync + 'static`, and
+//!   **wait-free**: [`SnapshotReader::snapshot`] never blocks, never takes
+//!   a lock, and never observes a partially ingested batch — each returned
+//!   `Arc<KbSnapshot>` is one consistent KB version, pinned for as long as
+//!   the reader holds it (see [`cell`] for the mechanism).
+//! * Snapshots answer exact and fuzzy label lookups (over the interned,
+//!   integer-keyed postings of [`ltee_index::SharedLabelIndex`]), entity
+//!   fetches with fused facts plus full table provenance, per-class
+//!   listing/paging, aggregate stats — singly or as a batch fanned out on
+//!   the work-stealing pool ([`KbSnapshot::execute_batch`]).
+//!
+//! ## Consistency contract
+//!
+//! * **Versioned**: versions start at 0 (empty) and increase by exactly 1
+//!   per published ingest.
+//! * **Snapshot isolation**: every query (and every batch of queries) runs
+//!   against exactly one version; concurrent ingest affects only *later*
+//!   `snapshot()` calls.
+//! * **Reader wait-freedom**: acquiring a snapshot is an atomic pointer
+//!   load plus a reference-count increment, independent of writer
+//!   activity.
+//! * **Determinism**: querying a version returns bit-identical results no
+//!   matter how many readers run concurrently or how the pool is sized —
+//!   snapshots are immutable and batch collection is input-ordered.
+//!
+//! ```no_run
+//! use ltee_core::prelude::*;
+//! use ltee_serve::{Query, ServePipeline};
+//!
+//! # let world = generate_world(&GeneratorConfig::new(Scale::tiny(), 7));
+//! # let corpus = generate_corpus(&world, &CorpusConfig::tiny());
+//! # let golds: Vec<GoldStandard> =
+//! #     CLASS_KEYS.iter().map(|&c| GoldStandard::build(&world, &corpus, c)).collect();
+//! let config = PipelineConfig::fast();
+//! let models = train_models(&corpus, world.kb(), &golds, &config).expect("trainable corpus");
+//! let mut serving = ServePipeline::new(world.kb(), models, config);
+//!
+//! // Reader threads query a consistent version while batches ingest.
+//! let reader = serving.reader();
+//! std::thread::spawn(move || {
+//!     let snap = reader.snapshot(); // pinned version, wait-free
+//!     let hits = snap.fuzzy_lookup(None, "yellow submarine", 5);
+//!     println!("v{}: {} hits", snap.version(), hits.len());
+//! });
+//! for batch in corpus.split_into_batches(4) {
+//!     serving.ingest(&batch).expect("fresh table ids");
+//! }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cell;
+pub mod query;
+pub mod snapshot;
+
+pub use cell::SnapshotCell;
+pub use query::{EntityHit, EntityRef, Query, QueryOutput};
+pub use snapshot::{
+    ClassPage, ClassSnapshot, ClassStats, EntityRecord, KbSnapshot, LinkOutcome, SnapshotStats,
+};
+
+use std::sync::Arc;
+
+use ltee_core::{
+    ArtifactError, IncrementalPipeline, IngestReport, ModelArtifact, PipelineConfig, PipelineError,
+    TrainedModels,
+};
+use ltee_kb::{KnowledgeBase, CLASS_KEYS};
+use ltee_webtables::Corpus;
+
+/// The serving end of the train-once / serve-many split: an
+/// [`IncrementalPipeline`] that publishes an immutable [`KbSnapshot`]
+/// version after every ingested micro-batch.
+///
+/// Ingest is exclusive (`&mut self`); reads go through [`SnapshotReader`]
+/// handles, which are independent of the pipeline's lifetime and can be
+/// handed to any number of threads. Publication rebuilds only the
+/// per-class projections the batch touched ([`IngestReport::touched_classes`])
+/// and shares the rest with the previous version.
+#[derive(Debug)]
+pub struct ServePipeline<'a> {
+    kb: &'a KnowledgeBase,
+    pipeline: IncrementalPipeline<'a>,
+    cell: Arc<SnapshotCell>,
+    /// Per-[`CLASS_KEYS`] slot cache of the latest class projections;
+    /// untouched slots carry over into the next published version.
+    class_cache: Vec<Option<Arc<ClassSnapshot>>>,
+}
+
+impl<'a> ServePipeline<'a> {
+    /// Create a serving pipeline from freshly trained models. Publishes
+    /// the empty version-0 snapshot immediately, so readers acquired
+    /// before the first ingest see a valid (empty) KB.
+    pub fn new(kb: &'a KnowledgeBase, models: TrainedModels, config: PipelineConfig) -> Self {
+        Self {
+            kb,
+            pipeline: IncrementalPipeline::new(kb, models, config),
+            cell: Arc::new(SnapshotCell::new(Arc::new(KbSnapshot::empty()))),
+            class_cache: vec![None; CLASS_KEYS.len()],
+        }
+    }
+
+    /// Create a serving pipeline from a persisted artifact (verifying its
+    /// config fingerprint, like [`IncrementalPipeline::from_artifact`]).
+    pub fn from_artifact(
+        kb: &'a KnowledgeBase,
+        artifact: &ModelArtifact,
+        config: PipelineConfig,
+    ) -> Result<Self, ArtifactError> {
+        artifact.verify_config(&config)?;
+        Ok(Self::new(kb, artifact.models.clone(), config))
+    }
+
+    /// Ingest one micro-batch and publish the resulting snapshot version.
+    ///
+    /// Exactly the semantics (and errors) of
+    /// [`IncrementalPipeline::ingest`]; on success with a non-empty batch,
+    /// a snapshot with version `self.version() + 1` becomes visible to all
+    /// readers atomically. An empty batch stays a no-op and publishes
+    /// nothing; a rejected batch (duplicate table id) changes nothing.
+    pub fn ingest(&mut self, batch: &Corpus) -> Result<IngestReport, PipelineError> {
+        let report = self.pipeline.ingest(batch)?;
+        if report.tables == 0 {
+            return Ok(report);
+        }
+        for &class in &report.touched_classes {
+            let slot = CLASS_KEYS
+                .iter()
+                .position(|&c| c == class)
+                .expect("touched classes come from CLASS_KEYS");
+            let (entities, results) = self
+                .pipeline
+                .class_entities(class)
+                .expect("a touched class has at least one cluster");
+            self.class_cache[slot] =
+                Some(Arc::new(ClassSnapshot::build(self.kb, class, entities, results)));
+        }
+        // The version is derived from the published sequence (not tracked
+        // separately), so the writer's and the readers' view of "latest"
+        // can never drift.
+        self.cell.publish(Arc::new(KbSnapshot::assemble(
+            self.cell.version() + 1,
+            self.pipeline.ingested_tables(),
+            self.pipeline.ingested_rows(),
+            self.class_cache.clone(),
+        )));
+        Ok(report)
+    }
+
+    /// A new reader handle. Handles are cheap to clone, `'static`, and
+    /// remain valid (serving the versions published so far) even while
+    /// ingests run.
+    pub fn reader(&self) -> SnapshotReader {
+        SnapshotReader { cell: Arc::clone(&self.cell) }
+    }
+
+    /// The current snapshot (wait-free, like a reader's).
+    pub fn snapshot(&self) -> Arc<KbSnapshot> {
+        self.cell.load()
+    }
+
+    /// The latest published version number.
+    pub fn version(&self) -> u64 {
+        self.cell.version()
+    }
+
+    /// The wrapped incremental pipeline (for ingest-side diagnostics).
+    pub fn pipeline(&self) -> &IncrementalPipeline<'a> {
+        &self.pipeline
+    }
+}
+
+/// A read handle onto the published snapshot sequence.
+///
+/// `Clone + Send + Sync + 'static`: hand one to every reader thread.
+/// [`SnapshotReader::snapshot`] pins the latest version wait-free; the
+/// pinned snapshot stays fully consistent regardless of concurrent
+/// ingests, which only ever make *newer* versions visible.
+#[derive(Debug, Clone)]
+pub struct SnapshotReader {
+    cell: Arc<SnapshotCell>,
+}
+
+impl SnapshotReader {
+    /// The latest published snapshot (wait-free).
+    pub fn snapshot(&self) -> Arc<KbSnapshot> {
+        self.cell.load()
+    }
+
+    /// The latest published version number.
+    pub fn version(&self) -> u64 {
+        self.cell.version()
+    }
+
+    /// A specific published version (the current or any superseded one);
+    /// see [`SnapshotCell::snapshot_at`]. Diagnostics/verification only —
+    /// takes the history lock.
+    pub fn snapshot_at(&self, version: u64) -> Option<Arc<KbSnapshot>> {
+        self.cell.snapshot_at(version)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ltee_fusion::Entity;
+    use ltee_kb::ClassKey;
+    use ltee_newdetect::{NewDetectionOutcome, NewDetectionResult};
+    use ltee_types::Value;
+    use ltee_webtables::{RowRef, TableId};
+
+    /// A KB with one Song instance, plus a two-entity Song class snapshot:
+    /// record 0 ("Yellow Submarine") linked to the instance, record 1
+    /// ("Octopus Garden", homonym label "Octopus's Garden") new.
+    fn sample_snapshot() -> KbSnapshot {
+        let mut kb = KnowledgeBase::new();
+        kb.add_class(ClassKey::Song);
+        let linked = kb.add_instance(
+            ClassKey::Song,
+            vec!["Yellow Submarine".into()],
+            String::new(),
+            500,
+            vec![],
+        );
+        let entities = vec![
+            Entity {
+                class: ClassKey::Song,
+                rows: vec![RowRef::new(TableId(3), 0), RowRef::new(TableId(1), 2)],
+                labels: vec!["Yellow Submarine".into()],
+                facts: vec![("runtime".into(), Value::Quantity(159.0), 2.0)],
+            },
+            Entity {
+                class: ClassKey::Song,
+                rows: vec![RowRef::new(TableId(1), 4)],
+                labels: vec!["Octopus Garden".into(), "Octopus's Garden".into()],
+                facts: vec![],
+            },
+        ];
+        let results = vec![
+            NewDetectionResult {
+                entity: 0,
+                outcome: NewDetectionOutcome::Existing(linked),
+                best_score: 0.9,
+                candidate_count: 3,
+            },
+            NewDetectionResult {
+                entity: 1,
+                outcome: NewDetectionOutcome::New,
+                best_score: 0.1,
+                candidate_count: 1,
+            },
+        ];
+        let slice = Arc::new(ClassSnapshot::build(&kb, ClassKey::Song, &entities, &results));
+        let mut classes = vec![None; CLASS_KEYS.len()];
+        let slot = CLASS_KEYS.iter().position(|&c| c == ClassKey::Song).unwrap();
+        classes[slot] = Some(slice);
+        KbSnapshot::assemble(1, 2, 3, classes)
+    }
+
+    #[test]
+    fn records_project_provenance_and_links() {
+        let snap = sample_snapshot();
+        let song = snap.class(ClassKey::Song).expect("song slice");
+        assert_eq!(song.len(), 2);
+        let rec = song.record(0).unwrap();
+        assert_eq!(rec.tables, vec![TableId(1), TableId(3)]);
+        assert_eq!(rec.fact("runtime"), Some(&Value::Quantity(159.0)));
+        match &rec.outcome {
+            LinkOutcome::Existing { label, .. } => assert_eq!(label, "Yellow Submarine"),
+            other => panic!("expected a link, got {other:?}"),
+        }
+        assert!(song.record(1).unwrap().outcome.is_new());
+        assert!(song.record(2).is_none());
+        assert!(snap.class(ClassKey::Settlement).is_none());
+    }
+
+    #[test]
+    fn lookups_hit_all_record_labels() {
+        let snap = sample_snapshot();
+        let exact = snap.exact_lookup(Some(ClassKey::Song), "yellow SUBMARINE");
+        assert_eq!(exact.len(), 1);
+        assert_eq!(exact[0].entity, EntityRef { class: ClassKey::Song, id: 0 });
+        assert_eq!(exact[0].score, 1.0);
+        // The alternative label retrieves the same record as the canonical.
+        let alt = snap.exact_lookup(None, "octopus's garden");
+        assert_eq!(alt.len(), 1);
+        assert_eq!(alt[0].entity.id, 1);
+        assert_eq!(alt[0].label, "Octopus Garden", "exact hits surface the canonical label");
+
+        let fuzzy = snap.fuzzy_lookup(None, "yelow submarine", 5);
+        assert_eq!(fuzzy[0].entity.id, 0, "typo should still rank the submarine first");
+        assert!(fuzzy[0].score < 1.0);
+        assert!(snap.fuzzy_lookup(None, "zzz qqq", 5).is_empty());
+    }
+
+    #[test]
+    fn paging_clamps_to_the_class() {
+        let snap = sample_snapshot();
+        let page = snap.list_class(ClassKey::Song, 0, 10);
+        assert_eq!(page.total, 2);
+        assert_eq!(page.entities.len(), 2);
+        let second = snap.list_class(ClassKey::Song, 1, 10);
+        assert_eq!(second.entities, vec![EntityRef { class: ClassKey::Song, id: 1 }]);
+        assert!(snap.list_class(ClassKey::Song, 9, 10).entities.is_empty());
+        assert_eq!(snap.list_class(ClassKey::Settlement, 0, 10).total, 0);
+    }
+
+    #[test]
+    fn stats_count_new_and_linked() {
+        let snap = sample_snapshot();
+        let stats = snap.stats();
+        assert_eq!(stats.version, 1);
+        assert_eq!((stats.tables, stats.rows), (2, 3));
+        assert_eq!(stats.classes.len(), 1);
+        let song = &stats.classes[0];
+        assert_eq!((song.entities, song.new_entities, song.linked_entities), (2, 1, 1));
+        assert_eq!(song.rows, 3);
+    }
+
+    #[test]
+    fn batch_execution_matches_sequential() {
+        let snap = sample_snapshot();
+        let queries = vec![
+            Query::Exact { class: None, label: "Yellow Submarine".into() },
+            Query::Fuzzy { class: Some(ClassKey::Song), label: "octopus".into(), k: 3 },
+            Query::Entity { entity: EntityRef { class: ClassKey::Song, id: 1 } },
+            Query::Entity { entity: EntityRef { class: ClassKey::Song, id: 99 } },
+            Query::List { class: ClassKey::Song, offset: 0, limit: 1 },
+            Query::Stats,
+        ];
+        let sequential: Vec<QueryOutput> = queries.iter().map(|q| snap.execute(q)).collect();
+        let batched = snap.execute_batch(&queries);
+        assert_eq!(sequential, batched);
+        assert!(matches!(&batched[2], QueryOutput::Entity(Some(r)) if r.outcome.is_new()));
+        assert!(matches!(&batched[3], QueryOutput::Entity(None)));
+    }
+}

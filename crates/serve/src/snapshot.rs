@@ -1,0 +1,364 @@
+//! Immutable, versioned knowledge-base snapshots.
+//!
+//! A [`KbSnapshot`] is the unit of consistency of the serving layer: one
+//! self-contained, read-only projection of everything the incremental
+//! pipeline has produced up to (and including) one micro-batch. Snapshots
+//! borrow nothing — entities, provenance, labels and indexes are owned —
+//! so a reader holding an `Arc<KbSnapshot>` keeps querying the exact same
+//! KB version no matter how many batches ingest after it.
+//!
+//! Per class the snapshot holds an [`Arc<ClassSnapshot>`]; versions that
+//! did not touch a class share the previous version's `ClassSnapshot`
+//! physically, so publishing a batch costs memory proportional to the
+//! classes it touched, not to the whole KB.
+
+use std::sync::Arc;
+
+use ltee_fusion::Entity;
+use ltee_index::{LabelIndex, SharedLabelIndex};
+use ltee_kb::{ClassKey, InstanceId, KnowledgeBase, CLASS_KEYS};
+use ltee_newdetect::{NewDetectionOutcome, NewDetectionResult};
+use ltee_types::Value;
+use ltee_webtables::{RowRef, TableId};
+
+use crate::query::{EntityHit, EntityRef};
+
+/// How a served entity relates to the knowledge base it extends.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinkOutcome {
+    /// The entity is missing from the knowledge base — a long-tail find.
+    New,
+    /// The entity was matched to an existing knowledge base instance.
+    Existing {
+        /// The matched instance.
+        instance: InstanceId,
+        /// The instance's canonical label, projected at snapshot build time
+        /// so the record needs no KB access to display the link.
+        label: String,
+    },
+}
+
+impl LinkOutcome {
+    /// Whether the entity was classified as new.
+    pub fn is_new(&self) -> bool {
+        matches!(self, LinkOutcome::New)
+    }
+}
+
+/// One served entity: the self-contained projection of a fused entity plus
+/// its new-detection verdict and full table provenance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EntityRecord {
+    /// The entity's class.
+    pub class: ClassKey,
+    /// Labels extracted from the entity's rows, most frequent first.
+    pub labels: Vec<String>,
+    /// Fused facts: property → (value, support score).
+    pub facts: Vec<(String, Value, f64)>,
+    /// The web table rows the entity was fused from (row-level provenance).
+    pub rows: Vec<RowRef>,
+    /// The distinct tables behind those rows, ascending (table provenance).
+    pub tables: Vec<TableId>,
+    /// New-or-existing verdict, with the linked instance projected in.
+    pub outcome: LinkOutcome,
+    /// The best KB candidate's aggregated score (0.0 without candidates).
+    pub best_score: f64,
+    /// Number of KB candidates new detection considered.
+    pub candidate_count: usize,
+}
+
+impl EntityRecord {
+    /// The canonical (most frequent) label.
+    pub fn canonical_label(&self) -> &str {
+        self.labels.first().map(String::as_str).unwrap_or("")
+    }
+
+    /// The fused value of a property, if present.
+    pub fn fact(&self, property: &str) -> Option<&Value> {
+        self.facts.iter().find(|(p, _, _)| p == property).map(|(_, v, _)| v)
+    }
+}
+
+/// The per-class slice of a snapshot: entity records plus a frozen label
+/// index over every record label (record position = index id).
+#[derive(Debug)]
+pub struct ClassSnapshot {
+    class: ClassKey,
+    records: Vec<EntityRecord>,
+    index: SharedLabelIndex,
+    /// Aggregates, computed once at build time — the slice is immutable,
+    /// so stats queries must not re-scan the records per call.
+    stats: ClassStats,
+}
+
+impl ClassSnapshot {
+    /// Project one class's accumulated pipeline output into a
+    /// self-contained snapshot slice.
+    pub(crate) fn build(
+        kb: &KnowledgeBase,
+        class: ClassKey,
+        entities: &[Entity],
+        results: &[NewDetectionResult],
+    ) -> Self {
+        debug_assert_eq!(entities.len(), results.len());
+        let mut index = LabelIndex::new();
+        let mut records = Vec::with_capacity(entities.len());
+        for (pos, (entity, result)) in entities.iter().zip(results).enumerate() {
+            for label in &entity.labels {
+                index.insert(pos as u64, label);
+            }
+            let outcome = match result.outcome {
+                NewDetectionOutcome::New => LinkOutcome::New,
+                NewDetectionOutcome::Existing(instance) => LinkOutcome::Existing {
+                    instance,
+                    label: kb.instance_label(instance).unwrap_or_default().to_string(),
+                },
+            };
+            records.push(EntityRecord {
+                class,
+                labels: entity.labels.clone(),
+                facts: entity.facts.clone(),
+                rows: entity.rows.clone(),
+                tables: entity.provenance_tables(),
+                outcome,
+                best_score: result.best_score,
+                candidate_count: result.candidate_count,
+            });
+        }
+        let stats = ClassStats {
+            class,
+            entities: records.len(),
+            new_entities: records.iter().filter(|r| r.outcome.is_new()).count(),
+            linked_entities: records.iter().filter(|r| !r.outcome.is_new()).count(),
+            rows: records.iter().map(|r| r.rows.len()).sum(),
+        };
+        Self { class, records, index: index.into_shared(), stats }
+    }
+
+    /// Aggregate figures of the slice (precomputed at build time).
+    pub fn stats(&self) -> &ClassStats {
+        &self.stats
+    }
+
+    /// The class this slice serves.
+    pub fn class(&self) -> ClassKey {
+        self.class
+    }
+
+    /// All entity records, in cluster order (stable across versions that
+    /// extend rather than rebuild a cluster).
+    pub fn records(&self) -> &[EntityRecord] {
+        &self.records
+    }
+
+    /// One record by position.
+    pub fn record(&self, id: u32) -> Option<&EntityRecord> {
+        self.records.get(id as usize)
+    }
+
+    /// The frozen label index over this class's entity labels.
+    pub fn index(&self) -> &SharedLabelIndex {
+        &self.index
+    }
+
+    /// Number of entities served for the class.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when the class has no entities yet.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+/// Aggregate figures of one class inside a snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassStats {
+    /// The class.
+    pub class: ClassKey,
+    /// Entities served.
+    pub entities: usize,
+    /// Entities classified as new (KB extensions).
+    pub new_entities: usize,
+    /// Entities linked to existing KB instances.
+    pub linked_entities: usize,
+    /// Web table rows backing the class's entities.
+    pub rows: usize,
+}
+
+/// Aggregate figures of a whole snapshot — cheap to compute, and precise
+/// enough that two snapshots of the same version always agree on them
+/// (the isolation stress test leans on this).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotStats {
+    /// The snapshot version.
+    pub version: u64,
+    /// Tables ingested up to this version.
+    pub tables: usize,
+    /// Raw rows ingested up to this version.
+    pub rows: usize,
+    /// Per-class figures, only classes with at least one entity.
+    pub classes: Vec<ClassStats>,
+}
+
+/// One immutable version of the served knowledge base.
+///
+/// See the [module docs](self) for the consistency model. Obtained from a
+/// [`crate::SnapshotReader`] (always the latest published version) and
+/// queried through the methods here or through
+/// [`KbSnapshot::execute`] / [`KbSnapshot::execute_batch`].
+#[derive(Debug)]
+pub struct KbSnapshot {
+    version: u64,
+    tables: usize,
+    rows: usize,
+    /// One slot per [`CLASS_KEYS`] entry; `None` until the class first
+    /// produces an entity.
+    classes: Vec<Option<Arc<ClassSnapshot>>>,
+}
+
+impl KbSnapshot {
+    /// The version-0 snapshot: nothing ingested yet.
+    pub(crate) fn empty() -> Self {
+        Self { version: 0, tables: 0, rows: 0, classes: vec![None; CLASS_KEYS.len()] }
+    }
+
+    /// Assemble a snapshot from the per-class cache of a publisher.
+    pub(crate) fn assemble(
+        version: u64,
+        tables: usize,
+        rows: usize,
+        classes: Vec<Option<Arc<ClassSnapshot>>>,
+    ) -> Self {
+        debug_assert_eq!(classes.len(), CLASS_KEYS.len());
+        Self { version, tables, rows, classes }
+    }
+
+    /// The snapshot's version: 0 for the empty initial snapshot, then
+    /// incremented by exactly 1 per published ingest (strictly monotonic).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Fabricate a version number on an otherwise empty snapshot, so the
+    /// cell's unit tests can exercise publication without a pipeline.
+    #[cfg(test)]
+    pub(crate) fn set_version_for_tests(&mut self, version: u64) {
+        self.version = version;
+    }
+
+    /// Tables ingested up to this version.
+    pub fn tables(&self) -> usize {
+        self.tables
+    }
+
+    /// Raw rows ingested up to this version.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// The slice serving one class, if it has entities.
+    pub fn class(&self, class: ClassKey) -> Option<&ClassSnapshot> {
+        let slot = CLASS_KEYS.iter().position(|&c| c == class)?;
+        self.classes[slot].as_deref()
+    }
+
+    /// All non-empty class slices, in [`CLASS_KEYS`] order.
+    pub fn classes(&self) -> impl Iterator<Item = &ClassSnapshot> {
+        self.classes.iter().filter_map(|c| c.as_deref())
+    }
+
+    /// Fetch one entity record.
+    pub fn entity(&self, entity: EntityRef) -> Option<&EntityRecord> {
+        self.class(entity.class)?.record(entity.id)
+    }
+
+    /// Entities whose normalised label equals the normalised query, in one
+    /// class or (with `None`) across all classes. Exact hits score 1.0.
+    pub fn exact_lookup(&self, class: Option<ClassKey>, label: &str) -> Vec<EntityHit> {
+        let mut hits = Vec::new();
+        for slice in self.class_slices(class) {
+            for id in slice.index().exact_ids(label) {
+                let id = id as u32;
+                let record = slice.record(id).expect("index ids are record positions");
+                hits.push(EntityHit {
+                    entity: EntityRef { class: slice.class(), id },
+                    score: 1.0,
+                    label: record.canonical_label().to_string(),
+                });
+            }
+        }
+        hits
+    }
+
+    /// Fuzzy top-k label lookup, in one class or (with `None`) across all
+    /// classes. Within a class the ranking is exactly
+    /// [`SharedLabelIndex::lookup`]'s; across classes the per-class top-k
+    /// lists are merged by descending score (ties: ascending record id,
+    /// then [`CLASS_KEYS`] order) and cut to `k`.
+    pub fn fuzzy_lookup(&self, class: Option<ClassKey>, label: &str, k: usize) -> Vec<EntityHit> {
+        let mut hits: Vec<EntityHit> = Vec::new();
+        for slice in self.class_slices(class) {
+            for m in slice.index().lookup(label, k) {
+                hits.push(EntityHit {
+                    entity: EntityRef { class: slice.class(), id: m.id as u32 },
+                    score: m.score,
+                    label: slice.index().resolve(m.normalized).to_string(),
+                });
+            }
+        }
+        // Per-class lists arrive sorted; the cross-class merge re-sorts by
+        // the documented total order. `sort_by` is stable, so equal keys
+        // keep CLASS_KEYS order.
+        hits.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.entity.id.cmp(&b.entity.id))
+        });
+        hits.truncate(k);
+        hits
+    }
+
+    /// One page of a class's entities, in cluster order.
+    pub fn list_class(&self, class: ClassKey, offset: usize, limit: usize) -> ClassPage {
+        let Some(slice) = self.class(class) else {
+            return ClassPage { class, total: 0, offset, entities: Vec::new() };
+        };
+        let total = slice.len();
+        let start = offset.min(total);
+        let end = start.saturating_add(limit).min(total);
+        let entities = (start..end)
+            .map(|id| EntityRef { class, id: id as u32 })
+            .collect();
+        ClassPage { class, total, offset, entities }
+    }
+
+    /// Aggregate figures of the snapshot. O(classes): the per-class
+    /// aggregates were computed once when each slice was built.
+    pub fn stats(&self) -> SnapshotStats {
+        let classes = self.classes().map(|slice| slice.stats().clone()).collect();
+        SnapshotStats { version: self.version, tables: self.tables, rows: self.rows, classes }
+    }
+
+    fn class_slices(&self, class: Option<ClassKey>) -> Vec<&ClassSnapshot> {
+        match class {
+            Some(class) => self.class(class).into_iter().collect(),
+            None => self.classes().collect(),
+        }
+    }
+}
+
+/// One page of [`KbSnapshot::list_class`] results.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassPage {
+    /// The listed class.
+    pub class: ClassKey,
+    /// Total entities of the class in this snapshot.
+    pub total: usize,
+    /// The requested offset (clamped only in `entities`, echoed verbatim).
+    pub offset: usize,
+    /// The page's entity references, in cluster order.
+    pub entities: Vec<EntityRef>,
+}

@@ -3,58 +3,12 @@
 //! Agent-branch class), then evaluate against the gold standard and report
 //! per-property densities of the new players.
 //!
+//! The body lives in [`ltee::examples::football_players`] so the
+//! golden-snapshot test (`tests/golden_examples.rs`) can capture and pin
+//! its exact output.
+//!
 //! Run with: `cargo run --release --example football_players`
 
-use ltee_core::prelude::*;
-use ltee_eval::{evaluate_facts, evaluate_new_instances};
-
 fn main() {
-    let world = generate_world(&GeneratorConfig::new(Scale::tiny(), 21));
-    let corpus = generate_corpus(&world, &CorpusConfig::tiny());
-    let golds: Vec<GoldStandard> =
-        CLASS_KEYS.iter().map(|&c| GoldStandard::build(&world, &corpus, c)).collect();
-
-    let config = PipelineConfig::fast();
-    let models = train_models(&corpus, world.kb(), &golds, &config).expect("trainable corpus");
-    let pipeline = Pipeline::new(world.kb(), models, config);
-    let output = pipeline.run(&corpus).expect("non-empty corpus");
-
-    let class = ClassKey::GridironFootballPlayer;
-    let class_output = output.class(class).expect("football player tables present");
-    let gold = golds.iter().find(|g| g.class == class).expect("gold standard built");
-
-    // New instances found (paper Table 9 style).
-    let outcomes = class_output.outcomes();
-    let instances_eval = evaluate_new_instances(&class_output.entities, &outcomes, gold);
-    println!(
-        "new football players: P={:.2} R={:.2} F1={:.2} ({} returned, {} in gold)",
-        instances_eval.precision,
-        instances_eval.recall,
-        instances_eval.f1,
-        instances_eval.returned_new,
-        instances_eval.gold_new
-    );
-
-    // Facts found (paper Table 10 style).
-    let facts_eval = evaluate_facts(&class_output.entities, &outcomes, gold, world.kb(), class);
-    println!(
-        "facts of new players: P={:.2} R={:.2} F1={:.2} ({} facts returned)",
-        facts_eval.precision, facts_eval.recall, facts_eval.f1, facts_eval.returned_facts
-    );
-
-    // Property densities of the new players (paper Table 12 style).
-    let new_entities = class_output.new_entities();
-    let mut counts: std::collections::BTreeMap<&str, usize> = std::collections::BTreeMap::new();
-    for entity in &new_entities {
-        for (prop, _, _) in &entity.facts {
-            *counts.entry(prop.as_str()).or_insert(0) += 1;
-        }
-    }
-    println!("\nproperty densities of the {} new players:", new_entities.len());
-    let mut rows: Vec<(&str, usize)> = counts.into_iter().collect();
-    rows.sort_by_key(|(_, c)| std::cmp::Reverse(*c));
-    for (prop, count) in rows {
-        let density = count as f64 / new_entities.len().max(1) as f64;
-        println!("  {prop:<16} {count:>4} facts  ({:.0} %)", density * 100.0);
-    }
+    ltee::examples::football_players(&mut std::io::stdout().lock()).expect("writable stdout");
 }

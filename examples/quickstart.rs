@@ -2,52 +2,11 @@
 //! pipeline models on the gold standard, run the two-iteration pipeline and
 //! print what was added to the knowledge base.
 //!
+//! The body lives in [`ltee::examples::quickstart`] so the golden-snapshot
+//! test (`tests/golden_examples.rs`) can capture and pin its exact output.
+//!
 //! Run with: `cargo run --release --example quickstart`
 
-use ltee_core::prelude::*;
-
 fn main() {
-    // 1. A synthetic cross-domain knowledge base (DBpedia stand-in) plus the
-    //    world of entities it only partially covers.
-    let world = generate_world(&GeneratorConfig::new(Scale::tiny(), 7));
-    // 2. A web table corpus describing head *and* long-tail entities.
-    let corpus = generate_corpus(&world, &CorpusConfig::tiny());
-    println!(
-        "corpus: {} tables, {} rows — knowledge base: {} instances",
-        corpus.len(),
-        corpus.total_rows(),
-        world.kb().instances().len()
-    );
-
-    // 3. Gold standards (derived from the generator's ground truth) used to
-    //    train the matcher weights, the row similarity model and the
-    //    entity-to-instance model.
-    let golds: Vec<GoldStandard> =
-        CLASS_KEYS.iter().map(|&c| GoldStandard::build(&world, &corpus, c)).collect();
-    let config = PipelineConfig::fast();
-    let models = train_models(&corpus, world.kb(), &golds, &config).expect("trainable corpus");
-
-    // 4. Run the pipeline: schema matching → row clustering → entity
-    //    creation → new detection, twice (the second iteration refines the
-    //    schema mapping with the first iteration's output).
-    let pipeline = Pipeline::new(world.kb(), models, config);
-    let output = pipeline.run(&corpus).expect("non-empty corpus");
-
-    for class_output in &output.classes {
-        let new = class_output.new_entities();
-        let existing = class_output.existing_entities();
-        println!(
-            "\n{}: {} clusters -> {} new entities, {} linked to existing instances",
-            class_output.class,
-            class_output.clusters.len(),
-            new.len(),
-            existing.len()
-        );
-        for entity in new.iter().take(3) {
-            println!("  new entity `{}` with {} facts:", entity.canonical_label(), entity.fact_count());
-            for (prop, value, _) in entity.facts.iter().take(4) {
-                println!("    {prop} = {value}");
-            }
-        }
-    }
+    ltee::examples::quickstart(&mut std::io::stdout().lock()).expect("writable stdout");
 }

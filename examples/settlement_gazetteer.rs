@@ -5,47 +5,12 @@
 //! (paper Tables 11 & 12) at a small scale and prints the per-class
 //! potential of the corpus.
 //!
+//! The body lives in [`ltee::examples::settlement_gazetteer`] so the
+//! golden-snapshot test (`tests/golden_examples.rs`) can capture and pin
+//! its exact output.
+//!
 //! Run with: `cargo run --release --example settlement_gazetteer`
 
-use ltee_core::prelude::*;
-
 fn main() {
-    let config = ExperimentConfig::tiny();
-    let result = experiments::table11_12_profiling(&config);
-
-    println!("large-scale profiling (Table 11 shape):");
-    println!(
-        "{:<12} {:>8} {:>9} {:>9} {:>7} {:>8} {:>7} {:>7}",
-        "class", "rows", "existing", "matched", "new", "n.facts", "e.acc", "f.acc"
-    );
-    for row in &result.table11 {
-        println!(
-            "{:<12} {:>8} {:>9} {:>9} {:>7} {:>8} {:>7.2} {:>7.2}",
-            row.class,
-            row.total_rows,
-            row.existing_entities,
-            row.matched_kb_instances,
-            row.new_entities,
-            row.new_facts,
-            row.new_entity_accuracy,
-            row.new_fact_accuracy
-        );
-    }
-
-    println!("\nproperty densities of new settlements (Table 12 shape):");
-    for row in result.table12.iter().filter(|r| r.class == "Settlement") {
-        println!("  {:<18} {:>5} facts  ({:.0} %)", row.property, row.facts, row.density * 100.0);
-    }
-
-    // The paper's headline observation: settlements barely grow, songs grow a
-    // lot. Print the relative increases so the contrast is visible.
-    println!("\nrelative knowledge base growth by class:");
-    for row in &result.table11 {
-        println!(
-            "  {:<12} +{:.1} % instances, +{:.1} % facts",
-            row.class,
-            row.instance_increase * 100.0,
-            row.fact_increase * 100.0
-        );
-    }
+    ltee::examples::settlement_gazetteer(&mut std::io::stdout().lock()).expect("writable stdout");
 }

@@ -3,67 +3,12 @@
 //! methods (VOTING, KBT, MATCHING) on the songs found in the corpus and
 //! shows how homonym-heavy clusters behave.
 //!
+//! The body lives in [`ltee::examples::song_discography`] so the
+//! golden-snapshot test (`tests/golden_examples.rs`) can capture and pin
+//! its exact output.
+//!
 //! Run with: `cargo run --release --example song_discography`
 
-use ltee_core::prelude::*;
-use ltee_eval::evaluate_facts;
-use ltee_fusion::{create_entities, EntityCreationConfig};
-
 fn main() {
-    let world = generate_world(&GeneratorConfig::new(Scale::tiny(), 33));
-    let corpus = generate_corpus(&world, &CorpusConfig::tiny());
-    let golds: Vec<GoldStandard> =
-        CLASS_KEYS.iter().map(|&c| GoldStandard::build(&world, &corpus, c)).collect();
-
-    let config = PipelineConfig::fast();
-    let models = train_models(&corpus, world.kb(), &golds, &config).expect("trainable corpus");
-    let pipeline = Pipeline::new(world.kb(), models, config.clone());
-    let output = pipeline.run(&corpus).expect("non-empty corpus");
-
-    let class = ClassKey::Song;
-    let class_output = output.class(class).expect("song tables present");
-    let gold = golds.iter().find(|g| g.class == class).expect("gold standard built");
-
-    // Homonym pressure in the gold standard.
-    let mut label_counts: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
-    for cluster in &gold.clusters {
-        *label_counts.entry(cluster.homonym_group).or_insert(0) += 1;
-    }
-    let homonym_clusters = label_counts.values().filter(|&&c| c > 1).count();
-    println!(
-        "gold standard: {} song clusters, {} homonym groups with more than one cluster",
-        gold.clusters.len(),
-        homonym_clusters
-    );
-
-    // Compare the fusion scoring methods on the system's clusters.
-    let outcomes = class_output.outcomes();
-    println!("\nfacts-found F1 by fusion scoring method (system clustering):");
-    for method in ScoringMethod::ALL {
-        let fusion = EntityCreationConfig { scoring: method, ..Default::default() };
-        let entities = create_entities(
-            &class_output.clusters,
-            &corpus,
-            &output.mapping,
-            world.kb(),
-            class,
-            &fusion,
-        );
-        let eval = evaluate_facts(&entities, &outcomes, gold, world.kb(), class);
-        println!("  {:<9} P={:.2} R={:.2} F1={:.2}", method.name(), eval.precision, eval.recall, eval.f1);
-    }
-
-    // Show a few new songs with their fused descriptions.
-    println!("\nsample of new songs:");
-    for entity in class_output.new_entities().iter().take(5) {
-        let artist = entity.fact("musicalArtist").map(|v| v.to_string()).unwrap_or_else(|| "?".into());
-        let runtime = entity.fact("runtime").map(|v| v.to_string()).unwrap_or_else(|| "?".into());
-        println!(
-            "  `{}` by {} ({} s) — {} supporting rows",
-            entity.canonical_label(),
-            artist,
-            runtime,
-            entity.row_count()
-        );
-    }
+    ltee::examples::song_discography(&mut std::io::stdout().lock()).expect("writable stdout");
 }

@@ -1,0 +1,253 @@
+//! The runnable example scenarios, as library functions.
+//!
+//! Each function is the body of one `examples/*.rs` binary, writing to a
+//! caller-supplied sink instead of straight to stdout. The split exists
+//! for the golden-snapshot tests (`tests/golden_examples.rs`): the
+//! examples' output is deterministic (fixed seeds, bit-identical pipeline
+//! at every thread count), so the tests capture each function's output
+//! into a byte buffer and assert byte-equality against the fixtures under
+//! `tests/golden/` — any pipeline-output regression surfaces in tier-1,
+//! not just when a human happens to re-run an example.
+
+use std::io::{self, Write};
+
+use ltee_core::prelude::*;
+use ltee_eval::{evaluate_facts, evaluate_new_instances};
+use ltee_fusion::{create_entities, EntityCreationConfig};
+
+/// Body of `examples/quickstart.rs`: generate a synthetic world + corpus,
+/// train the models, run the two-iteration pipeline, print what was added.
+pub fn quickstart(w: &mut dyn Write) -> io::Result<()> {
+    // 1. A synthetic cross-domain knowledge base (DBpedia stand-in) plus the
+    //    world of entities it only partially covers.
+    let world = generate_world(&GeneratorConfig::new(Scale::tiny(), 7));
+    // 2. A web table corpus describing head *and* long-tail entities.
+    let corpus = generate_corpus(&world, &CorpusConfig::tiny());
+    writeln!(
+        w,
+        "corpus: {} tables, {} rows — knowledge base: {} instances",
+        corpus.len(),
+        corpus.total_rows(),
+        world.kb().instances().len()
+    )?;
+
+    // 3. Gold standards (derived from the generator's ground truth) used to
+    //    train the matcher weights, the row similarity model and the
+    //    entity-to-instance model.
+    let golds: Vec<GoldStandard> =
+        CLASS_KEYS.iter().map(|&c| GoldStandard::build(&world, &corpus, c)).collect();
+    let config = PipelineConfig::fast();
+    let models = train_models(&corpus, world.kb(), &golds, &config).expect("trainable corpus");
+
+    // 4. Run the pipeline: schema matching → row clustering → entity
+    //    creation → new detection, twice (the second iteration refines the
+    //    schema mapping with the first iteration's output).
+    let pipeline = Pipeline::new(world.kb(), models, config);
+    let output = pipeline.run(&corpus).expect("non-empty corpus");
+
+    for class_output in &output.classes {
+        let new = class_output.new_entities();
+        let existing = class_output.existing_entities();
+        writeln!(
+            w,
+            "\n{}: {} clusters -> {} new entities, {} linked to existing instances",
+            class_output.class,
+            class_output.clusters.len(),
+            new.len(),
+            existing.len()
+        )?;
+        for entity in new.iter().take(3) {
+            writeln!(
+                w,
+                "  new entity `{}` with {} facts:",
+                entity.canonical_label(),
+                entity.fact_count()
+            )?;
+            for (prop, value, _) in entity.facts.iter().take(4) {
+                writeln!(w, "    {prop} = {value}")?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Body of `examples/football_players.rs`: the paper's motivating
+/// Agent-branch class, evaluated against the gold standard.
+pub fn football_players(w: &mut dyn Write) -> io::Result<()> {
+    let world = generate_world(&GeneratorConfig::new(Scale::tiny(), 21));
+    let corpus = generate_corpus(&world, &CorpusConfig::tiny());
+    let golds: Vec<GoldStandard> =
+        CLASS_KEYS.iter().map(|&c| GoldStandard::build(&world, &corpus, c)).collect();
+
+    let config = PipelineConfig::fast();
+    let models = train_models(&corpus, world.kb(), &golds, &config).expect("trainable corpus");
+    let pipeline = Pipeline::new(world.kb(), models, config);
+    let output = pipeline.run(&corpus).expect("non-empty corpus");
+
+    let class = ClassKey::GridironFootballPlayer;
+    let class_output = output.class(class).expect("football player tables present");
+    let gold = golds.iter().find(|g| g.class == class).expect("gold standard built");
+
+    // New instances found (paper Table 9 style).
+    let outcomes = class_output.outcomes();
+    let instances_eval = evaluate_new_instances(&class_output.entities, &outcomes, gold);
+    writeln!(
+        w,
+        "new football players: P={:.2} R={:.2} F1={:.2} ({} returned, {} in gold)",
+        instances_eval.precision,
+        instances_eval.recall,
+        instances_eval.f1,
+        instances_eval.returned_new,
+        instances_eval.gold_new
+    )?;
+
+    // Facts found (paper Table 10 style).
+    let facts_eval = evaluate_facts(&class_output.entities, &outcomes, gold, world.kb(), class);
+    writeln!(
+        w,
+        "facts of new players: P={:.2} R={:.2} F1={:.2} ({} facts returned)",
+        facts_eval.precision, facts_eval.recall, facts_eval.f1, facts_eval.returned_facts
+    )?;
+
+    // Property densities of the new players (paper Table 12 style).
+    let new_entities = class_output.new_entities();
+    let mut counts: std::collections::BTreeMap<&str, usize> = std::collections::BTreeMap::new();
+    for entity in &new_entities {
+        for (prop, _, _) in &entity.facts {
+            *counts.entry(prop.as_str()).or_insert(0) += 1;
+        }
+    }
+    writeln!(w, "\nproperty densities of the {} new players:", new_entities.len())?;
+    let mut rows: Vec<(&str, usize)> = counts.into_iter().collect();
+    rows.sort_by_key(|(_, c)| std::cmp::Reverse(*c));
+    for (prop, count) in rows {
+        let density = count as f64 / new_entities.len().max(1) as f64;
+        writeln!(w, "  {prop:<16} {count:>4} facts  ({:.0} %)", density * 100.0)?;
+    }
+    Ok(())
+}
+
+/// Body of `examples/settlement_gazetteer.rs`: the large-scale profiling
+/// experiment (paper Tables 11 & 12) at a small scale.
+pub fn settlement_gazetteer(w: &mut dyn Write) -> io::Result<()> {
+    let config = ExperimentConfig::tiny();
+    let result = experiments::table11_12_profiling(&config);
+
+    writeln!(w, "large-scale profiling (Table 11 shape):")?;
+    writeln!(
+        w,
+        "{:<12} {:>8} {:>9} {:>9} {:>7} {:>8} {:>7} {:>7}",
+        "class", "rows", "existing", "matched", "new", "n.facts", "e.acc", "f.acc"
+    )?;
+    for row in &result.table11 {
+        writeln!(
+            w,
+            "{:<12} {:>8} {:>9} {:>9} {:>7} {:>8} {:>7.2} {:>7.2}",
+            row.class,
+            row.total_rows,
+            row.existing_entities,
+            row.matched_kb_instances,
+            row.new_entities,
+            row.new_facts,
+            row.new_entity_accuracy,
+            row.new_fact_accuracy
+        )?;
+    }
+
+    writeln!(w, "\nproperty densities of new settlements (Table 12 shape):")?;
+    for row in result.table12.iter().filter(|r| r.class == "Settlement") {
+        writeln!(
+            w,
+            "  {:<18} {:>5} facts  ({:.0} %)",
+            row.property,
+            row.facts,
+            row.density * 100.0
+        )?;
+    }
+
+    // The paper's headline observation: settlements barely grow, songs grow a
+    // lot. Print the relative increases so the contrast is visible.
+    writeln!(w, "\nrelative knowledge base growth by class:")?;
+    for row in &result.table11 {
+        writeln!(
+            w,
+            "  {:<12} +{:.1} % instances, +{:.1} % facts",
+            row.class,
+            row.instance_increase * 100.0,
+            row.fact_increase * 100.0
+        )?;
+    }
+    Ok(())
+}
+
+/// Body of `examples/song_discography.rs`: the homonym-heavy Song class,
+/// contrasting the three fusion scoring methods.
+pub fn song_discography(w: &mut dyn Write) -> io::Result<()> {
+    let world = generate_world(&GeneratorConfig::new(Scale::tiny(), 33));
+    let corpus = generate_corpus(&world, &CorpusConfig::tiny());
+    let golds: Vec<GoldStandard> =
+        CLASS_KEYS.iter().map(|&c| GoldStandard::build(&world, &corpus, c)).collect();
+
+    let config = PipelineConfig::fast();
+    let models = train_models(&corpus, world.kb(), &golds, &config).expect("trainable corpus");
+    let pipeline = Pipeline::new(world.kb(), models, config.clone());
+    let output = pipeline.run(&corpus).expect("non-empty corpus");
+
+    let class = ClassKey::Song;
+    let class_output = output.class(class).expect("song tables present");
+    let gold = golds.iter().find(|g| g.class == class).expect("gold standard built");
+
+    // Homonym pressure in the gold standard.
+    let mut label_counts: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+    for cluster in &gold.clusters {
+        *label_counts.entry(cluster.homonym_group).or_insert(0) += 1;
+    }
+    let homonym_clusters = label_counts.values().filter(|&&c| c > 1).count();
+    writeln!(
+        w,
+        "gold standard: {} song clusters, {} homonym groups with more than one cluster",
+        gold.clusters.len(),
+        homonym_clusters
+    )?;
+
+    // Compare the fusion scoring methods on the system's clusters.
+    let outcomes = class_output.outcomes();
+    writeln!(w, "\nfacts-found F1 by fusion scoring method (system clustering):")?;
+    for method in ScoringMethod::ALL {
+        let fusion = EntityCreationConfig { scoring: method, ..Default::default() };
+        let entities = create_entities(
+            &class_output.clusters,
+            &corpus,
+            &output.mapping,
+            world.kb(),
+            class,
+            &fusion,
+        );
+        let eval = evaluate_facts(&entities, &outcomes, gold, world.kb(), class);
+        writeln!(
+            w,
+            "  {:<9} P={:.2} R={:.2} F1={:.2}",
+            method.name(),
+            eval.precision,
+            eval.recall,
+            eval.f1
+        )?;
+    }
+
+    // Show a few new songs with their fused descriptions.
+    writeln!(w, "\nsample of new songs:")?;
+    for entity in class_output.new_entities().iter().take(5) {
+        let artist =
+            entity.fact("musicalArtist").map(|v| v.to_string()).unwrap_or_else(|| "?".into());
+        let runtime = entity.fact("runtime").map(|v| v.to_string()).unwrap_or_else(|| "?".into());
+        writeln!(
+            w,
+            "  `{}` by {} ({} s) — {} supporting rows",
+            entity.canonical_label(),
+            artist,
+            runtime,
+            entity.row_count()
+        )?;
+    }
+    Ok(())
+}

@@ -20,8 +20,11 @@ pub use ltee_kb as kb;
 pub use ltee_matching as matching;
 pub use ltee_ml as ml;
 pub use ltee_newdetect as newdetect;
+pub use ltee_serve as serve;
 pub use ltee_text as text;
 pub use ltee_types as types;
 pub use ltee_webtables as webtables;
 
 pub use ltee_core::prelude;
+
+pub mod examples;

@@ -1,0 +1,201 @@
+//! Deterministic fuzz-style corpus for the model-artifact decoders: 200
+//! systematically corrupted, truncated and bit-flipped artifacts must all
+//! be rejected with a typed error — never a panic, never an attempt to
+//! honour a corrupted length prefix with a huge allocation.
+//!
+//! Five corruption families make up the required corpus (all of which
+//! *must* fail: the header validation or the bounds-checked payload
+//! decoders have no legitimate success path for them):
+//!
+//! 1. truncations of the whole file at 40 evenly spaced lengths,
+//! 2. single bit flips at 64 evenly spaced positions,
+//! 3. byte substitutions (0x00 / 0xFF) at 32 evenly spaced positions,
+//! 4. 24 seeded-random garbage buffers,
+//! 5. payload truncations at 40 evenly spaced lengths **with the header
+//!    re-fixed** (length and checksum recomputed), so the corruption
+//!    reaches the `MatcherWeights` / `RowSimilarityModel` /
+//!    `EntitySimilarityModel` decoders instead of being caught by the
+//!    checksum.
+//!
+//! Families 2 and 3 skip the config-fingerprint bytes (offsets 12..20):
+//! the fingerprint is opaque stored data, so any value decodes — it is
+//! checked against the serve config later, not at decode time.
+//!
+//! An additional exploratory family (length-prefix bombs: `u32::MAX`
+//! spliced into the payload at 32 positions, header re-fixed) is allowed
+//! to decode when the splice lands inside an `f64`, but must never panic
+//! and must reject oversized collections via `LengthOverflow` rather than
+//! allocating gigabytes.
+//!
+//! Deterministic: fixed seed 2718 for the model training, ChaCha-seeded
+//! garbage. Expected runtime: ~20 s in debug (one training run; the 232
+//! decodes are microseconds each).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use ltee_core::prelude::*;
+use rand::{RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Byte range of the config fingerprint in the artifact header (opaque
+/// data: changing it cannot make decoding fail).
+const FINGERPRINT_BYTES: std::ops::Range<usize> = 12..20;
+/// Offset where the payload starts (after magic, version, fingerprint,
+/// payload length and checksum).
+const PAYLOAD_START: usize = 36;
+
+fn artifact_bytes() -> Vec<u8> {
+    let world = generate_world(&GeneratorConfig::new(Scale::tiny(), 2718));
+    let corpus = generate_corpus(&world, &CorpusConfig::tiny());
+    let golds: Vec<GoldStandard> =
+        CLASS_KEYS.iter().map(|&c| GoldStandard::build(&world, &corpus, c)).collect();
+    let config = PipelineConfig { parallelism: Parallelism::Sequential, ..PipelineConfig::fast() };
+    let models = train_models(&corpus, world.kb(), &golds, &config).expect("trainable corpus");
+    ModelArtifact::new(models, &config).encode()
+}
+
+/// Rebuild a valid header around a (possibly corrupted) payload so the
+/// corruption reaches the model decoders instead of the checksum check.
+fn with_fixed_header(original: &[u8], payload: &[u8]) -> Vec<u8> {
+    let mut out = original[..PAYLOAD_START].to_vec();
+    out[20..28].copy_from_slice(&(payload.len() as u64).to_le_bytes());
+    out[28..36].copy_from_slice(&ltee_ml::codec::fnv1a64(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Decode under `catch_unwind`: `Ok(result)` when the decoder returned,
+/// `Err(())` when it panicked.
+fn decode_caught(bytes: &[u8]) -> Result<Result<ModelArtifact, ArtifactError>, ()> {
+    catch_unwind(AssertUnwindSafe(|| ModelArtifact::decode(bytes))).map_err(|_| ())
+}
+
+#[test]
+fn two_hundred_corrupted_artifacts_are_all_rejected_without_panicking() {
+    let valid = artifact_bytes();
+    assert!(ModelArtifact::decode(&valid).is_ok(), "the uncorrupted artifact must decode");
+    let len = valid.len();
+    let payload_len = len - PAYLOAD_START;
+    assert!(payload_len > 256, "fuzz corpus assumes a non-trivial payload, got {payload_len}");
+
+    // (case label, corrupted bytes) — built fully deterministically.
+    let mut corpus: Vec<(String, Vec<u8>)> = Vec::new();
+
+    // 1. Whole-file truncations, 40 evenly spaced lengths in [0, len).
+    for i in 0..40 {
+        let cut = i * len / 40;
+        corpus.push((format!("truncate[..{cut}]"), valid[..cut].to_vec()));
+    }
+
+    // 2. Single bit flips at 64 evenly spaced offsets (fingerprint skipped).
+    let mut offset = 0usize;
+    let mut flips = 0usize;
+    while flips < 64 {
+        let pos = offset % len;
+        offset += (len / 64).max(1) + 1; // +1 walks the flipped bit around
+        if FINGERPRINT_BYTES.contains(&pos) {
+            continue;
+        }
+        let mut bytes = valid.clone();
+        let bit = flips % 8;
+        bytes[pos] ^= 1 << bit;
+        corpus.push((format!("bitflip[{pos}] bit {bit}"), bytes));
+        flips += 1;
+    }
+
+    // 3. Byte substitutions at 32 evenly spaced offsets (fingerprint
+    //    skipped), alternating 0x00 / 0xFF.
+    let mut subs = 0usize;
+    let mut offset = 1usize;
+    while subs < 32 {
+        let pos = offset % len;
+        offset += (len / 32).max(1) + 3;
+        if FINGERPRINT_BYTES.contains(&pos) {
+            continue;
+        }
+        let value = if subs.is_multiple_of(2) { 0x00 } else { 0xFF };
+        if valid[pos] == value {
+            offset += 1;
+            continue; // substitution must actually change the byte
+        }
+        let mut bytes = valid.clone();
+        bytes[pos] = value;
+        corpus.push((format!("substitute[{pos}] = {value:#04x}"), bytes));
+        subs += 1;
+    }
+
+    // 4. Seeded-random garbage of assorted sizes (never a valid artifact:
+    //    the 8-byte magic has a 2^-64 collision chance per case, and the
+    //    stream is fixed, so the corpus is stable).
+    let mut rng = ChaCha8Rng::seed_from_u64(0xF422);
+    for i in 0..24 {
+        let size = (i * 171) % 4096;
+        let bytes: Vec<u8> = (0..size).map(|_| rng.next_u32() as u8).collect();
+        corpus.push((format!("garbage #{i} ({size} B)"), bytes));
+    }
+
+    // 5. Payload truncations with a re-fixed header: the checksum matches,
+    //    so the model decoders themselves must reject the short stream.
+    for i in 0..40 {
+        let cut = i * payload_len / 40;
+        let bytes = with_fixed_header(&valid, &valid[PAYLOAD_START..PAYLOAD_START + cut]);
+        corpus.push((format!("payload truncate[..{cut}] (checksum fixed)"), bytes));
+    }
+
+    assert_eq!(corpus.len(), 200, "the corpus is specified as exactly 200 cases");
+
+    let mut failures: Vec<String> = Vec::new();
+    for (label, bytes) in &corpus {
+        match decode_caught(bytes) {
+            Err(()) => failures.push(format!("{label}: PANICKED")),
+            Ok(Ok(_)) => failures.push(format!("{label}: decoded successfully")),
+            Ok(Err(_typed_rejection)) => {}
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} of 200 corrupted artifacts were not cleanly rejected:\n  {}",
+        failures.len(),
+        failures.join("\n  ")
+    );
+}
+
+#[test]
+fn length_prefix_bombs_never_panic_and_never_allocate_the_declared_size() {
+    let valid = artifact_bytes();
+    let payload_len = valid.len() - PAYLOAD_START;
+
+    // Splice u32::MAX over 4 bytes at 32 evenly spaced payload offsets and
+    // re-fix the header. A splice landing on a collection length prefix
+    // declares a multi-gigabyte collection: the bounds-checked readers
+    // must refuse (LengthOverflow / EOF / tag errors) instead of
+    // allocating. A splice landing inside an f64 merely changes a weight,
+    // so a successful decode is legitimate there — but it must round-trip
+    // through encode without panicking.
+    for i in 0..32 {
+        let pos = i * (payload_len - 4) / 31;
+        let mut payload = valid[PAYLOAD_START..].to_vec();
+        payload[pos..pos + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        let bytes = with_fixed_header(&valid, &payload);
+        match decode_caught(&bytes) {
+            Err(()) => panic!("length bomb at payload offset {pos} panicked the decoder"),
+            Ok(Err(_typed_rejection)) => {}
+            Ok(Ok(artifact)) => {
+                // The splice missed every structural field; the models are
+                // still structurally sound.
+                let reencoded = artifact.encode();
+                assert_eq!(reencoded.len(), bytes.len(), "bomb at {pos}: round-trip length");
+            }
+        }
+    }
+
+    // The canonical bomb: the very first payload bytes are a collection
+    // length prefix, so this one must be a typed rejection.
+    let mut payload = valid[PAYLOAD_START..].to_vec();
+    payload[0..4].copy_from_slice(&u32::MAX.to_le_bytes());
+    let bytes = with_fixed_header(&valid, &payload);
+    match ModelArtifact::decode(&bytes) {
+        Err(ArtifactError::Decode(_)) => {}
+        other => panic!("a length bomb on the first prefix must be a decode error, got {other:?}"),
+    }
+}

@@ -1,0 +1,259 @@
+//! Property test: fuzzy label lookup *through the snapshot* agrees
+//! result-for-result — ids, bitwise scores, surfaced normalised labels,
+//! order — with a brute-force Levenshtein scan over the same snapshot's
+//! entity records.
+//!
+//! The brute force reimplements the documented scoring semantics purely on
+//! strings (no interner, no postings, no memoisation): a record label is a
+//! candidate iff it shares ≥ 1 exact token with the query; each query
+//! token contributes 1.0 on exact membership, else its best Levenshtein
+//! similarity against the candidate's tokens; the mean is blended with a
+//! token-count penalty and an exact-hit bonus; per-id the best-scoring
+//! label wins, ordered by (score desc, id asc, insertion order).
+//! Any divergence — in the interned fast paths, the sym memoisation, the
+//! tie-breaking, or the snapshot's cross-class merge — fails the test.
+//!
+//! Inputs come from the vendored proptest shim: seeded, replayable corpora
+//! of random labels plus systematic perturbations of labels actually
+//! served by the snapshot.
+//!
+//! Deterministic: `Scale::tiny()` world with fixed seed 5150, one shared
+//! training run. Expected runtime: ~25 s in debug.
+
+use std::sync::{Arc, OnceLock};
+
+use ltee_core::prelude::*;
+use ltee_serve::{ClassSnapshot, KbSnapshot, ServePipeline};
+use ltee_text::{levenshtein_similarity, normalize_label, tokenize};
+use proptest::prelude::*;
+
+static SNAPSHOT: OnceLock<Arc<KbSnapshot>> = OnceLock::new();
+
+/// One shared snapshot for every property case (training once).
+fn snapshot() -> Arc<KbSnapshot> {
+    SNAPSHOT
+        .get_or_init(|| {
+            let world = generate_world(&GeneratorConfig::new(Scale::tiny(), 5150));
+            let corpus = generate_corpus(&world, &CorpusConfig::tiny());
+            let golds: Vec<GoldStandard> =
+                CLASS_KEYS.iter().map(|&c| GoldStandard::build(&world, &corpus, c)).collect();
+            let config = PipelineConfig {
+                parallelism: Parallelism::Sequential,
+                ..PipelineConfig::fast()
+            };
+            let models =
+                train_models(&corpus, world.kb(), &golds, &config).expect("trainable corpus");
+            let mut serving = ServePipeline::new(world.kb(), models, config);
+            for batch in corpus.split_into_batches(3) {
+                serving.ingest(&batch).expect("fresh table ids");
+            }
+            serving.snapshot()
+        })
+        .clone()
+}
+
+/// A brute-force hit: record position, score, surfaced normalised label.
+#[derive(Debug, Clone, PartialEq)]
+struct BruteHit {
+    id: u32,
+    score: f64,
+    normalized: String,
+}
+
+/// Score every (record, label) pair of a class by scanning the records
+/// directly — mirroring the documented lookup semantics with plain string
+/// operations only.
+fn brute_force_lookup(slice: &ClassSnapshot, query: &str, k: usize) -> Vec<BruteHit> {
+    if k == 0 || slice.is_empty() {
+        return Vec::new();
+    }
+    let normalized_query = normalize_label(query);
+    let query_tokens = tokenize(&normalized_query);
+    if query_tokens.is_empty() {
+        return Vec::new();
+    }
+
+    // Entry iteration order mirrors snapshot construction (records in
+    // cluster order, labels in frequency order), so push order is the
+    // insertion-order tie-break.
+    let mut scored: Vec<BruteHit> = Vec::new();
+    for (id, record) in slice.records().iter().enumerate() {
+        for label in &record.labels {
+            let normalized = normalize_label(label);
+            // Text-order tokens, duplicates preserved (token-count penalty
+            // and posting multiplicity both count duplicates).
+            let candidate_tokens = tokenize(&normalized);
+            if candidate_tokens.is_empty() {
+                continue;
+            }
+            let exact_hits: usize = query_tokens
+                .iter()
+                .map(|qt| candidate_tokens.iter().filter(|ct| *ct == qt).count())
+                .sum();
+            if exact_hits == 0 {
+                continue; // not a candidate: shares no exact token
+            }
+            let mut total = 0.0f64;
+            for qt in &query_tokens {
+                let best = if candidate_tokens.iter().any(|ct| ct == qt) {
+                    1.0
+                } else {
+                    candidate_tokens
+                        .iter()
+                        .map(|ct| levenshtein_similarity(qt, ct))
+                        .fold(0.0f64, f64::max)
+                };
+                total += best;
+            }
+            let coverage = total / query_tokens.len() as f64;
+            let len_penalty = {
+                let q = query_tokens.len() as f64;
+                let c = candidate_tokens.len() as f64;
+                1.0 - (q - c).abs() / (q + c)
+            };
+            let score = (coverage * 0.8 + len_penalty * 0.2 + exact_hits as f64 * 1e-6).min(1.0);
+            scored.push(BruteHit { id: id as u32, score, normalized });
+        }
+    }
+
+    // (score desc, id asc, insertion order) — the stable sort supplies the
+    // insertion-order tie-break; then the best entry per id survives.
+    scored.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.id.cmp(&b.id))
+    });
+    let mut seen = std::collections::HashSet::new();
+    scored.retain(|h| seen.insert(h.id));
+    scored.truncate(k);
+    scored
+}
+
+/// Assert one class's snapshot lookup equals the brute force,
+/// result-for-result and bit-for-bit.
+fn assert_class_agreement(snap: &KbSnapshot, slice: &ClassSnapshot, query: &str, k: usize) {
+    let expected = brute_force_lookup(slice, query, k);
+
+    // Index-level agreement (ids, bitwise scores, surfaced labels, order).
+    let actual = slice.index().lookup(query, k);
+    assert_eq!(
+        actual.len(),
+        expected.len(),
+        "{} lookup({query:?}, {k}): result count",
+        slice.class()
+    );
+    for (i, (a, e)) in actual.iter().zip(&expected).enumerate() {
+        assert_eq!(a.id as u32, e.id, "{} lookup({query:?}, {k})[{i}]: id", slice.class());
+        assert_eq!(
+            a.score.to_bits(),
+            e.score.to_bits(),
+            "{} lookup({query:?}, {k})[{i}]: score {} vs {}",
+            slice.class(),
+            a.score,
+            e.score
+        );
+        assert_eq!(
+            slice.index().resolve(a.normalized),
+            e.normalized,
+            "{} lookup({query:?}, {k})[{i}]: surfaced label",
+            slice.class()
+        );
+    }
+
+    // Snapshot-level agreement: the per-class query path adds nothing but
+    // the EntityRef/label projection.
+    let hits = snap.fuzzy_lookup(Some(slice.class()), query, k);
+    assert_eq!(hits.len(), expected.len());
+    for (h, e) in hits.iter().zip(&expected) {
+        assert_eq!((h.entity.class, h.entity.id), (slice.class(), e.id));
+        assert_eq!(h.score.to_bits(), e.score.to_bits());
+        assert_eq!(h.label, e.normalized);
+    }
+}
+
+/// Assert the cross-class merged lookup equals merging the per-class brute
+/// lists by the documented total order.
+fn assert_merged_agreement(snap: &KbSnapshot, query: &str, k: usize) {
+    let mut expected: Vec<(ClassKey, BruteHit)> = Vec::new();
+    for slice in snap.classes() {
+        for hit in brute_force_lookup(slice, query, k) {
+            expected.push((slice.class(), hit));
+        }
+    }
+    expected.sort_by(|(_, a), (_, b)| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.id.cmp(&b.id))
+    });
+    expected.truncate(k);
+
+    let actual = snap.fuzzy_lookup(None, query, k);
+    assert_eq!(actual.len(), expected.len(), "merged lookup({query:?}, {k}): count");
+    for (a, (class, e)) in actual.iter().zip(&expected) {
+        assert_eq!((a.entity.class, a.entity.id), (*class, e.id), "merged lookup({query:?})");
+        assert_eq!(a.score.to_bits(), e.score.to_bits());
+        assert_eq!(a.label, e.normalized);
+    }
+}
+
+fn check_query(query: &str, k: usize) {
+    let snap = snapshot();
+    for slice in snap.classes() {
+        assert_class_agreement(&snap, slice, query, k);
+    }
+    assert_merged_agreement(&snap, query, k);
+}
+
+/// Deterministically pick a served label and perturb it: drop one
+/// character and/or append garbage, producing near-miss queries that
+/// exercise the Levenshtein branch instead of the exact-token fast path.
+fn perturbed_label(pick: usize, drop: usize, suffix: &str) -> Option<String> {
+    let snap = snapshot();
+    let slices: Vec<_> = snap.classes().collect();
+    let slice = slices[pick % slices.len()];
+    let record = slice.record((pick / slices.len()) as u32 % slice.len() as u32)?;
+    let label = record.labels.get(pick % record.labels.len().max(1))?;
+    let mut chars: Vec<char> = label.chars().collect();
+    if !chars.is_empty() {
+        chars.remove(drop % chars.len());
+    }
+    let mut query: String = chars.into_iter().collect();
+    query.push_str(suffix);
+    Some(query)
+}
+
+proptest! {
+    #[test]
+    fn random_queries_agree_with_brute_force(query in "[a-z ]{0,24}", k in 0usize..8) {
+        check_query(&query, k);
+    }
+
+    #[test]
+    fn perturbed_served_labels_agree_with_brute_force(
+        pick in 0usize..4096,
+        drop in 0usize..32,
+        suffix in "[a-z]{0,3}",
+        k in 1usize..7,
+    ) {
+        if let Some(query) = perturbed_label(pick, drop, &suffix) {
+            check_query(&query, k);
+        }
+    }
+
+    #[test]
+    fn served_labels_are_always_their_own_best_exact_match(pick in 0usize..4096) {
+        let snap = snapshot();
+        let slices: Vec<_> = snap.classes().collect();
+        let slice = slices[pick % slices.len()];
+        let id = (pick / slices.len()) as u32 % slice.len() as u32;
+        let record = slice.record(id).expect("id is in range");
+        let label = &record.labels[pick % record.labels.len()];
+        let hits = snap.exact_lookup(Some(slice.class()), label);
+        prop_assert!(
+            hits.iter().any(|h| h.entity.id == id),
+            "exact lookup of a served label must retrieve its record"
+        );
+    }
+}
