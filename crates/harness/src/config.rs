@@ -1,0 +1,169 @@
+//! Harness run configuration: what to serve, what traffic to send.
+
+use ltee::scenario::Scenario;
+
+/// Relative weights of the four query kinds in the traffic mix.
+///
+/// Weights are dimensionless; only ratios matter. [`crate::traffic::schedule`]
+/// apportions any total query count into *exact* per-kind counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MixRatios {
+    /// Exact label lookups of served labels.
+    pub exact: u32,
+    /// Fuzzy top-k lookups of mangled labels.
+    pub fuzzy: u32,
+    /// Entity record fetches.
+    pub fetch: u32,
+    /// Class listing pages.
+    pub paging: u32,
+}
+
+impl MixRatios {
+    /// Sum of the weights.
+    pub fn total(&self) -> u32 {
+        self.exact + self.fuzzy + self.fetch + self.paging
+    }
+}
+
+/// One harness run: corpus source, ingest batching, traffic shape.
+///
+/// The report is a pure function of this struct — two runs with equal
+/// configs produce byte-identical `BENCH_harness.json` at any thread
+/// count. Thread count is therefore deliberately *not* part of the config.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HarnessConfig {
+    /// The workload's name, echoed into the report.
+    pub workload: String,
+    /// Master seed: keys the traffic RNG streams and the corpus seed.
+    pub seed: u64,
+    /// Seed of the synthetic world the models are trained on.
+    pub world_seed: u64,
+    /// Corpus source: a named scenario generator, or `None` for the
+    /// standard corpus generator re-seeded from `seed`.
+    pub scenario: Option<Scenario>,
+    /// Micro-batches the corpus is split into; one query phase runs per
+    /// published snapshot version.
+    pub batches: usize,
+    /// Queries per phase.
+    pub queries_per_phase: usize,
+    /// Traffic mix ratios.
+    pub mix: MixRatios,
+    /// Zipf skew exponent over the popularity-ranked label universe
+    /// (larger → hotter head; must be finite and > 0).
+    pub zipf_s: f64,
+    /// `k` of fuzzy lookups.
+    pub fuzzy_k: usize,
+    /// Page size of listing queries.
+    pub page_limit: usize,
+    /// Reader threads joining and leaving during the churn phase
+    /// (0 disables the phase).
+    pub churn_readers: usize,
+    /// Sustained-ingest soak rounds re-serving the corpus under shifted
+    /// table ids (0 disables soak).
+    pub soak_rounds: usize,
+}
+
+/// Why a configuration was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// All four mix weights are zero.
+    EmptyMix,
+    /// The zipf exponent is not a finite positive number.
+    BadZipfExponent,
+    /// A count field that must be positive is zero.
+    ZeroCount(&'static str),
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::EmptyMix => write!(f, "mix ratios sum to zero"),
+            ConfigError::BadZipfExponent => {
+                write!(f, "zipf exponent must be finite and > 0")
+            }
+            ConfigError::ZeroCount(field) => write!(f, "{field} must be > 0"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl HarnessConfig {
+    /// Check the invariants the runner relies on.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.mix.total() == 0 {
+            return Err(ConfigError::EmptyMix);
+        }
+        if !self.zipf_s.is_finite() || self.zipf_s <= 0.0 {
+            return Err(ConfigError::BadZipfExponent);
+        }
+        if self.batches == 0 {
+            return Err(ConfigError::ZeroCount("batches"));
+        }
+        if self.queries_per_phase == 0 {
+            return Err(ConfigError::ZeroCount("queries_per_phase"));
+        }
+        if self.fuzzy_k == 0 {
+            return Err(ConfigError::ZeroCount("fuzzy_k"));
+        }
+        if self.page_limit == 0 {
+            return Err(ConfigError::ZeroCount("page_limit"));
+        }
+        Ok(())
+    }
+
+    /// The corpus source's name, for the report.
+    pub fn corpus_source(&self) -> &'static str {
+        match self.scenario {
+            Some(s) => s.name(),
+            None => "generator",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::named_workload;
+
+    #[test]
+    fn named_workloads_validate() {
+        for (name, _) in crate::workloads::WORKLOADS {
+            let config = named_workload(name, 7).expect("listed workload resolves");
+            config.validate().unwrap_or_else(|e| panic!("workload `{name}` invalid: {e}"));
+            assert_eq!(config.workload, *name);
+            assert_eq!(config.seed, 7);
+        }
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let base = named_workload("steady-read", 1).unwrap();
+
+        let mut zero_mix = base.clone();
+        zero_mix.mix = MixRatios { exact: 0, fuzzy: 0, fetch: 0, paging: 0 };
+        assert_eq!(zero_mix.validate(), Err(ConfigError::EmptyMix));
+
+        let mut bad_zipf = base.clone();
+        bad_zipf.zipf_s = 0.0;
+        assert_eq!(bad_zipf.validate(), Err(ConfigError::BadZipfExponent));
+        bad_zipf.zipf_s = f64::NAN;
+        assert_eq!(bad_zipf.validate(), Err(ConfigError::BadZipfExponent));
+
+        let mut zero_batches = base.clone();
+        zero_batches.batches = 0;
+        assert_eq!(zero_batches.validate(), Err(ConfigError::ZeroCount("batches")));
+
+        let mut zero_queries = base;
+        zero_queries.queries_per_phase = 0;
+        assert_eq!(
+            zero_queries.validate(),
+            Err(ConfigError::ZeroCount("queries_per_phase"))
+        );
+    }
+
+    #[test]
+    fn unknown_workload_is_none() {
+        assert!(named_workload("no-such-workload", 1).is_none());
+    }
+}

@@ -1,0 +1,146 @@
+//! CLI entry point: `cargo run -p ltee-harness -- --workload steady-read --seed 42`.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use ltee::prelude::Parallelism;
+use ltee_harness::{named_workload, run, workload_names, WORKLOADS};
+
+const USAGE: &str = "\
+ltee-harness — deterministic workload runner over the serve pipeline
+
+USAGE:
+    ltee-harness --workload <name> [--seed <n>] [--out <path>] [--threads <n>] [--check]
+    ltee-harness --list
+
+OPTIONS:
+    --workload <name>  named workload to run (see --list)
+    --seed <n>         master seed (default 42)
+    --out <path>       report path (default BENCH_harness.json)
+    --threads <n>      pin the worker pool (default: LTEE_NUM_THREADS / auto);
+                       never affects the report bytes
+    --check            do not write: re-run and compare against the existing
+                       report, exit 1 on any byte difference
+    --list             list the named workloads
+";
+
+struct Args {
+    workload: Option<String>,
+    seed: u64,
+    out: String,
+    threads: Option<usize>,
+    check: bool,
+    list: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        workload: None,
+        seed: 42,
+        out: "BENCH_harness.json".to_string(),
+        threads: None,
+        check: false,
+        list: false,
+    };
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        let mut value = |flag: &str| {
+            argv.next().ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--workload" => args.workload = Some(value("--workload")?),
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--out" => args.out = value("--out")?,
+            "--threads" => {
+                args.threads = Some(
+                    value("--threads")?
+                        .parse()
+                        .map_err(|e| format!("--threads: {e}"))?,
+                );
+            }
+            "--check" => args.check = true,
+            "--list" => args.list = true,
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            if !message.is_empty() {
+                eprintln!("error: {message}\n");
+            }
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.list {
+        println!("named workloads:");
+        for (name, description) in WORKLOADS {
+            println!("  {name:<20} {description}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let Some(name) = args.workload else {
+        eprintln!("error: --workload is required (or --list)\n");
+        eprint!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let Some(config) = named_workload(&name, args.seed) else {
+        eprintln!("error: unknown workload `{name}` — known: {}", workload_names().join(", "));
+        return ExitCode::from(2);
+    };
+
+    if let Some(threads) = args.threads {
+        Parallelism::Threads(threads).install();
+    }
+
+    let started = Instant::now();
+    let report = match run(&config) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("error: invalid config: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let rendered = report.render();
+    println!("harness: run finished in {:.3} s", started.elapsed().as_secs_f64());
+
+    if args.check {
+        return match std::fs::read_to_string(&args.out) {
+            Ok(existing) if existing == rendered => {
+                println!("harness: {} is canonical ({} bytes)", args.out, rendered.len());
+                ExitCode::SUCCESS
+            }
+            Ok(_) => {
+                eprintln!(
+                    "error: {} differs from a fresh `{name}` run at seed {} — \
+                     the report is stale or non-canonical",
+                    args.out, args.seed
+                );
+                ExitCode::FAILURE
+            }
+            Err(e) => {
+                eprintln!("error: cannot read {}: {e}", args.out);
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    if let Err(e) = std::fs::write(&args.out, &rendered) {
+        eprintln!("error: cannot write {}: {e}", args.out);
+        return ExitCode::FAILURE;
+    }
+    println!("harness: wrote {} ({} bytes)", args.out, rendered.len());
+    ExitCode::SUCCESS
+}

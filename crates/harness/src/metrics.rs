@@ -1,0 +1,196 @@
+//! Deterministic metric aggregation over query responses.
+//!
+//! Everything counted here is a pure function of the responses, which are
+//! themselves bit-identical at every thread count — so phase metrics (and
+//! their run-level aggregation) can go straight into the canonical
+//! report. Wall-clock numbers deliberately have no home in this module.
+
+use ltee::serve::QueryOutput;
+
+use crate::traffic::QueryKind;
+
+/// FNV-1a fingerprint of a response stream's complete `Debug` rendering:
+/// any divergence — ids, scores, labels, facts, provenance, page
+/// contents — changes the value.
+pub fn fingerprint(outputs: &[QueryOutput]) -> u64 {
+    ltee::ml::codec::fnv1a64(format!("{outputs:?}").as_bytes())
+}
+
+/// Chain `next` onto an accumulated fingerprint (multiply-xor, not plain
+/// XOR: XOR would cancel a stable-but-wrong phase pair to zero).
+pub fn chain(acc: u64, next: u64) -> u64 {
+    acc.wrapping_mul(0x0000_0100_0000_01b3) ^ next
+}
+
+/// What one query phase (one snapshot version) observed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseMetrics {
+    /// The snapshot version the phase ran against.
+    pub version: u64,
+    /// Queries executed.
+    pub queries: usize,
+    /// Per-kind query counts, [`QueryKind::ALL`] order.
+    pub by_kind: [usize; 4],
+    /// Hits returned by exact + fuzzy lookups.
+    pub lookup_hits: usize,
+    /// Lookups that returned no hit.
+    pub empty_lookups: usize,
+    /// Entity fetches that resolved to a record.
+    pub entities_fetched: usize,
+    /// Entities returned across listing pages.
+    pub page_entities: usize,
+    /// Fingerprint of the full response stream.
+    pub fingerprint: u64,
+}
+
+impl PhaseMetrics {
+    /// Measure one phase from its kind schedule and responses.
+    ///
+    /// # Panics
+    /// If `kinds` and `outputs` disagree in length — the runner always
+    /// executes exactly the scheduled batch.
+    pub fn measure(version: u64, kinds: &[QueryKind], outputs: &[QueryOutput]) -> Self {
+        assert_eq!(kinds.len(), outputs.len(), "one response per scheduled query");
+        let mut metrics = PhaseMetrics {
+            version,
+            queries: outputs.len(),
+            by_kind: [0; 4],
+            lookup_hits: 0,
+            empty_lookups: 0,
+            entities_fetched: 0,
+            page_entities: 0,
+            fingerprint: fingerprint(outputs),
+        };
+        for (&kind, output) in kinds.iter().zip(outputs) {
+            metrics.by_kind[kind.index()] += 1;
+            match output {
+                QueryOutput::Hits(hits) => {
+                    metrics.lookup_hits += hits.len();
+                    if hits.is_empty() {
+                        metrics.empty_lookups += 1;
+                    }
+                }
+                QueryOutput::Entity(record) => {
+                    if record.is_some() {
+                        metrics.entities_fetched += 1;
+                    }
+                }
+                QueryOutput::Page(page) => metrics.page_entities += page.entities.len(),
+                QueryOutput::Stats(_) => {}
+            }
+        }
+        metrics
+    }
+}
+
+/// Run-level aggregation of phase metrics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RunTotals {
+    /// Phases absorbed.
+    pub phases: usize,
+    /// Total queries.
+    pub queries: usize,
+    /// Per-kind totals, [`QueryKind::ALL`] order.
+    pub by_kind: [usize; 4],
+    /// Total lookup hits.
+    pub lookup_hits: usize,
+    /// Total empty lookups.
+    pub empty_lookups: usize,
+    /// Total resolved entity fetches.
+    pub entities_fetched: usize,
+    /// Total page entities.
+    pub page_entities: usize,
+    /// Chained fingerprint over the phases, in order.
+    pub fingerprint: u64,
+}
+
+impl RunTotals {
+    /// Fold one phase into the totals (order-sensitive via the chained
+    /// fingerprint).
+    pub fn absorb(&mut self, phase: &PhaseMetrics) {
+        self.phases += 1;
+        self.queries += phase.queries;
+        for i in 0..4 {
+            self.by_kind[i] += phase.by_kind[i];
+        }
+        self.lookup_hits += phase.lookup_hits;
+        self.empty_lookups += phase.empty_lookups;
+        self.entities_fetched += phase.entities_fetched;
+        self.page_entities += phase.page_entities;
+        self.fingerprint = chain(self.fingerprint, phase.fingerprint);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ltee::prelude::ClassKey;
+    use ltee::serve::{ClassPage, EntityHit, EntityRef};
+
+    fn hit(score: f64) -> EntityHit {
+        EntityHit {
+            entity: EntityRef { class: ClassKey::Song, id: 0 },
+            score,
+            label: "x".into(),
+        }
+    }
+
+    #[test]
+    fn measure_known_answer() {
+        let kinds = [QueryKind::Exact, QueryKind::Fuzzy, QueryKind::Fetch, QueryKind::Paging];
+        let outputs = [
+            QueryOutput::Hits(vec![hit(1.0), hit(1.0)]),
+            QueryOutput::Hits(vec![]),
+            QueryOutput::Entity(None),
+            QueryOutput::Page(ClassPage {
+                class: ClassKey::Song,
+                total: 9,
+                offset: 2,
+                entities: vec![
+                    EntityRef { class: ClassKey::Song, id: 2 },
+                    EntityRef { class: ClassKey::Song, id: 3 },
+                    EntityRef { class: ClassKey::Song, id: 4 },
+                ],
+            }),
+        ];
+        let m = PhaseMetrics::measure(3, &kinds, &outputs);
+        assert_eq!(m.version, 3);
+        assert_eq!(m.queries, 4);
+        assert_eq!(m.by_kind, [1, 1, 1, 1]);
+        assert_eq!(m.lookup_hits, 2);
+        assert_eq!(m.empty_lookups, 1);
+        assert_eq!(m.entities_fetched, 0);
+        assert_eq!(m.page_entities, 3);
+        assert_eq!(m.fingerprint, fingerprint(&outputs));
+    }
+
+    #[test]
+    fn totals_absorb_known_answer() {
+        let kinds = [QueryKind::Exact, QueryKind::Exact];
+        let a = PhaseMetrics::measure(1, &kinds, &[
+            QueryOutput::Hits(vec![hit(1.0)]),
+            QueryOutput::Hits(vec![]),
+        ]);
+        let b = PhaseMetrics::measure(2, &kinds, &[
+            QueryOutput::Hits(vec![hit(1.0), hit(0.5)]),
+            QueryOutput::Hits(vec![hit(0.9)]),
+        ]);
+        let mut totals = RunTotals::default();
+        totals.absorb(&a);
+        totals.absorb(&b);
+        assert_eq!(totals.phases, 2);
+        assert_eq!(totals.queries, 4);
+        assert_eq!(totals.by_kind, [4, 0, 0, 0]);
+        assert_eq!(totals.lookup_hits, 4);
+        assert_eq!(totals.empty_lookups, 1);
+        assert_eq!(totals.fingerprint, chain(chain(0, a.fingerprint), b.fingerprint));
+    }
+
+    #[test]
+    fn chained_fingerprint_is_order_sensitive() {
+        assert_ne!(chain(chain(0, 1), 2), chain(chain(0, 2), 1));
+        // A repeated phase pair must not cancel to the empty value —
+        // the reason the chain multiplies instead of XOR-ing.
+        assert_ne!(chain(chain(0, 7), 7), 0);
+    }
+}

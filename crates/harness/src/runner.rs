@@ -1,0 +1,454 @@
+//! The workload runner: config in, canonical report out.
+//!
+//! A run has up to three movements:
+//!
+//! 1. **Phased ingest + query traffic** — the corpus is split into
+//!    micro-batches; after each published snapshot version one query phase
+//!    executes the scheduled traffic mix against that exact version.
+//! 2. **Reader churn** (optional) — reader threads join while a second,
+//!    id-shifted copy of the corpus ingests, run a fixed probe batch
+//!    against whatever versions they observe, and leave at staggered
+//!    times. The *observations* are nondeterministic (which versions a
+//!    reader sees depends on scheduling) so only invariants reach the
+//!    report: per-reader version monotonicity, and replay identity — every
+//!    observed `(version, fingerprint)` must reproduce exactly from
+//!    [`SnapshotReader::snapshot_at`] after the fact.
+//! 3. **Sustained-ingest soak** (optional) — further full re-ingests of
+//!    the corpus under fresh table ids, recording the (deterministic)
+//!    ingest report aggregates per round.
+//!
+//! Wall-clock timings are printed to stdout and never enter the report:
+//! `BENCH_harness.json` must hash identically across runs, hosts, and
+//! `LTEE_NUM_THREADS` settings.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+use ltee::prelude::*;
+use ltee::scenario::{ScenarioSeed, TrainedWorld};
+use ltee::serve::{KbSnapshot, Query, ServePipeline, SnapshotReader};
+use ltee::webtables::TableId;
+
+use crate::config::{ConfigError, HarnessConfig};
+use crate::metrics::{chain, fingerprint, PhaseMetrics, RunTotals};
+use crate::report::Json;
+use crate::traffic::{schedule, LabelUniverse};
+use crate::zipf::ZipfSampler;
+
+/// A finished run: the canonical report, ready to render.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// The report tree; field order is fixed by construction.
+    pub json: Json,
+}
+
+impl RunReport {
+    /// The canonical bytes of `BENCH_harness.json`.
+    pub fn render(&self) -> String {
+        self.json.render()
+    }
+}
+
+/// Re-key a corpus's table ids by `offset`, so the same tables can be
+/// re-served as fresh arrivals (duplicate ids are rejected by ingest).
+fn shift_tables(corpus: &Corpus, offset: u64) -> Corpus {
+    Corpus::from_tables(
+        corpus
+            .tables()
+            .iter()
+            .map(|t| {
+                let mut t = t.clone();
+                t.id = TableId(t.id.raw() + offset);
+                t
+            })
+            .collect(),
+    )
+}
+
+/// One reader's life in the churn phase: join, watch versions go by while
+/// running the probe batch, leave after `passes` snapshots (or as soon as
+/// the writer signals completion, whichever comes first — so low-pass
+/// readers genuinely leave mid-ingest).
+fn churn_reader(
+    reader: SnapshotReader,
+    probe: &[Query],
+    passes: usize,
+    writer_done: &AtomicBool,
+) -> Vec<(u64, u64)> {
+    let mut observed = Vec::with_capacity(passes);
+    for _ in 0..passes {
+        let snap = reader.snapshot();
+        let outputs = snap.execute_batch(probe);
+        observed.push((snap.version(), fingerprint(&outputs)));
+        if writer_done.load(Ordering::Relaxed) {
+            break;
+        }
+        std::thread::yield_now();
+    }
+    observed
+}
+
+/// Execute the workload and assemble the canonical report.
+pub fn run(config: &HarnessConfig) -> Result<RunReport, ConfigError> {
+    config.validate()?;
+    let seed = ScenarioSeed::new(config.seed);
+
+    let setup_started = Instant::now();
+    let trained = TrainedWorld::train(config.world_seed);
+    let corpus = match config.scenario {
+        Some(scenario) => trained.scenario_corpus(scenario, config.seed),
+        None => generate_corpus(
+            &trained.world,
+            &CorpusConfig { seed: config.seed, ..CorpusConfig::tiny() },
+        ),
+    };
+    println!(
+        "harness: {} — {} tables, {} rows from `{}` (setup {:.3} s)",
+        config.workload,
+        corpus.len(),
+        corpus.total_rows(),
+        config.corpus_source(),
+        setup_started.elapsed().as_secs_f64()
+    );
+
+    let mut serving = trained.serve();
+
+    // Movement 1: phased ingest + traffic.
+    let mut phases: Vec<PhaseMetrics> = Vec::new();
+    let mut totals = RunTotals::default();
+    let phase_started = Instant::now();
+    for (i, batch) in corpus.split_into_batches(config.batches).into_iter().enumerate() {
+        serving.ingest(&batch).expect("fresh table ids");
+        let snap = serving.snapshot();
+        let universe = LabelUniverse::from_snapshot(&snap);
+        if universe.is_empty() {
+            continue;
+        }
+        let zipf = ZipfSampler::new(universe.len(), config.zipf_s);
+        let kinds = schedule(&config.mix, config.queries_per_phase);
+        let mut rng = seed.stream(&format!("traffic/phase-{i}"));
+        let queries = crate::traffic::build_queries(
+            &snap,
+            &kinds,
+            &universe,
+            &zipf,
+            &mut rng,
+            config.fuzzy_k,
+            config.page_limit,
+        );
+        let outputs = snap.execute_batch(&queries);
+        let metrics = PhaseMetrics::measure(snap.version(), &kinds, &outputs);
+        totals.absorb(&metrics);
+        phases.push(metrics);
+    }
+    println!(
+        "harness: {} phases, {} queries in {:.3} s",
+        phases.len(),
+        totals.queries,
+        phase_started.elapsed().as_secs_f64()
+    );
+
+    // Movement 2: reader churn during a second ingest of the corpus.
+    let churn = if config.churn_readers > 0 {
+        Some(run_churn(config, &seed, &mut serving, &corpus))
+    } else {
+        None
+    };
+
+    // Movement 3: sustained-ingest soak.
+    let soak = if config.soak_rounds > 0 {
+        Some(run_soak(config, &mut serving, &corpus))
+    } else {
+        None
+    };
+
+    Ok(RunReport { json: assemble(config, &corpus, &phases, &totals, churn, soak, &serving) })
+}
+
+/// Deterministic outcome of the churn phase.
+struct ChurnOutcome {
+    readers: usize,
+    probe_queries: usize,
+    start_version: u64,
+    final_version: u64,
+    versions_monotonic: bool,
+    replay_identical: bool,
+}
+
+fn run_churn(
+    config: &HarnessConfig,
+    seed: &ScenarioSeed,
+    serving: &mut ServePipeline<'_>,
+    corpus: &Corpus,
+) -> ChurnOutcome {
+    // A fixed probe batch from the currently served labels: exact lookups
+    // plus a stats query. Label-based (not EntityRef-based), so it stays
+    // meaningful — and deterministic per version — as versions advance.
+    let snap = serving.snapshot();
+    let universe = LabelUniverse::from_snapshot(&snap);
+    let mut rng = seed.stream("churn/probe");
+    let zipf = ZipfSampler::new(universe.len().max(1), config.zipf_s);
+    let mut probe: Vec<Query> = Vec::new();
+    for _ in 0..12.min(universe.len()) {
+        let entry = &universe.entries[zipf.sample(&mut rng)];
+        probe.push(Query::Exact { class: None, label: entry.label.clone() });
+    }
+    probe.push(Query::Stats);
+
+    let start_version = serving.version();
+    let shifted = shift_tables(corpus, 10_000_000);
+    let writer_done = AtomicBool::new(false);
+    let churn_started = Instant::now();
+
+    let observations: Vec<Vec<(u64, u64)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..config.churn_readers)
+            .map(|r| {
+                let reader = serving.reader();
+                let probe = &probe;
+                let writer_done = &writer_done;
+                // Staggered lifetimes: reader r leaves after 4 + 3r
+                // snapshots, so early readers depart while later batches
+                // are still ingesting.
+                scope.spawn(move || churn_reader(reader, probe, 4 + 3 * r, writer_done))
+            })
+            .collect();
+        for batch in shifted.split_into_batches(config.batches) {
+            serving.ingest(&batch).expect("shifted ids are fresh");
+        }
+        writer_done.store(true, Ordering::Relaxed);
+        handles.into_iter().map(|h| h.join().expect("churn reader")).collect()
+    });
+
+    // Only invariants reach the report. Which versions each reader saw is
+    // scheduling-dependent; that every sighting is monotone and replays
+    // bit-identically from history is not.
+    let mut versions_monotonic = true;
+    let mut replay_identical = true;
+    let reader = serving.reader();
+    for observed in &observations {
+        versions_monotonic &= observed.windows(2).all(|w| w[0].0 <= w[1].0);
+        for &(version, fp) in observed {
+            match reader.snapshot_at(version) {
+                Some(historic) => {
+                    replay_identical &= fingerprint(&historic.execute_batch(&probe)) == fp;
+                }
+                None => replay_identical = false,
+            }
+        }
+    }
+    let sightings: usize = observations.iter().map(Vec::len).sum();
+    println!(
+        "harness: churn — {} readers, {} sightings, v{} -> v{} in {:.3} s",
+        config.churn_readers,
+        sightings,
+        start_version,
+        serving.version(),
+        churn_started.elapsed().as_secs_f64()
+    );
+
+    ChurnOutcome {
+        readers: config.churn_readers,
+        probe_queries: probe.len(),
+        start_version,
+        final_version: serving.version(),
+        versions_monotonic,
+        replay_identical,
+    }
+}
+
+/// Deterministic outcome of one soak round.
+struct SoakRound {
+    version_after: u64,
+    tables: usize,
+    rows: usize,
+    mapped_rows: usize,
+    new_clusters: usize,
+    updated_clusters: usize,
+}
+
+fn run_soak(
+    config: &HarnessConfig,
+    serving: &mut ServePipeline<'_>,
+    corpus: &Corpus,
+) -> Vec<SoakRound> {
+    let mut rounds = Vec::with_capacity(config.soak_rounds);
+    let soak_started = Instant::now();
+    for round in 0..config.soak_rounds {
+        let shifted = shift_tables(corpus, (round as u64 + 2) * 10_000_000);
+        let mut totals = SoakRound {
+            version_after: 0,
+            tables: 0,
+            rows: 0,
+            mapped_rows: 0,
+            new_clusters: 0,
+            updated_clusters: 0,
+        };
+        for batch in shifted.split_into_batches(config.batches) {
+            let report = serving.ingest(&batch).expect("shifted ids are fresh");
+            totals.tables += report.tables;
+            totals.rows += report.rows;
+            totals.mapped_rows += report.mapped_rows;
+            totals.new_clusters += report.new_clusters;
+            totals.updated_clusters += report.updated_clusters;
+        }
+        totals.version_after = serving.version();
+        rounds.push(totals);
+    }
+    println!(
+        "harness: soak — {} rounds to v{} in {:.3} s",
+        config.soak_rounds,
+        serving.version(),
+        soak_started.elapsed().as_secs_f64()
+    );
+    rounds
+}
+
+fn mix_json(config: &HarnessConfig) -> Json {
+    let mut mix = Json::obj();
+    mix.push("exact", Json::uint(config.mix.exact as usize));
+    mix.push("fuzzy", Json::uint(config.mix.fuzzy as usize));
+    mix.push("fetch", Json::uint(config.mix.fetch as usize));
+    mix.push("paging", Json::uint(config.mix.paging as usize));
+    mix
+}
+
+fn phase_json(phase: &PhaseMetrics) -> Json {
+    let mut p = Json::obj();
+    p.push("version", Json::Uint(phase.version));
+    p.push("queries", Json::uint(phase.queries));
+    let mut by_kind = Json::obj();
+    for kind in crate::traffic::QueryKind::ALL {
+        by_kind.push(kind.name(), Json::uint(phase.by_kind[kind.index()]));
+    }
+    p.push("by_kind", by_kind);
+    p.push("lookup_hits", Json::uint(phase.lookup_hits));
+    p.push("empty_lookups", Json::uint(phase.empty_lookups));
+    p.push("entities_fetched", Json::uint(phase.entities_fetched));
+    p.push("page_entities", Json::uint(phase.page_entities));
+    p.push("fingerprint", Json::hex(phase.fingerprint));
+    p
+}
+
+fn assemble(
+    config: &HarnessConfig,
+    corpus: &Corpus,
+    phases: &[PhaseMetrics],
+    totals: &RunTotals,
+    churn: Option<ChurnOutcome>,
+    soak: Option<Vec<SoakRound>>,
+    serving: &ServePipeline<'_>,
+) -> Json {
+    let mut report = Json::obj();
+    report.push("bench", Json::str("harness"));
+    report.push("workload", Json::str(&config.workload));
+    report.push("seed", Json::Uint(config.seed));
+    report.push("world_seed", Json::Uint(config.world_seed));
+    report.push("corpus_source", Json::str(config.corpus_source()));
+
+    let mut corpus_json = Json::obj();
+    corpus_json.push("tables", Json::uint(corpus.len()));
+    corpus_json.push("rows", Json::uint(corpus.total_rows()));
+    report.push("corpus", corpus_json);
+
+    let mut config_json = Json::obj();
+    config_json.push("batches", Json::uint(config.batches));
+    config_json.push("queries_per_phase", Json::uint(config.queries_per_phase));
+    config_json.push("mix", mix_json(config));
+    config_json.push("zipf_s", Json::Float(config.zipf_s));
+    config_json.push("fuzzy_k", Json::uint(config.fuzzy_k));
+    config_json.push("page_limit", Json::uint(config.page_limit));
+    config_json.push("churn_readers", Json::uint(config.churn_readers));
+    config_json.push("soak_rounds", Json::uint(config.soak_rounds));
+    report.push("config", config_json);
+
+    report.push("phases", Json::Arr(phases.iter().map(phase_json).collect()));
+
+    let mut totals_json = Json::obj();
+    totals_json.push("phases", Json::uint(totals.phases));
+    totals_json.push("queries", Json::uint(totals.queries));
+    let mut by_kind = Json::obj();
+    for kind in crate::traffic::QueryKind::ALL {
+        by_kind.push(kind.name(), Json::uint(totals.by_kind[kind.index()]));
+    }
+    totals_json.push("by_kind", by_kind);
+    totals_json.push("lookup_hits", Json::uint(totals.lookup_hits));
+    totals_json.push("empty_lookups", Json::uint(totals.empty_lookups));
+    totals_json.push("entities_fetched", Json::uint(totals.entities_fetched));
+    totals_json.push("page_entities", Json::uint(totals.page_entities));
+    totals_json.push("fingerprint", Json::hex(totals.fingerprint));
+    report.push("totals", totals_json);
+
+    report.push(
+        "churn",
+        match churn {
+            None => Json::Null,
+            Some(c) => {
+                let mut churn_json = Json::obj();
+                churn_json.push("readers", Json::uint(c.readers));
+                churn_json.push("probe_queries", Json::uint(c.probe_queries));
+                churn_json.push("start_version", Json::Uint(c.start_version));
+                churn_json.push("final_version", Json::Uint(c.final_version));
+                churn_json.push("versions_monotonic", Json::Bool(c.versions_monotonic));
+                churn_json.push("replay_identical", Json::Bool(c.replay_identical));
+                churn_json
+            }
+        },
+    );
+
+    report.push(
+        "soak",
+        match soak {
+            None => Json::Null,
+            Some(rounds) => Json::Arr(
+                rounds
+                    .iter()
+                    .map(|r| {
+                        let mut round = Json::obj();
+                        round.push("version_after", Json::Uint(r.version_after));
+                        round.push("tables", Json::uint(r.tables));
+                        round.push("rows", Json::uint(r.rows));
+                        round.push("mapped_rows", Json::uint(r.mapped_rows));
+                        round.push("new_clusters", Json::uint(r.new_clusters));
+                        round.push("updated_clusters", Json::uint(r.updated_clusters));
+                        round
+                    })
+                    .collect(),
+            ),
+        },
+    );
+
+    report.push("final", final_json(&serving.snapshot()));
+    report
+}
+
+fn final_json(snap: &KbSnapshot) -> Json {
+    let stats = snap.stats();
+    let mut f = Json::obj();
+    f.push("version", Json::Uint(stats.version));
+    f.push("tables", Json::uint(stats.tables));
+    f.push("rows", Json::uint(stats.rows));
+    f.push(
+        "classes",
+        Json::Arr(
+            stats
+                .classes
+                .iter()
+                .map(|c| {
+                    let mut class = Json::obj();
+                    class.push("class", Json::str(c.class.to_string()));
+                    class.push("entities", Json::uint(c.entities));
+                    class.push("new_entities", Json::uint(c.new_entities));
+                    class.push("linked_entities", Json::uint(c.linked_entities));
+                    class.push("rows", Json::uint(c.rows));
+                    class
+                })
+                .collect(),
+        ),
+    );
+    // One value that moves if *anything* in the final stats moves.
+    f.push(
+        "stats_fingerprint",
+        Json::hex(chain(0, ltee::ml::codec::fnv1a64(format!("{stats:?}").as_bytes()))),
+    );
+    f
+}

@@ -1,0 +1,290 @@
+//! Traffic generation: exact mix scheduling + concrete query synthesis.
+//!
+//! Scheduling and synthesis are split so each is testable on its own:
+//! [`schedule`] turns mix ratios into an exact, deterministically
+//! interleaved sequence of [`QueryKind`]s (pure arithmetic, no RNG), and
+//! [`build_queries`] renders that sequence into [`Query`] values against a
+//! concrete snapshot's label universe (all randomness from one keyed
+//! [`ChaCha8Rng`] stream).
+
+use ltee::serve::{EntityRef, KbSnapshot, Query};
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::config::MixRatios;
+use crate::zipf::ZipfSampler;
+
+/// The four request kinds of the traffic mix, in canonical order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryKind {
+    /// Exact label lookup.
+    Exact,
+    /// Fuzzy top-k lookup.
+    Fuzzy,
+    /// Entity record fetch.
+    Fetch,
+    /// Class listing page.
+    Paging,
+}
+
+impl QueryKind {
+    /// All kinds, the order used for tie-breaking and reporting.
+    pub const ALL: [QueryKind; 4] =
+        [QueryKind::Exact, QueryKind::Fuzzy, QueryKind::Fetch, QueryKind::Paging];
+
+    /// Index into per-kind count arrays.
+    pub fn index(self) -> usize {
+        match self {
+            QueryKind::Exact => 0,
+            QueryKind::Fuzzy => 1,
+            QueryKind::Fetch => 2,
+            QueryKind::Paging => 3,
+        }
+    }
+
+    /// Stable lowercase name, used as the report's JSON key.
+    pub fn name(self) -> &'static str {
+        match self {
+            QueryKind::Exact => "exact",
+            QueryKind::Fuzzy => "fuzzy",
+            QueryKind::Fetch => "fetch",
+            QueryKind::Paging => "paging",
+        }
+    }
+}
+
+/// Apportion `n` queries over the mix's weights into exact per-kind
+/// counts (largest-remainder method: floors first, then the kinds with
+/// the largest fractional parts absorb the remainder, ties broken in
+/// [`QueryKind::ALL`] order).
+pub fn apportion(mix: &MixRatios, n: usize) -> [usize; 4] {
+    let weights = [mix.exact as u128, mix.fuzzy as u128, mix.fetch as u128, mix.paging as u128];
+    let total: u128 = weights.iter().sum();
+    assert!(total > 0, "mix ratios sum to zero (rejected by config validation)");
+
+    let mut counts = [0usize; 4];
+    // Exact integer arithmetic: quota numerator n * w over denominator
+    // `total`; remainders compared without any float rounding.
+    let mut remainders: Vec<(u128, usize)> = Vec::with_capacity(4);
+    let mut assigned = 0usize;
+    for (i, &w) in weights.iter().enumerate() {
+        let numer = n as u128 * w;
+        counts[i] = (numer / total) as usize;
+        assigned += counts[i];
+        remainders.push((numer % total, i));
+    }
+    // Largest remainder first; equal remainders resolve in kind order.
+    remainders.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    for &(_, i) in remainders.iter().take(n - assigned) {
+        counts[i] += 1;
+    }
+    counts
+}
+
+/// The exact query-kind sequence for `n` queries of the given mix.
+///
+/// Kinds are interleaved by virtual time: kind `k` with count `c` emits
+/// its `j`-th query at time `(2j + 1) / 2c`, and the merged sequence is
+/// sorted by time with ties broken in [`QueryKind::ALL`] order. A 1:1:1:1
+/// mix therefore cycles `E F T P E F T P …`, and a 3:1 mix spreads the
+/// minority kind evenly instead of clumping it at either end.
+pub fn schedule(mix: &MixRatios, n: usize) -> Vec<QueryKind> {
+    let counts = apportion(mix, n);
+    let mut emitted = [0usize; 4];
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        // Next event per kind, as the exact rational (2j + 1) / 2c —
+        // compared via cross-multiplication to stay float-free.
+        let mut best: Option<(u128, u128, usize)> = None; // (numer, denom, kind)
+        for (i, &c) in counts.iter().enumerate() {
+            if emitted[i] >= c {
+                continue;
+            }
+            let numer = (2 * emitted[i] + 1) as u128;
+            let denom = (2 * c) as u128;
+            let earlier = match best {
+                None => true,
+                Some((bn, bd, _)) => numer * bd < bn * denom,
+            };
+            if earlier {
+                best = Some((numer, denom, i));
+            }
+        }
+        let (_, _, i) = best.expect("counts sum to n");
+        emitted[i] += 1;
+        out.push(QueryKind::ALL[i]);
+    }
+    out
+}
+
+/// One entry of the queryable label universe.
+#[derive(Debug, Clone)]
+pub struct UniverseEntry {
+    /// The served entity.
+    pub entity: EntityRef,
+    /// Its canonical label.
+    pub label: String,
+    /// Popularity proxy: supporting web table rows.
+    pub rows: usize,
+}
+
+/// The snapshot's served labels, popularity-ranked (hottest first) so a
+/// [`ZipfSampler`] rank maps straight onto an entry.
+#[derive(Debug, Clone)]
+pub struct LabelUniverse {
+    /// Entries sorted by descending row support; ties keep snapshot
+    /// iteration order (class order, then record id), so the ranking is
+    /// deterministic.
+    pub entries: Vec<UniverseEntry>,
+}
+
+impl LabelUniverse {
+    /// Rank the snapshot's entities by row support.
+    pub fn from_snapshot(snap: &KbSnapshot) -> Self {
+        let mut entries = Vec::new();
+        for class in snap.classes() {
+            for (id, record) in class.records().iter().enumerate() {
+                entries.push(UniverseEntry {
+                    entity: EntityRef { class: class.class(), id: id as u32 },
+                    label: record.canonical_label().to_string(),
+                    rows: record.rows.len(),
+                });
+            }
+        }
+        entries.sort_by_key(|e| std::cmp::Reverse(e.rows));
+        Self { entries }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no entity is served yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Drop one character of `label` at an RNG-chosen position — the
+/// canonical "typo" probe for fuzzy lookups (single-char labels pass
+/// through unchanged).
+fn mangle(label: &str, rng: &mut ChaCha8Rng) -> String {
+    let chars: Vec<char> = label.chars().collect();
+    if chars.len() < 2 {
+        return label.to_string();
+    }
+    let drop = rng.gen_range(0..chars.len());
+    chars.iter().enumerate().filter(|&(i, _)| i != drop).map(|(_, c)| c).collect()
+}
+
+/// Render a kind sequence into concrete queries against `snap`.
+///
+/// Labels are drawn zipfian-skewed from the universe; per-query noise
+/// (class restriction, typo position, page offset) comes from the one
+/// `rng` stream, so the whole batch is a pure function of
+/// `(snapshot, schedule, zipf, rng state)`.
+pub fn build_queries(
+    snap: &KbSnapshot,
+    kinds: &[QueryKind],
+    universe: &LabelUniverse,
+    zipf: &ZipfSampler,
+    rng: &mut ChaCha8Rng,
+    fuzzy_k: usize,
+    page_limit: usize,
+) -> Vec<Query> {
+    assert!(!universe.is_empty(), "query phases run only after a non-empty publish");
+    let mut queries = Vec::with_capacity(kinds.len());
+    for &kind in kinds {
+        let entry = &universe.entries[zipf.sample(rng)];
+        let class_filter =
+            if rng.gen_bool(0.5) { Some(entry.entity.class) } else { None };
+        queries.push(match kind {
+            QueryKind::Exact => {
+                Query::Exact { class: class_filter, label: entry.label.clone() }
+            }
+            QueryKind::Fuzzy => Query::Fuzzy {
+                class: class_filter,
+                label: mangle(&entry.label, rng),
+                k: fuzzy_k,
+            },
+            QueryKind::Fetch => Query::Entity { entity: entry.entity },
+            QueryKind::Paging => {
+                let class = entry.entity.class;
+                let total =
+                    snap.class(class).map(|c| c.len()).unwrap_or(0);
+                let offset = if total == 0 { 0 } else { rng.gen_range(0..total) };
+                Query::List { class, offset, limit: page_limit }
+            }
+        });
+    }
+    queries
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use QueryKind::*;
+
+    fn mix(exact: u32, fuzzy: u32, fetch: u32, paging: u32) -> MixRatios {
+        MixRatios { exact, fuzzy, fetch, paging }
+    }
+
+    #[test]
+    fn apportionment_is_exact() {
+        // Counts always sum to n, whatever the rounding pressure.
+        for n in [1usize, 2, 3, 7, 10, 97, 1000] {
+            for m in [mix(1, 1, 1, 1), mix(40, 30, 20, 10), mix(3, 1, 0, 0), mix(0, 0, 0, 5)] {
+                let counts = apportion(&m, n);
+                assert_eq!(counts.iter().sum::<usize>(), n, "mix {m:?}, n {n}");
+            }
+        }
+        // Known answers.
+        assert_eq!(apportion(&mix(1, 1, 1, 1), 8), [2, 2, 2, 2]);
+        assert_eq!(apportion(&mix(40, 30, 20, 10), 10), [4, 3, 2, 1]);
+        assert_eq!(apportion(&mix(3, 1, 0, 0), 4), [3, 1, 0, 0]);
+        // 5 queries over 1:1:1:1 — one kind gets the extra; remainders tie
+        // so kind order decides: exact wins.
+        assert_eq!(apportion(&mix(1, 1, 1, 1), 5), [2, 1, 1, 1]);
+        // Zero-weight kinds never receive queries.
+        assert_eq!(apportion(&mix(0, 0, 0, 5), 7), [0, 0, 0, 7]);
+    }
+
+    #[test]
+    fn schedule_interleaves_evenly() {
+        // Balanced mix cycles through the kinds.
+        assert_eq!(
+            schedule(&mix(1, 1, 1, 1), 8),
+            vec![Exact, Fuzzy, Fetch, Paging, Exact, Fuzzy, Fetch, Paging]
+        );
+        // 3:1 spreads the minority kind into the middle, not the ends:
+        // exact fires at 1/6, 3/6, 5/6; fuzzy at 3/6 — the tie at 3/6
+        // resolves to exact (kind order).
+        assert_eq!(schedule(&mix(3, 1, 0, 0), 4), vec![Exact, Exact, Fuzzy, Exact]);
+        // Single-kind mixes degenerate to a run.
+        assert_eq!(schedule(&mix(0, 2, 0, 0), 2), vec![Fuzzy, Fuzzy]);
+    }
+
+    #[test]
+    fn schedule_matches_apportionment() {
+        let m = mix(40, 30, 20, 10);
+        let kinds = schedule(&m, 97);
+        let counts = apportion(&m, 97);
+        for kind in QueryKind::ALL {
+            let seen = kinds.iter().filter(|&&k| k == kind).count();
+            assert_eq!(seen, counts[kind.index()], "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn mangle_drops_exactly_one_char() {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
+        for label in ["Zürich", "ab", "İstanbul"] {
+            let mangled = mangle(label, &mut rng);
+            assert_eq!(mangled.chars().count(), label.chars().count() - 1, "{label}");
+        }
+        // Single-char labels survive unchanged.
+        assert_eq!(mangle("x", &mut rng), "x");
+    }
+}

@@ -1,0 +1,116 @@
+//! Named workload presets.
+//!
+//! A workload fixes everything except the master seed: corpus source,
+//! batching, traffic mix, skew, churn and soak. `(workload, seed)` is the
+//! complete cache key of a run's report.
+
+use ltee::scenario::Scenario;
+
+use crate::config::{HarnessConfig, MixRatios};
+
+/// The world every preset trains on: one fixed seed, so reports across
+/// workloads describe the same knowledge base and only the corpus +
+/// traffic vary.
+const WORLD_SEED: u64 = 4242;
+
+/// `(name, description)` of every named workload, CLI `--list` order.
+pub const WORKLOADS: &[(&str, &str)] = &[
+    ("steady-read", "balanced mix over the standard corpus, mild zipf skew"),
+    ("zipf-hot", "lookup-dominant traffic with a scorching head (s = 1.8)"),
+    ("fuzzy-storm", "fuzzy-heavy traffic over the near-duplicate label flood"),
+    ("novel-churn", "novel-entity stream with readers joining/leaving mid-ingest"),
+    ("multilingual-mixed", "balanced mix over the multilingual-headers scenario"),
+    ("scientific-fetch", "record-fetch-heavy traffic over scientific-paper tables"),
+    ("ingest-soak", "sustained re-ingest soak under paging-heavy background reads"),
+];
+
+/// Just the names, for error messages.
+pub fn workload_names() -> Vec<&'static str> {
+    WORKLOADS.iter().map(|(name, _)| *name).collect()
+}
+
+/// Resolve a named workload at a master seed. `None` for unknown names.
+pub fn named_workload(name: &str, seed: u64) -> Option<HarnessConfig> {
+    let base = |mix: MixRatios, zipf_s: f64| HarnessConfig {
+        workload: name.to_string(),
+        seed,
+        world_seed: WORLD_SEED,
+        scenario: None,
+        batches: 3,
+        queries_per_phase: 150,
+        mix,
+        zipf_s,
+        fuzzy_k: 5,
+        page_limit: 10,
+        churn_readers: 0,
+        soak_rounds: 0,
+    };
+    Some(match name {
+        "steady-read" => HarnessConfig {
+            batches: 4,
+            ..base(MixRatios { exact: 40, fuzzy: 30, fetch: 20, paging: 10 }, 1.1)
+        },
+        "zipf-hot" => HarnessConfig {
+            queries_per_phase: 200,
+            ..base(MixRatios { exact: 60, fuzzy: 30, fetch: 5, paging: 5 }, 1.8)
+        },
+        "fuzzy-storm" => HarnessConfig {
+            scenario: Some(Scenario::NearDuplicateFlood),
+            fuzzy_k: 8,
+            ..base(MixRatios { exact: 10, fuzzy: 70, fetch: 10, paging: 10 }, 1.2)
+        },
+        "novel-churn" => HarnessConfig {
+            scenario: Some(Scenario::NovelEntityStream),
+            batches: 4,
+            queries_per_phase: 120,
+            churn_readers: 4,
+            ..base(MixRatios { exact: 35, fuzzy: 25, fetch: 25, paging: 15 }, 1.1)
+        },
+        "multilingual-mixed" => HarnessConfig {
+            scenario: Some(Scenario::MultilingualHeaders),
+            ..base(MixRatios { exact: 30, fuzzy: 30, fetch: 25, paging: 15 }, 1.3)
+        },
+        "scientific-fetch" => HarnessConfig {
+            scenario: Some(Scenario::ScientificTables),
+            ..base(MixRatios { exact: 20, fuzzy: 10, fetch: 55, paging: 15 }, 1.1)
+        },
+        "ingest-soak" => HarnessConfig {
+            batches: 4,
+            queries_per_phase: 100,
+            churn_readers: 2,
+            soak_rounds: 2,
+            ..base(MixRatios { exact: 25, fuzzy: 15, fetch: 20, paging: 40 }, 1.0)
+        },
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_listed_workload_resolves_and_echoes_its_name() {
+        for (name, description) in WORKLOADS {
+            let config = named_workload(name, 3).expect("listed name resolves");
+            assert_eq!(config.workload, *name);
+            assert!(!description.is_empty());
+        }
+        assert_eq!(workload_names().len(), WORKLOADS.len());
+    }
+
+    #[test]
+    fn churn_and_soak_presets_enable_their_phases() {
+        assert!(named_workload("novel-churn", 1).unwrap().churn_readers > 0);
+        let soak = named_workload("ingest-soak", 1).unwrap();
+        assert!(soak.soak_rounds > 0);
+        // The four scenario generators are all exercised by some preset.
+        let covered: Vec<_> = WORKLOADS
+            .iter()
+            .filter_map(|(name, _)| named_workload(name, 1).unwrap().scenario)
+            .collect();
+        for scenario in Scenario::ALL {
+            assert!(covered.contains(&scenario), "{} not covered", scenario.name());
+        }
+    }
+}

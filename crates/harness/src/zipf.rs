@@ -1,0 +1,114 @@
+//! Zipfian rank sampling over a finite universe.
+//!
+//! Real query traffic against an entity store is heavily skewed: a few
+//! head entities absorb most lookups while the long tail is touched
+//! rarely — the exact regime the paper's long-tail entities live in. The
+//! sampler draws ranks `0..n` with probability proportional to
+//! `1 / (rank + 1)^s`, so rank 0 is the hottest label and larger `s`
+//! concentrates more mass in the head.
+
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+/// A precomputed zipfian distribution over ranks `0..n`.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    /// Cumulative (unnormalised) weights; `cdf[r]` = mass of ranks `0..=r`.
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Distribution over `n` ranks with exponent `s` (finite, > 0).
+    ///
+    /// # Panics
+    /// On `n == 0` or a non-finite / non-positive exponent — the config
+    /// layer rejects both before a sampler is ever built.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "zipf universe must be non-empty");
+        assert!(s.is_finite() && s > 0.0, "zipf exponent must be finite and > 0");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for rank in 0..n {
+            acc += 1.0 / ((rank + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        Self { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the universe is empty (never true — see [`ZipfSampler::new`]).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draw one rank in `0..len()`.
+    pub fn sample(&self, rng: &mut ChaCha8Rng) -> usize {
+        let total = *self.cdf.last().expect("non-empty universe");
+        let u = rng.gen::<f64>() * total;
+        // First rank whose cumulative mass exceeds the draw.
+        self.cdf.partition_point(|&c| c <= u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn histogram(n: usize, s: f64, draws: usize) -> Vec<usize> {
+        let sampler = ZipfSampler::new(n, s);
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        let mut counts = vec![0usize; n];
+        for _ in 0..draws {
+            counts[sampler.sample(&mut rng)] += 1;
+        }
+        counts
+    }
+
+    #[test]
+    fn head_ranks_dominate() {
+        let counts = histogram(50, 1.2, 20_000);
+        // Rank 0 must beat the uniform share by a wide margin…
+        assert!(counts[0] > 20_000 / 50 * 4, "head rank too cold: {}", counts[0]);
+        // …and the head must be (statistically) hotter than the tail.
+        let head: usize = counts[..5].iter().sum();
+        let tail: usize = counts[45..].iter().sum();
+        assert!(head > tail * 10, "head {head} vs tail {tail}");
+    }
+
+    #[test]
+    fn top_ranks_are_monotonically_cooler() {
+        let counts = histogram(20, 1.5, 40_000);
+        // With 40k draws at s = 1.5 the first few ranks are far enough
+        // apart that sampling noise cannot reorder them.
+        for w in counts[..4].windows(2) {
+            assert!(w[0] > w[1], "rank order violated: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn every_rank_is_reachable_and_in_range() {
+        let sampler = ZipfSampler::new(3, 0.5);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut seen = [false; 3];
+        for _ in 0..1_000 {
+            seen[sampler.sample(&mut rng)] = true;
+        }
+        assert_eq!(seen, [true, true, true]);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let sampler = ZipfSampler::new(10, 1.0);
+        let draw = |seed| {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            (0..32).map(|_| sampler.sample(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(7), draw(7));
+        assert_ne!(draw(7), draw(8));
+    }
+}

@@ -1,0 +1,64 @@
+//! The harness's headline contract: `BENCH_harness.json` is a pure
+//! function of `(workload, seed)` — byte-identical across repeated runs
+//! and across worker thread counts. The vendored pool shim allows
+//! re-pinning the global thread count mid-process, so one test can compare
+//! `Threads(1)` and `Threads(4)` runs directly.
+
+use ltee::prelude::Parallelism;
+use ltee_harness::{named_workload, run};
+
+/// A shrunk config so three full runs stay fast in debug CI.
+fn small_config(name: &str, seed: u64) -> ltee_harness::HarnessConfig {
+    let mut config = named_workload(name, seed).expect("named workload");
+    config.queries_per_phase = 40;
+    config
+}
+
+#[test]
+fn report_bytes_are_identical_across_runs_and_thread_counts() {
+    let config = small_config("steady-read", 7);
+
+    Parallelism::Threads(1).install();
+    let first = run(&config).expect("valid config").render();
+    let second = run(&config).expect("valid config").render();
+    assert_eq!(first, second, "same config + seed must render identical bytes");
+
+    Parallelism::Threads(4).install();
+    let parallel = run(&config).expect("valid config").render();
+    assert_eq!(
+        first, parallel,
+        "thread count leaked into the report — it must never affect the bytes"
+    );
+    Parallelism::Auto.install();
+}
+
+#[test]
+fn churn_and_soak_reports_are_thread_count_invariant() {
+    // The churn phase runs real OS threads; its nondeterministic
+    // observations must be distilled to invariants before reaching the
+    // report. A shrunk ingest-soak config exercises churn AND soak.
+    let mut config = small_config("ingest-soak", 11);
+    config.batches = 2;
+    config.soak_rounds = 1;
+    config.churn_readers = 2;
+
+    Parallelism::Threads(1).install();
+    let sequential = run(&config).expect("valid config").render();
+    Parallelism::Threads(4).install();
+    let parallel = run(&config).expect("valid config").render();
+    assert_eq!(sequential, parallel);
+    Parallelism::Auto.install();
+
+    // The invariants themselves must hold (not just render stably).
+    assert!(sequential.contains("\"versions_monotonic\": true"));
+    assert!(sequential.contains("\"replay_identical\": true"));
+}
+
+#[test]
+fn different_seeds_produce_different_traffic() {
+    Parallelism::Threads(1).install();
+    let a = run(&small_config("steady-read", 1)).expect("valid config").render();
+    let b = run(&small_config("steady-read", 2)).expect("valid config").render();
+    Parallelism::Auto.install();
+    assert_ne!(a, b, "the seed must actually steer corpus + traffic");
+}

@@ -379,7 +379,10 @@ fn generate_confusable_table(
 }
 
 /// Render a set of entities into a table with the published properties.
-fn build_table(
+/// Crate-visible so the scenario generators ([`crate::scenario`]) reuse the
+/// exact rendering (noise, format variation, truth wiring) of the base
+/// corpus generator.
+pub(crate) fn build_table(
     world: &World,
     class: ClassKey,
     id: TableId,
@@ -470,7 +473,7 @@ fn build_table(
 }
 
 /// Introduce a small typo: swap two adjacent characters or drop one.
-fn apply_typo(label: &str, rng: &mut ChaCha8Rng) -> String {
+pub(crate) fn apply_typo(label: &str, rng: &mut ChaCha8Rng) -> String {
     let chars: Vec<char> = label.chars().collect();
     if chars.len() < 3 {
         return label.to_string();

@@ -42,10 +42,14 @@ pub mod corpus;
 pub mod generator;
 pub mod gold;
 pub mod profile;
+pub mod scenario;
 pub mod table;
 
 pub use corpus::Corpus;
 pub use generator::{generate_corpus, CorpusConfig, NoiseConfig};
 pub use gold::{GoldCluster, GoldFact, GoldStandard, GoldStandardStats};
 pub use profile::CorpusProfile;
+pub use scenario::{
+    novel_row_share, with_exotic_labels, Scenario, ScenarioConfig, ScenarioSeed,
+};
 pub use table::{Column, RowRef, TableId, TableTruth, WebTable};

@@ -1,0 +1,13 @@
+//! Messy multilingual headers: tables whose headers and labels mix French,
+//! Spanish, Turkish, German and friends — including the dotted capital 'İ'
+//! whose lowercase form is two chars, exercising multi-char case folding
+//! end to end through ingest and the exact-lookup index.
+//!
+//! The body lives in [`ltee::examples::multilingual_headers`] so the
+//! golden-snapshot test (`tests/golden_examples.rs`) can pin its output.
+//!
+//! Run with: `cargo run --release --example multilingual_headers`
+
+fn main() {
+    ltee::examples::multilingual_headers(&mut std::io::stdout().lock()).expect("writable stdout");
+}

@@ -1,0 +1,13 @@
+//! Adversarial near-duplicate label flood: a small entity pool rendered
+//! over and over under heavy typo and qualifier noise, stress-testing the
+//! fuzzy index and the clustering's ability to keep variants together
+//! without merging distinct entities.
+//!
+//! The body lives in [`ltee::examples::near_duplicate_flood`] so the
+//! golden-snapshot test (`tests/golden_examples.rs`) can pin its output.
+//!
+//! Run with: `cargo run --release --example near_duplicate_flood`
+
+fn main() {
+    ltee::examples::near_duplicate_flood(&mut std::io::stdout().lock()).expect("writable stdout");
+}

@@ -1,0 +1,12 @@
+//! Novel-entity-heavy stream: more than 80 % of the rows describe entities
+//! absent from the knowledge base — the paper's long-tail regime pushed to
+//! the extreme, where new-detection does almost all the work.
+//!
+//! The body lives in [`ltee::examples::novel_entity_stream`] so the
+//! golden-snapshot test (`tests/golden_examples.rs`) can pin its output.
+//!
+//! Run with: `cargo run --release --example novel_entity_stream`
+
+fn main() {
+    ltee::examples::novel_entity_stream(&mut std::io::stdout().lock()).expect("writable stdout");
+}

@@ -1,0 +1,12 @@
+//! Scientific-paper-style tables: unit-annotated abbreviated headers
+//! ("ht. (cm)", "pop. (×10³)"), footnote markers on labels, sample-size and
+//! reference columns — the schema matcher has to see through all of it.
+//!
+//! The body lives in [`ltee::examples::scientific_tables`] so the
+//! golden-snapshot test (`tests/golden_examples.rs`) can pin its output.
+//!
+//! Run with: `cargo run --release --example scientific_tables`
+
+fn main() {
+    ltee::examples::scientific_tables(&mut std::io::stdout().lock()).expect("writable stdout");
+}

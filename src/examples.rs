@@ -14,36 +14,30 @@ use std::io::{self, Write};
 use ltee_core::prelude::*;
 use ltee_eval::{evaluate_facts, evaluate_new_instances};
 use ltee_fusion::{create_entities, EntityCreationConfig};
+use ltee_serve::ServePipeline;
+
+use crate::scenario::{novel_row_share, Scenario, TrainedWorld};
 
 /// Body of `examples/quickstart.rs`: generate a synthetic world + corpus,
 /// train the models, run the two-iteration pipeline, print what was added.
 pub fn quickstart(w: &mut dyn Write) -> io::Result<()> {
-    // 1. A synthetic cross-domain knowledge base (DBpedia stand-in) plus the
-    //    world of entities it only partially covers.
-    let world = generate_world(&GeneratorConfig::new(Scale::tiny(), 7));
-    // 2. A web table corpus describing head *and* long-tail entities.
-    let corpus = generate_corpus(&world, &CorpusConfig::tiny());
+    // 1.–3. A synthetic cross-domain knowledge base (DBpedia stand-in), a
+    //    web table corpus describing head *and* long-tail entities, gold
+    //    standards derived from the generator's ground truth, and the
+    //    trained models — the shared scenario setup.
+    let trained = TrainedWorld::train(7);
     writeln!(
         w,
         "corpus: {} tables, {} rows — knowledge base: {} instances",
-        corpus.len(),
-        corpus.total_rows(),
-        world.kb().instances().len()
+        trained.corpus.len(),
+        trained.corpus.total_rows(),
+        trained.world.kb().instances().len()
     )?;
-
-    // 3. Gold standards (derived from the generator's ground truth) used to
-    //    train the matcher weights, the row similarity model and the
-    //    entity-to-instance model.
-    let golds: Vec<GoldStandard> =
-        CLASS_KEYS.iter().map(|&c| GoldStandard::build(&world, &corpus, c)).collect();
-    let config = PipelineConfig::fast();
-    let models = train_models(&corpus, world.kb(), &golds, &config).expect("trainable corpus");
 
     // 4. Run the pipeline: schema matching → row clustering → entity
     //    creation → new detection, twice (the second iteration refines the
     //    schema mapping with the first iteration's output).
-    let pipeline = Pipeline::new(world.kb(), models, config);
-    let output = pipeline.run(&corpus).expect("non-empty corpus");
+    let output = trained.run_batch();
 
     for class_output in &output.classes {
         let new = class_output.new_entities();
@@ -74,19 +68,12 @@ pub fn quickstart(w: &mut dyn Write) -> io::Result<()> {
 /// Body of `examples/football_players.rs`: the paper's motivating
 /// Agent-branch class, evaluated against the gold standard.
 pub fn football_players(w: &mut dyn Write) -> io::Result<()> {
-    let world = generate_world(&GeneratorConfig::new(Scale::tiny(), 21));
-    let corpus = generate_corpus(&world, &CorpusConfig::tiny());
-    let golds: Vec<GoldStandard> =
-        CLASS_KEYS.iter().map(|&c| GoldStandard::build(&world, &corpus, c)).collect();
-
-    let config = PipelineConfig::fast();
-    let models = train_models(&corpus, world.kb(), &golds, &config).expect("trainable corpus");
-    let pipeline = Pipeline::new(world.kb(), models, config);
-    let output = pipeline.run(&corpus).expect("non-empty corpus");
+    let trained = TrainedWorld::train(21);
+    let output = trained.run_batch();
 
     let class = ClassKey::GridironFootballPlayer;
     let class_output = output.class(class).expect("football player tables present");
-    let gold = golds.iter().find(|g| g.class == class).expect("gold standard built");
+    let gold = trained.gold(class);
 
     // New instances found (paper Table 9 style).
     let outcomes = class_output.outcomes();
@@ -102,7 +89,7 @@ pub fn football_players(w: &mut dyn Write) -> io::Result<()> {
     )?;
 
     // Facts found (paper Table 10 style).
-    let facts_eval = evaluate_facts(&class_output.entities, &outcomes, gold, world.kb(), class);
+    let facts_eval = evaluate_facts(&class_output.entities, &outcomes, gold, trained.world.kb(), class);
     writeln!(
         w,
         "facts of new players: P={:.2} R={:.2} F1={:.2} ({} facts returned)",
@@ -183,19 +170,12 @@ pub fn settlement_gazetteer(w: &mut dyn Write) -> io::Result<()> {
 /// Body of `examples/song_discography.rs`: the homonym-heavy Song class,
 /// contrasting the three fusion scoring methods.
 pub fn song_discography(w: &mut dyn Write) -> io::Result<()> {
-    let world = generate_world(&GeneratorConfig::new(Scale::tiny(), 33));
-    let corpus = generate_corpus(&world, &CorpusConfig::tiny());
-    let golds: Vec<GoldStandard> =
-        CLASS_KEYS.iter().map(|&c| GoldStandard::build(&world, &corpus, c)).collect();
-
-    let config = PipelineConfig::fast();
-    let models = train_models(&corpus, world.kb(), &golds, &config).expect("trainable corpus");
-    let pipeline = Pipeline::new(world.kb(), models, config.clone());
-    let output = pipeline.run(&corpus).expect("non-empty corpus");
+    let trained = TrainedWorld::train(33);
+    let output = trained.run_batch();
 
     let class = ClassKey::Song;
     let class_output = output.class(class).expect("song tables present");
-    let gold = golds.iter().find(|g| g.class == class).expect("gold standard built");
+    let gold = trained.gold(class);
 
     // Homonym pressure in the gold standard.
     let mut label_counts: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
@@ -217,13 +197,13 @@ pub fn song_discography(w: &mut dyn Write) -> io::Result<()> {
         let fusion = EntityCreationConfig { scoring: method, ..Default::default() };
         let entities = create_entities(
             &class_output.clusters,
-            &corpus,
+            &trained.corpus,
             &output.mapping,
-            world.kb(),
+            trained.world.kb(),
             class,
             &fusion,
         );
-        let eval = evaluate_facts(&entities, &outcomes, gold, world.kb(), class);
+        let eval = evaluate_facts(&entities, &outcomes, gold, trained.world.kb(), class);
         writeln!(
             w,
             "  {:<9} P={:.2} R={:.2} F1={:.2}",
@@ -248,6 +228,204 @@ pub fn song_discography(w: &mut dyn Write) -> io::Result<()> {
             runtime,
             entity.row_count()
         )?;
+    }
+    Ok(())
+}
+
+/// Shared tail of the four scenario examples: ingest the scenario corpus
+/// into a fresh serve pipeline in `batches` micro-batches, printing one
+/// line per published version, and return the serving pipeline.
+fn serve_scenario<'a>(
+    w: &mut dyn Write,
+    trained: &'a TrainedWorld,
+    corpus: &Corpus,
+    batches: usize,
+) -> io::Result<ServePipeline<'a>> {
+    let mut serving = trained.serve();
+    for batch in corpus.split_into_batches(batches) {
+        let report = serving.ingest(&batch).expect("fresh table ids");
+        writeln!(
+            w,
+            "  v{}: +{} tables, +{} rows ({} mapped), {} new clusters",
+            serving.version(),
+            report.tables,
+            report.rows,
+            report.mapped_rows,
+            report.new_clusters
+        )?;
+    }
+    Ok(serving)
+}
+
+/// Per-class serving stats, one line per class, in snapshot order.
+fn write_class_stats(w: &mut dyn Write, snap: &ltee_serve::KbSnapshot) -> io::Result<()> {
+    for class in snap.stats().classes {
+        writeln!(
+            w,
+            "  {:<12} {:>3} entities ({} new, {} linked) from {} rows",
+            class.class.to_string(),
+            class.entities,
+            class.new_entities,
+            class.linked_entities,
+            class.rows
+        )?;
+    }
+    Ok(())
+}
+
+/// Body of `examples/multilingual_headers.rs`: the messy-multilingual-header
+/// scenario, served end to end, with a multi-char case-fold lookup demo.
+pub fn multilingual_headers(w: &mut dyn Write) -> io::Result<()> {
+    let scenario = Scenario::MultilingualHeaders;
+    let trained = TrainedWorld::train(45);
+    let corpus = trained.scenario_corpus(scenario, 45);
+    writeln!(w, "scenario `{}`: {}", scenario.name(), scenario.description())?;
+    writeln!(w, "corpus: {} tables, {} rows", corpus.len(), corpus.total_rows())?;
+
+    // The headers the schema matcher has to survive.
+    writeln!(w, "\nsample headers per class:")?;
+    for class in CLASS_KEYS {
+        if let Some(table) = corpus.tables_of_class(class).first() {
+            let headers: Vec<&str> = table.columns.iter().map(|c| c.header.as_str()).collect();
+            writeln!(w, "  {:<12} {}", class.to_string(), headers.join(" | "))?;
+        }
+    }
+
+    writeln!(w, "\ningesting in 3 micro-batches:")?;
+    let serving = serve_scenario(w, &trained, &corpus, 3)?;
+    let snap = serving.snapshot();
+    writeln!(w, "\nserved at v{}:", snap.version())?;
+    write_class_stats(w, &snap)?;
+
+    // Multi-char case folding: a served label decorated with a dotted
+    // capital I ('İ', which lowercases to TWO chars: 'i' + U+0307) must be
+    // findable through the normalising exact index.
+    let decorated = snap
+        .classes()
+        .flat_map(|c| c.records().iter())
+        .flat_map(|r| r.labels.iter())
+        .find(|l| l.contains('İ'));
+    if let Some(label) = decorated {
+        writeln!(w, "\ncase-fold check on served label `{label}`:")?;
+        for probe in [label.clone(), label.to_lowercase(), label.to_uppercase()] {
+            let hits = snap.exact_lookup(None, &probe);
+            writeln!(w, "  exact_lookup({probe:?}) -> {} hit(s)", hits.len())?;
+        }
+    }
+    Ok(())
+}
+
+/// Body of `examples/scientific_tables.rs`: scientific-paper-style tables
+/// with unit-annotated headers, footnote markers and sample-size columns.
+pub fn scientific_tables(w: &mut dyn Write) -> io::Result<()> {
+    let scenario = Scenario::ScientificTables;
+    let trained = TrainedWorld::train(46);
+    let corpus = trained.scenario_corpus(scenario, 46);
+    writeln!(w, "scenario `{}`: {}", scenario.name(), scenario.description())?;
+    writeln!(w, "corpus: {} tables, {} rows", corpus.len(), corpus.total_rows())?;
+
+    writeln!(w, "\nsample headers per class:")?;
+    for class in CLASS_KEYS {
+        if let Some(table) = corpus.tables_of_class(class).first() {
+            let headers: Vec<&str> = table.columns.iter().map(|c| c.header.as_str()).collect();
+            writeln!(w, "  {:<12} {}", class.to_string(), headers.join(" | "))?;
+        }
+    }
+
+    // A few raw label cells, footnote markers and all.
+    writeln!(w, "\nsample label cells of the first table:")?;
+    if let Some(table) = corpus.tables().first() {
+        let labels = &table.columns[table.truth.label_column].cells;
+        for label in labels.iter().take(4) {
+            writeln!(w, "  {label:?}")?;
+        }
+    }
+
+    writeln!(w, "\ningesting in 3 micro-batches:")?;
+    let serving = serve_scenario(w, &trained, &corpus, 3)?;
+    let snap = serving.snapshot();
+    writeln!(w, "\nserved at v{}:", snap.version())?;
+    write_class_stats(w, &snap)?;
+    Ok(())
+}
+
+/// Body of `examples/novel_entity_stream.rs`: a stream where more than 80 %
+/// of the rows describe entities absent from the knowledge base.
+pub fn novel_entity_stream(w: &mut dyn Write) -> io::Result<()> {
+    let scenario = Scenario::NovelEntityStream;
+    let trained = TrainedWorld::train(47);
+    let corpus = trained.scenario_corpus(scenario, 47);
+    let share = novel_row_share(&trained.world, &corpus);
+    writeln!(w, "scenario `{}`: {}", scenario.name(), scenario.description())?;
+    writeln!(
+        w,
+        "corpus: {} tables, {} rows — {:.1} % of rows match no KB instance",
+        corpus.len(),
+        corpus.total_rows(),
+        share * 100.0
+    )?;
+
+    writeln!(w, "\ningesting in 4 micro-batches:")?;
+    let serving = serve_scenario(w, &trained, &corpus, 4)?;
+    let snap = serving.snapshot();
+    writeln!(w, "\nserved at v{}:", snap.version())?;
+    write_class_stats(w, &snap)?;
+
+    // The defining ratio of the scenario: new entities should dominate.
+    let stats = snap.stats();
+    let entities: usize = stats.classes.iter().map(|c| c.entities).sum();
+    let new: usize = stats.classes.iter().map(|c| c.new_entities).sum();
+    writeln!(
+        w,
+        "\n{} of {} served entities ({:.1} %) are KB extensions",
+        new,
+        entities,
+        new as f64 / entities.max(1) as f64 * 100.0
+    )?;
+    Ok(())
+}
+
+/// Body of `examples/near_duplicate_flood.rs`: an adversarial flood of
+/// near-duplicate labels stress-testing fuzzy matching and clustering.
+pub fn near_duplicate_flood(w: &mut dyn Write) -> io::Result<()> {
+    let scenario = Scenario::NearDuplicateFlood;
+    let trained = TrainedWorld::train(48);
+    let corpus = trained.scenario_corpus(scenario, 48);
+    writeln!(w, "scenario `{}`: {}", scenario.name(), scenario.description())?;
+    writeln!(w, "corpus: {} tables, {} rows", corpus.len(), corpus.total_rows())?;
+
+    // The flood as the clustering sees it: raw label variants of one table.
+    writeln!(w, "\nlabel variants in the first table:")?;
+    if let Some(table) = corpus.tables().first() {
+        let labels = &table.columns[table.truth.label_column].cells;
+        for label in labels.iter().take(6) {
+            writeln!(w, "  {label:?}")?;
+        }
+    }
+
+    writeln!(w, "\ningesting in 3 micro-batches:")?;
+    let serving = serve_scenario(w, &trained, &corpus, 3)?;
+    let snap = serving.snapshot();
+    writeln!(w, "\nserved at v{}:", snap.version())?;
+    write_class_stats(w, &snap)?;
+
+    // Fuzzy lookup against the flood: probe with a mangled copy of a
+    // served label and show the ranked candidates.
+    let probe = snap
+        .classes()
+        .flat_map(|c| c.records().iter())
+        .map(|r| r.canonical_label())
+        .find(|l| l.chars().count() > 4)
+        .map(|l| {
+            let mut chars: Vec<char> = l.chars().collect();
+            chars.remove(1);
+            chars.into_iter().collect::<String>()
+        });
+    if let Some(probe) = probe {
+        writeln!(w, "\nfuzzy_lookup({probe:?}, k=5):")?;
+        for hit in snap.fuzzy_lookup(None, &probe, 5) {
+            writeln!(w, "  {:.3}  `{}`", hit.score, hit.label)?;
+        }
     }
     Ok(())
 }

@@ -28,3 +28,4 @@ pub use ltee_webtables as webtables;
 pub use ltee_core::prelude;
 
 pub mod examples;
+pub mod scenario;

@@ -78,3 +78,23 @@ fn settlement_gazetteer_output_is_pinned() {
 fn song_discography_output_is_pinned() {
     assert_golden("song_discography", ltee::examples::song_discography);
 }
+
+#[test]
+fn multilingual_headers_output_is_pinned() {
+    assert_golden("multilingual_headers", ltee::examples::multilingual_headers);
+}
+
+#[test]
+fn scientific_tables_output_is_pinned() {
+    assert_golden("scientific_tables", ltee::examples::scientific_tables);
+}
+
+#[test]
+fn novel_entity_stream_output_is_pinned() {
+    assert_golden("novel_entity_stream", ltee::examples::novel_entity_stream);
+}
+
+#[test]
+fn near_duplicate_flood_output_is_pinned() {
+    assert_golden("near_duplicate_flood", ltee::examples::near_duplicate_flood);
+}

@@ -9,7 +9,7 @@
 
 use ltee_core::prelude::*;
 
-mod common;
+use ltee::scenario as common;
 
 fn setup() -> (World, Corpus, ModelArtifact) {
     let world = generate_world(&GeneratorConfig::new(Scale::tiny(), 4711));

@@ -11,7 +11,7 @@
 
 use ltee_core::prelude::*;
 
-mod common;
+use ltee::scenario as common;
 
 fn run_with(threads: usize) -> PipelineOutput {
     let config = PipelineConfig {

@@ -26,7 +26,7 @@ use std::time::Duration;
 use ltee_core::prelude::*;
 use ltee_serve::{EntityRef, KbSnapshot, Query, QueryOutput, ServePipeline, SnapshotStats};
 
-mod common;
+use ltee::scenario as common;
 
 const READERS: usize = 4;
 const MICRO_BATCHES: usize = 5;
