@@ -1,4 +1,4 @@
-//! Interned vs legacy label-index lookup micro-bench, written to
+//! Flat-scan vs pruned fuzzy-lookup scaling bench, written to
 //! `BENCH_intern.json` at the repository root.
 //!
 //! Runs as a plain binary (`harness = false`):
@@ -7,22 +7,33 @@
 //! cargo bench -p ltee-bench --bench intern_lookup
 //! ```
 //!
-//! Builds a generated 5k-label corpus, indexes it twice — once with the
-//! interned `ltee_index::LabelIndex` (Sym-keyed postings, arena-backed
-//! tokens) and once with a faithful copy of the pre-interning
-//! `String`-keyed implementation — and replays an identical query stream
-//! (exact labels, typos, partial labels) against both. Reports lookups/s
-//! and bytes allocated per path; a custom counting allocator measures the
-//! allocation traffic. The two paths must return identical id lists, which
-//! the bench asserts before timing.
+//! Builds generated corpora of 5k, 50k and 500k labels, indexes each
+//! twice — once with the real `ltee_index::LabelIndex` (pruned candidate
+//! generation: document-at-a-time merge, length-bucket upper bounds,
+//! top-k early termination, bounded bit-parallel Levenshtein) and once
+//! with a faithful copy of the pre-pruning interned flat scan (score
+//! every candidate, full sort) — and replays an identical deterministic
+//! query stream (exact labels, typos, partial labels) against both.
+//!
+//! Before any timing, the two paths are asserted **id-for-id and
+//! score-bit-for-score-bit identical** on every query at every size.
+//!
+//! Besides lookups/s the bench records the deterministic work counters
+//! (`ltee_index::metrics`): edit-distance kernel invocations and
+//! candidates scored/skipped. The scaling claim CI enforces is counter-
+//! based, not wall-clock-based: edit calls per query must grow
+//! sublinearly as the corpus grows 5k → 500k (×100 labels must cost far
+//! less than ×100 work), recorded as `"sublinear_candidates"`.
 
 use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
-use ltee_index::LabelIndex;
-use ltee_text::{levenshtein_similarity, normalize_label, tokenize};
+use ltee_index::{metrics, LabelIndex};
+use ltee_intern::{Interner, Sym, TokenSeq};
+use ltee_text::{levenshtein_similarity, normalize_label, tokenize, tokenize_interned};
 
 /// System allocator wrapper counting every allocated byte.
 struct CountingAlloc;
@@ -51,35 +62,40 @@ fn allocated_bytes() -> u64 {
 }
 
 // ---------------------------------------------------------------------------
-// Legacy (pre-interning) index: `String`-keyed postings, `Vec<String>`
-// tokens per entry. A faithful copy of the implementation this PR replaced,
-// kept here as the bench baseline.
+// Scan baseline: a faithful copy of the pre-pruning interned lookup —
+// sym-keyed postings, hit-count HashMap over all candidates, full
+// per-candidate scoring with a per-query sym memo, sort, dedup. This is
+// the implementation this PR's pruned path replaced.
 // ---------------------------------------------------------------------------
 
-struct LegacyEntry {
+struct ScanEntry {
     id: u64,
-    normalized: String,
-    tokens: Vec<String>,
+    normalized: Sym,
+    tokens: TokenSeq,
 }
 
 #[derive(Default)]
-struct LegacyIndex {
-    entries: Vec<LegacyEntry>,
-    postings: HashMap<String, Vec<u32>>,
+struct ScanIndex {
+    interner: Interner,
+    entries: Vec<ScanEntry>,
+    postings: HashMap<Sym, Vec<u32>>,
+    /// `levenshtein_similarity` invocations across all lookups.
+    edit_calls: Cell<u64>,
 }
 
-impl LegacyIndex {
+impl ScanIndex {
     fn insert(&mut self, id: u64, label: &str) {
-        let normalized = normalize_label(label);
-        let tokens = tokenize(&normalized);
+        let normalized_str = normalize_label(label);
+        let normalized = self.interner.intern(&normalized_str);
+        let tokens = tokenize_interned(&normalized_str, &mut self.interner);
         let entry_pos = self.entries.len() as u32;
-        for token in &tokens {
-            self.postings.entry(token.clone()).or_default().push(entry_pos);
+        for &token in tokens.tokens() {
+            self.postings.entry(token).or_default().push(entry_pos);
         }
-        self.entries.push(LegacyEntry { id, normalized, tokens });
+        self.entries.push(ScanEntry { id, normalized, tokens });
     }
 
-    fn lookup(&self, label: &str, k: usize) -> Vec<(u64, f64)> {
+    fn lookup(&self, label: &str, k: usize) -> Vec<(u64, Sym, f64)> {
         if k == 0 || self.entries.is_empty() {
             return Vec::new();
         }
@@ -88,9 +104,12 @@ impl LegacyIndex {
         if query_tokens.is_empty() {
             return Vec::new();
         }
+        let query_syms: Vec<Option<Sym>> =
+            query_tokens.iter().map(|t| self.interner.get(t)).collect();
+
         let mut hits: HashMap<u32, usize> = HashMap::new();
-        for token in &query_tokens {
-            if let Some(postings) = self.postings.get(token) {
+        for sym in query_syms.iter().flatten() {
+            if let Some(postings) = self.postings.get(sym) {
                 for &pos in postings {
                     *hits.entry(pos).or_insert(0) += 1;
                 }
@@ -99,54 +118,64 @@ impl LegacyIndex {
         if hits.is_empty() {
             return Vec::new();
         }
-        let mut scored: Vec<(u64, String, f64)> = hits
+
+        let mut sim_memo: Vec<HashMap<Sym, f64>> = vec![HashMap::new(); query_tokens.len()];
+        let mut scored: Vec<(u64, Sym, f64, u32)> = hits
             .into_iter()
             .map(|(pos, exact_hits)| {
                 let entry = &self.entries[pos as usize];
-                let score = legacy_score(&query_tokens, &entry.tokens, exact_hits);
-                (entry.id, entry.normalized.clone(), score)
+                let mut total = 0.0;
+                for ((qt, qsym), memo) in
+                    query_tokens.iter().zip(&query_syms).zip(&mut sim_memo)
+                {
+                    let best = match qsym {
+                        Some(sym) if entry.tokens.contains(*sym) => 1.0,
+                        _ => {
+                            let mut best: f64 = 0.0;
+                            for &ct in entry.tokens.tokens() {
+                                let s = *memo.entry(ct).or_insert_with(|| {
+                                    self.edit_calls.set(self.edit_calls.get() + 1);
+                                    levenshtein_similarity(qt, self.interner.resolve(ct))
+                                });
+                                if s > best {
+                                    best = s;
+                                }
+                            }
+                            best
+                        }
+                    };
+                    total += best;
+                }
+                let coverage = total / query_tokens.len() as f64;
+                let len_penalty = {
+                    let q = query_tokens.len() as f64;
+                    let c = entry.tokens.len() as f64;
+                    1.0 - (q - c).abs() / (q + c)
+                };
+                let bonus = exact_hits as f64 * 1e-6;
+                let score = (coverage * 0.8 + len_penalty * 0.2 + bonus).min(1.0);
+                (entry.id, entry.normalized, score, pos)
             })
             .collect();
+
         scored.sort_by(|a, b| {
-            b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal).then_with(|| a.0.cmp(&b.0))
+            b.2.partial_cmp(&a.2)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.0.cmp(&b.0))
+                .then_with(|| a.3.cmp(&b.3))
         });
         let mut seen = std::collections::HashSet::new();
-        scored.retain(|m| seen.insert(m.0));
-        scored.truncate(k);
-        scored.into_iter().map(|(id, _, score)| (id, score)).collect()
+        let mut out: Vec<(u64, Sym, f64)> = scored
+            .into_iter()
+            .filter_map(|(id, n, s, _)| seen.insert(id).then_some((id, n, s)))
+            .collect();
+        out.truncate(k);
+        out
     }
-}
-
-fn legacy_score(query_tokens: &[String], candidate_tokens: &[String], exact_hits: usize) -> f64 {
-    if candidate_tokens.is_empty() {
-        return 0.0;
-    }
-    let mut total = 0.0;
-    for qt in query_tokens {
-        let mut best: f64 = 0.0;
-        for ct in candidate_tokens {
-            let s = if qt == ct { 1.0 } else { levenshtein_similarity(qt, ct) };
-            if s > best {
-                best = s;
-            }
-            if best >= 1.0 {
-                break;
-            }
-        }
-        total += best;
-    }
-    let coverage = total / query_tokens.len() as f64;
-    let len_penalty = {
-        let q = query_tokens.len() as f64;
-        let c = candidate_tokens.len() as f64;
-        1.0 - (q - c).abs() / (q + c)
-    };
-    let bonus = exact_hits as f64 * 1e-6;
-    (coverage * 0.8 + len_penalty * 0.2 + bonus).min(1.0)
 }
 
 // ---------------------------------------------------------------------------
-// Deterministic 5k-label corpus + query stream.
+// Deterministic corpora + query streams.
 // ---------------------------------------------------------------------------
 
 const FIRST: [&str; 20] = [
@@ -160,12 +189,16 @@ const LAST: [&str; 25] = [
 ];
 const QUALIFIER: [&str; 5] = ["(Remastered)", "(Live)", "(1968)", "[Demo]", "(Texas)"];
 
-fn labels_5k() -> Vec<String> {
-    let mut labels = Vec::with_capacity(5000);
+/// `size` labels over 500 name pairs with numeric volume suffixes; every
+/// seventh label gains a bracketed qualifier. All sizes share the same
+/// token shape so counter curves compare like for like.
+fn labels(size: usize) -> Vec<String> {
+    let mut labels = Vec::with_capacity(size);
+    let per_pair = size.div_ceil(FIRST.len() * LAST.len());
     let mut n = 0u64;
     'outer: for f in FIRST {
         for l in LAST {
-            for suffix in 0..10u64 {
+            for suffix in 0..per_pair as u64 {
                 let mut label = if suffix == 0 {
                     format!("{f} {l}")
                 } else {
@@ -176,23 +209,25 @@ fn labels_5k() -> Vec<String> {
                 }
                 labels.push(label);
                 n += 1;
-                if labels.len() == 5000 {
+                if labels.len() == size {
                     break 'outer;
                 }
             }
         }
     }
-    assert_eq!(labels.len(), 5000, "label pool exhausted early");
+    assert_eq!(labels.len(), size, "label pool exhausted early");
     labels
 }
 
-/// Queries: the labels themselves (blocking-style lookups of indexed
-/// labels), typo'd variants and partial labels.
-fn queries(labels: &[String]) -> Vec<String> {
-    let mut queries = Vec::with_capacity(labels.len());
-    for (i, label) in labels.iter().enumerate() {
+/// `count` queries sampled evenly from the labels: exact lookups (as when
+/// blocking rows against their own label set), typo'd variants and
+/// partial labels.
+fn queries(labels: &[String], count: usize) -> Vec<String> {
+    let step = (labels.len() / count).max(1);
+    let mut queries = Vec::with_capacity(count);
+    for i in 0..count {
+        let label = &labels[(i * step) % labels.len()];
         let q = match i % 4 {
-            // Exact, as when blocking rows against their own label set.
             0 | 1 => label.clone(),
             // Typo: drop the second character.
             2 => {
@@ -209,80 +244,193 @@ fn queries(labels: &[String]) -> Vec<String> {
 }
 
 const TOP_K: usize = 8;
+const SIZES: [usize; 3] = [5_000, 50_000, 500_000];
 
-fn main() {
-    let labels = labels_5k();
-    let queries = queries(&labels);
+struct PathResult {
+    secs: f64,
+    lookups_per_sec: f64,
+    bytes_allocated: u64,
+    build_secs: f64,
+    edit_calls: u64,
+}
+
+struct SizeResult {
+    labels: usize,
+    queries: usize,
+    scan: PathResult,
+    pruned: PathResult,
+    candidates_scored: u64,
+    candidates_skipped: u64,
+    speedup: f64,
+}
+
+fn run_size(size: usize) -> SizeResult {
+    let labels = labels(size);
+    // Fewer queries at the largest size keeps the (deliberately slow)
+    // scan baseline's timing pass tractable; counters are compared per
+    // query so the curves stay like for like.
+    let query_count = if size >= 500_000 { 400 } else { 2_000 };
+    let queries = queries(&labels, query_count);
 
     let build_start = Instant::now();
-    let mut interned = LabelIndex::new();
+    let mut pruned = LabelIndex::new();
     for (i, label) in labels.iter().enumerate() {
-        interned.insert(i as u64, label);
+        pruned.insert(i as u64, label);
     }
-    let interned_build_secs = build_start.elapsed().as_secs_f64();
+    let pruned_build_secs = build_start.elapsed().as_secs_f64();
 
     let build_start = Instant::now();
-    let mut legacy = LegacyIndex::default();
+    let mut scan = ScanIndex::default();
     for (i, label) in labels.iter().enumerate() {
-        legacy.insert(i as u64, label);
+        scan.insert(i as u64, label);
     }
-    let legacy_build_secs = build_start.elapsed().as_secs_f64();
+    let scan_build_secs = build_start.elapsed().as_secs_f64();
 
-    // Parity check: the interned path must rank exactly like the legacy
-    // path (same ids, same order) before any timing means anything.
-    for q in queries.iter().step_by(97) {
-        let a: Vec<u64> = interned.lookup(q, TOP_K).into_iter().map(|m| m.id).collect();
-        let b: Vec<u64> = legacy.lookup(q, TOP_K).into_iter().map(|(id, _)| id).collect();
-        assert_eq!(a, b, "interned and legacy lookups diverge for {q:?}");
+    // Parity: every query, ids and score bits identical, before any
+    // timing means anything.
+    for q in &queries {
+        let a = pruned.lookup(q, TOP_K);
+        let b = scan.lookup(q, TOP_K);
+        assert_eq!(a.len(), b.len(), "{size} labels: result count diverges for {q:?}");
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.id, y.0, "{size} labels: ids diverge for {q:?}");
+            assert_eq!(
+                x.score.to_bits(),
+                y.2.to_bits(),
+                "{size} labels: score bits diverge for {q:?} (id {})",
+                x.id
+            );
+            assert_eq!(
+                pruned.resolve(x.normalized),
+                scan.interner.resolve(y.1),
+                "{size} labels: surfaced label diverges for {q:?}"
+            );
+        }
     }
 
-    // Warm-up, then timed passes (legacy first so any cache warming favours
-    // the baseline, not the interned path).
+    // Warm-up (scan last so any cache warming favours the baseline).
     let mut sink = 0usize;
-    for q in queries.iter().take(500) {
-        sink += legacy.lookup(q, TOP_K).len() + interned.lookup(q, TOP_K).len();
+    for q in queries.iter().take(100) {
+        sink += pruned.lookup(q, TOP_K).len() + scan.lookup(q, TOP_K).len();
     }
 
+    let scan_calls_before = scan.edit_calls.get();
     let alloc_before = allocated_bytes();
     let start = Instant::now();
     for q in &queries {
-        sink += legacy.lookup(q, TOP_K).len();
+        sink += scan.lookup(q, TOP_K).len();
     }
-    let legacy_secs = start.elapsed().as_secs_f64();
-    let legacy_bytes = allocated_bytes() - alloc_before;
+    let scan_secs = start.elapsed().as_secs_f64();
+    let scan_bytes = allocated_bytes() - alloc_before;
+    let scan_calls = scan.edit_calls.get() - scan_calls_before;
 
+    metrics::reset();
     let alloc_before = allocated_bytes();
     let start = Instant::now();
     for q in &queries {
-        sink += interned.lookup(q, TOP_K).len();
+        sink += pruned.lookup(q, TOP_K).len();
     }
-    let interned_secs = start.elapsed().as_secs_f64();
-    let interned_bytes = allocated_bytes() - alloc_before;
+    let pruned_secs = start.elapsed().as_secs_f64();
+    let pruned_bytes = allocated_bytes() - alloc_before;
+    let counters = metrics::snapshot();
+
+    assert!(sink > 0, "lookups returned nothing at all");
 
     let n = queries.len() as f64;
-    let legacy_lps = n / legacy_secs;
-    let interned_lps = n / interned_secs;
-    let speedup = interned_lps / legacy_lps;
-    let arena_bytes = interned.interner().arena_bytes();
+    let scan_lps = n / scan_secs;
+    let pruned_lps = n / pruned_secs;
+    let speedup = pruned_lps / scan_lps;
 
     println!(
-        "bench: intern_lookup {} labels, {} queries, top-{TOP_K} (sink {sink})",
-        labels.len(),
-        queries.len()
+        "bench: {size} labels, {} queries, top-{TOP_K}: scan {scan_lps:>10.1}/s \
+         pruned {pruned_lps:>10.1}/s speedup {speedup:>6.2}x | edit calls/query \
+         scan {:>8.1} pruned {:>8.1} | scored {} skipped {}",
+        queries.len(),
+        scan_calls as f64 / n,
+        counters.edit_distance_calls as f64 / n,
+        counters.candidates_scored,
+        counters.candidates_skipped,
     );
+
+    SizeResult {
+        labels: size,
+        queries: queries.len(),
+        scan: PathResult {
+            secs: scan_secs,
+            lookups_per_sec: scan_lps,
+            bytes_allocated: scan_bytes,
+            build_secs: scan_build_secs,
+            edit_calls: scan_calls,
+        },
+        pruned: PathResult {
+            secs: pruned_secs,
+            lookups_per_sec: pruned_lps,
+            bytes_allocated: pruned_bytes,
+            build_secs: pruned_build_secs,
+            edit_calls: counters.edit_distance_calls,
+        },
+        candidates_scored: counters.candidates_scored,
+        candidates_skipped: counters.candidates_skipped,
+        speedup,
+    }
+}
+
+fn path_json(p: &PathResult) -> String {
+    format!(
+        "{{ \"secs\": {:.6}, \"lookups_per_sec\": {:.2}, \"bytes_allocated\": {}, \
+         \"build_secs\": {:.6}, \"edit_distance_calls\": {} }}",
+        p.secs, p.lookups_per_sec, p.bytes_allocated, p.build_secs, p.edit_calls
+    )
+}
+
+fn main() {
+    let results: Vec<SizeResult> = SIZES.iter().map(|&s| run_size(s)).collect();
+
+    let per_query = |r: &SizeResult| r.pruned.edit_calls as f64 / r.queries as f64;
+    let small = &results[0];
+    let large = &results[results.len() - 1];
+    let growth = per_query(large) / per_query(small).max(1e-9);
+    let size_growth = large.labels as f64 / small.labels as f64;
+    // Sublinear: ×100 corpus must cost far less than ×100 edit work per
+    // query. The factor-20 margin keeps the assertion robust to corpus
+    // vocabulary growth while still rejecting any linear-scan regression.
+    let sublinear = growth < size_growth / 5.0;
+    let speedup_50k = results
+        .iter()
+        .find(|r| r.labels == 50_000)
+        .map(|r| r.speedup)
+        .unwrap_or(0.0);
+
     println!(
-        "bench: legacy   {legacy_secs:>8.3} s {legacy_lps:>12.1} lookups/s {legacy_bytes:>12} bytes alloc (build {legacy_build_secs:.3} s)"
+        "bench: edit-calls/query growth {growth:.2}x over {size_growth:.0}x labels \
+         (sublinear: {sublinear}), speedup at 50k: {speedup_50k:.2}x"
     );
-    println!(
-        "bench: interned {interned_secs:>8.3} s {interned_lps:>12.1} lookups/s {interned_bytes:>12} bytes alloc (build {interned_build_secs:.3} s, arena {arena_bytes} bytes)"
+    assert!(
+        sublinear,
+        "pruned lookup lost sublinearity: {growth:.2}x edit-call growth over \
+         {size_growth:.0}x label growth"
     );
-    println!("bench: speedup {speedup:.2}x, alloc ratio {:.3}", interned_bytes as f64 / legacy_bytes.max(1) as f64);
 
     // Hand-rolled JSON: the vendored serde shim has no real serialisation.
+    let mut sizes_json = String::new();
+    for (i, r) in results.iter().enumerate() {
+        if i > 0 {
+            sizes_json.push_str(",\n");
+        }
+        sizes_json.push_str(&format!(
+            "    {{ \"labels\": {}, \"queries\": {}, \"scan\": {}, \"pruned\": {}, \
+             \"candidates_scored\": {}, \"candidates_skipped\": {}, \"speedup\": {:.4} }}",
+            r.labels,
+            r.queries,
+            path_json(&r.scan),
+            path_json(&r.pruned),
+            r.candidates_scored,
+            r.candidates_skipped,
+            r.speedup
+        ));
+    }
     let json = format!(
-        "{{\n  \"bench\": \"intern_lookup\",\n  \"labels\": {},\n  \"queries\": {},\n  \"top_k\": {TOP_K},\n  \"legacy\": {{ \"secs\": {legacy_secs:.6}, \"lookups_per_sec\": {legacy_lps:.2}, \"bytes_allocated\": {legacy_bytes}, \"build_secs\": {legacy_build_secs:.6} }},\n  \"interned\": {{ \"secs\": {interned_secs:.6}, \"lookups_per_sec\": {interned_lps:.2}, \"bytes_allocated\": {interned_bytes}, \"build_secs\": {interned_build_secs:.6}, \"arena_bytes\": {arena_bytes} }},\n  \"speedup\": {speedup:.4}\n}}\n",
-        labels.len(),
-        queries.len(),
+        "{{\n  \"bench\": \"intern_lookup\",\n  \"top_k\": {TOP_K},\n  \"sizes\": [\n{sizes_json}\n  ],\n  \"speedup_50k\": {speedup_50k:.4},\n  \"edit_calls_per_query_growth\": {growth:.4},\n  \"sublinear_candidates\": {sublinear}\n}}\n"
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_intern.json");
     std::fs::write(path, &json).expect("write BENCH_intern.json");

@@ -7,11 +7,18 @@
 //! then work entirely on integers; near-miss scoring resolves candidate
 //! tokens to `&str` slices of the arena without allocating.
 
+use std::cmp::Ordering;
 use std::collections::HashMap;
 use std::sync::Arc;
 
 use ltee_intern::{FrozenInterner, Interner, Sym, TokenSeq};
-use ltee_text::{levenshtein_similarity, normalize_label, tokenize, tokenize_interned};
+use ltee_text::{
+    bounded_levenshtein, levenshtein_similarity, normalize_label, tokenize, tokenize_interned,
+    within_one_edit,
+};
+
+use crate::candidates::{d1_complete, CandidateIndex};
+use crate::metrics;
 
 /// One indexed label. All text fields are syms of the owning
 /// [`LabelIndex`]'s interner — resolve them via [`LabelIndex::resolve`].
@@ -64,6 +71,9 @@ pub struct LabelIndex {
     postings: HashMap<Sym, Vec<u32>>,
     /// normalised label sym → indices into `entries` (exact-label block).
     by_label: HashMap<Sym, Vec<u32>>,
+    /// Pruning side tables (token lengths, per-entry length buckets,
+    /// deletion neighborhood), maintained in lockstep with `entries`.
+    cands: CandidateIndex,
 }
 
 impl LabelIndex {
@@ -95,6 +105,7 @@ impl LabelIndex {
             self.postings.entry(token).or_default().push(entry_pos);
         }
         self.by_label.entry(normalized).or_default().push(entry_pos);
+        self.cands.add_entry(&self.interner, &tokens);
         self.entries.push(LabelEntry { id, normalized, tokens });
         normalized
     }
@@ -158,6 +169,7 @@ impl LabelIndex {
                 entries: self.entries,
                 postings: self.postings,
                 by_label: self.by_label,
+                cands: self.cands,
             }),
         }
     }
@@ -173,7 +185,7 @@ impl LabelIndex {
     /// syms via a read-only interner probe — a token never interned cannot
     /// match any posting, and the query leaves the index untouched.
     pub fn lookup(&self, label: &str, k: usize) -> Vec<LabelMatch> {
-        lookup_core(&self.interner, &self.entries, &self.postings, label, k)
+        lookup_core(&self.interner, &self.entries, &self.postings, &self.cands, label, k)
     }
 
     /// Convenience: ids of the top-k fuzzy matches.
@@ -190,6 +202,7 @@ struct IndexTables {
     entries: Vec<LabelEntry>,
     postings: HashMap<Sym, Vec<u32>>,
     by_label: HashMap<Sym, Vec<u32>>,
+    cands: CandidateIndex,
 }
 
 /// A frozen, cheaply cloneable, thread-shareable view of a [`LabelIndex`].
@@ -216,6 +229,7 @@ impl SharedLabelIndex {
             self.interner.as_ref(),
             &self.tables.entries,
             &self.tables.postings,
+            &self.tables.cands,
             label,
             k,
         )
@@ -274,12 +288,561 @@ fn exact_block_core<'a>(
         .unwrap_or_default()
 }
 
+/// Result-key ordering: score descending, then id, then entry position.
+/// Entry positions are unique, so the order is total and two different
+/// entries never compare equal.
+#[inline]
+fn key_cmp(a: &(f64, u64, u32), b: &(f64, u64, u32)) -> Ordering {
+    b.0.partial_cmp(&a.0)
+        .unwrap_or(Ordering::Equal)
+        .then_with(|| a.1.cmp(&b.1))
+        .then_with(|| a.2.cmp(&b.2))
+}
+
+/// One retained result: an id's best-scoring entry so far.
+#[derive(Clone, Copy)]
+struct TopItem {
+    score: f64,
+    id: u64,
+    pos: u32,
+    normalized: Sym,
+}
+
+impl TopItem {
+    #[inline]
+    fn key(&self) -> (f64, u64, u32) {
+        (self.score, self.id, self.pos)
+    }
+}
+
+/// The running top-k over *distinct ids*, ordered by [`key_cmp`]. Each id
+/// holds exactly one slot — its best `(score, pos)` representative —
+/// which reproduces the sort → dedup-by-id → truncate pipeline of a full
+/// scan: an id evicted from a full list had the worst key of `k + 1`
+/// distinct ids, so no entry at or below that key can appear in the
+/// final result, and forgetting it is sound.
+struct TopList {
+    k: usize,
+    items: Vec<TopItem>,
+}
+
+impl TopList {
+    fn new(k: usize) -> Self {
+        Self { k, items: Vec::with_capacity(k.min(64)) }
+    }
+
+    /// Whether an entry whose true score is at most `ub` could still
+    /// change the result. `false` is a proof of irrelevance: the true
+    /// key sorts at or after the `(ub, id, pos)` key (a lower score only
+    /// moves it later), which already loses to the keys that matter.
+    fn may_enter(&self, ub: f64, id: u64, pos: u32) -> bool {
+        let key = (ub, id, pos);
+        if let Some(existing) = self.items.iter().find(|it| it.id == id) {
+            // This id's current representative already beats anything the
+            // entry can produce, so neither the representative nor the
+            // ranked id set can change.
+            if key_cmp(&existing.key(), &key) == Ordering::Less {
+                return false;
+            }
+        }
+        if self.items.len() < self.k {
+            return true;
+        }
+        let kth = self.items.last().expect("list is full, k > 0").key();
+        key_cmp(&key, &kth) != Ordering::Greater
+    }
+
+    fn insert(&mut self, item: TopItem) {
+        if let Some(at) = self.items.iter().position(|it| it.id == item.id) {
+            if key_cmp(&item.key(), &self.items[at].key()) == Ordering::Less {
+                self.items.remove(at);
+                self.insert_sorted(item);
+            }
+            return;
+        }
+        if self.items.len() == self.k {
+            let kth = self.items.last().expect("list is full, k > 0").key();
+            if key_cmp(&item.key(), &kth) == Ordering::Less {
+                self.items.pop();
+            } else {
+                return;
+            }
+        }
+        self.insert_sorted(item);
+    }
+
+    fn insert_sorted(&mut self, item: TopItem) {
+        let key = item.key();
+        let at = self.items.partition_point(|it| key_cmp(&it.key(), &key) == Ordering::Less);
+        self.items.insert(at, item);
+    }
+
+    fn into_matches(self) -> Vec<LabelMatch> {
+        self.items
+            .into_iter()
+            .map(|it| LabelMatch { id: it.id, normalized: it.normalized, score: it.score })
+            .collect()
+    }
+}
+
+/// The final score expression, shared between the exact score and the
+/// upper bound so the two are the *same float program* — the bound
+/// differs only by substituting per-token contributions that dominate
+/// the true ones, and every op here rounds monotonically.
+#[inline]
+fn finish_score(total: f64, query_len: usize, candidate_len: usize, exact_hits: usize) -> f64 {
+    let coverage = total / query_len as f64;
+    let len_penalty = {
+        let q = query_len as f64;
+        let c = candidate_len as f64;
+        1.0 - (q - c).abs() / (q + c)
+    };
+    // Exact hits give a small additive bonus to stabilise the ordering
+    // among candidates that tie on coverage.
+    let bonus = exact_hits as f64 * 1e-6;
+    (coverage * 0.8 + len_penalty * 0.2 + bonus).min(1.0)
+}
+
+/// What a lookup knows about `levenshtein_similarity(query_token, sym)`.
+#[derive(Clone, Copy)]
+enum SimBound {
+    /// The exact similarity, bit-identical to the full computation.
+    Exact(f64),
+    /// The similarity is provably *strictly below* this value (a bounded
+    /// kernel run came back `None`). Usable as a skip proof only against
+    /// a running maximum at or above the bound.
+    Below(f64),
+}
+
+/// The largest edit distance that could still push a token's similarity
+/// strictly above `best`: any `d > max_dist` sits at least `1/max_len`
+/// below `best` in real arithmetic — a margin many orders of magnitude
+/// above f64 rounding error — so a `None` from the bounded kernel proves
+/// the token cannot improve the running maximum.
+#[inline]
+fn max_dist_for(best: f64, max_len: usize) -> usize {
+    if best <= 0.0 {
+        // d <= max(|a|, |b|) always holds: the kernel cannot come back
+        // `None`, keeping `Below(0.0)` (which would claim sim < 0)
+        // unrepresentable.
+        return max_len;
+    }
+    (((1.0 - best) * max_len as f64).ceil() as usize).min(max_len)
+}
+
+/// Per-lookup scoring state: query-token measurements, the
+/// similarity memo and the lazily seeded deletion neighborhood.
+struct Scorer<'a> {
+    interner: &'a Interner,
+    cands: &'a CandidateIndex,
+    query_tokens: &'a [String],
+    query_syms: &'a [Option<Sym>],
+    q_char_lens: Vec<usize>,
+    /// Per query token: its verified one-edit neighborhood, sorted by
+    /// sym, with exact similarities. Filled by `seed_d1`.
+    d1_sets: Vec<Vec<(Sym, f64)>>,
+    /// Lazily computed query-token × query-token similarity matrix
+    /// (row-major, `1.0` on the diagonal). Empty until first needed.
+    cross: Vec<f64>,
+    /// Per query token: candidate-token sym → similarity knowledge. Each
+    /// distinct (query token, sym) pair runs the edit kernel at most a
+    /// handful of times per lookup, independent of how many entries
+    /// mention the sym.
+    memo: Vec<HashMap<Sym, SimBound>>,
+    /// Whether token `i`'s d≤1 neighborhood has been folded into `memo`.
+    d1_seeded: Vec<bool>,
+    /// Per query token: the largest fuzzy contribution *any* vocabulary
+    /// token could make (see `global_max`). `NaN` until computed.
+    gmax: Vec<f64>,
+    /// Coarse-bound contribution sums memoised per query hit mask
+    /// (`2^q` slots, `NaN` until computed); only used when `q <= 8`, so
+    /// the hit mask fully determines which tokens hit. The sum depends on
+    /// nothing but the mask, and caching it keeps the per-candidate
+    /// coarse gate to a lookup plus `finish_score`.
+    coarse_sums: Vec<f64>,
+    /// Per-token contributions of the most recent `upper_bound` call
+    /// (1.0 for exact hits, the dominating bound otherwise). `score`
+    /// reads them to complete partial scores optimistically.
+    ub_contribs: Vec<f64>,
+}
+
+impl<'a> Scorer<'a> {
+    fn new(
+        interner: &'a Interner,
+        cands: &'a CandidateIndex,
+        query_tokens: &'a [String],
+        query_syms: &'a [Option<Sym>],
+    ) -> Self {
+        let q_char_lens: Vec<usize> =
+            query_tokens.iter().map(|t| t.chars().count()).collect();
+        Self {
+            interner,
+            cands,
+            query_tokens,
+            query_syms,
+            q_char_lens,
+            d1_sets: vec![Vec::new(); query_tokens.len()],
+            cross: Vec::new(),
+            memo: vec![HashMap::new(); query_tokens.len()],
+            d1_seeded: vec![false; query_tokens.len()],
+            gmax: vec![f64::NAN; query_tokens.len()],
+            coarse_sums: Vec::new(),
+            ub_contribs: vec![0.0; query_tokens.len()],
+        }
+    }
+
+    /// Whether query token `i` appears exactly in the entry. Tokens past
+    /// the query mask's 64 bits fall back to the sorted-sym search.
+    #[inline]
+    fn token_exact(&self, entry: &LabelEntry, i: usize, qmask: u64) -> bool {
+        if i < 64 {
+            qmask & (1u64 << i) != 0
+        } else {
+            self.query_syms[i].is_some_and(|sym| entry.tokens.contains(sym))
+        }
+    }
+
+    /// The cheapest score upper bound: exact hits contribute 1.0, every
+    /// fuzzy token its entry-independent `global_max` — a handful of
+    /// float ops per candidate, no per-entry-token work at all. Also
+    /// reports whether every query token hit exactly, in which case the
+    /// bound *is* the score (the same `finish_score` over the same 1.0
+    /// contributions in the same order).
+    fn coarse_bound(&mut self, entry: &LabelEntry, qmask: u64, exact_hits: usize) -> (f64, bool) {
+        let q = self.query_tokens.len();
+        if q <= 8 {
+            // Every token index fits the hit mask, so the mask alone
+            // determines each token's contribution; memoise the sum per
+            // mask (same 0..q addition order every time → identical bits).
+            if self.coarse_sums.is_empty() {
+                self.coarse_sums = vec![f64::NAN; 1 << q];
+            }
+            let idx = (qmask as usize) & ((1 << q) - 1);
+            if self.coarse_sums[idx].is_nan() {
+                let mut sum = 0.0f64;
+                for i in 0..q {
+                    sum += if idx & (1 << i) != 0 { 1.0 } else { self.global_max(i) };
+                }
+                self.coarse_sums[idx] = sum;
+            }
+            let all_exact = idx == (1 << q) - 1;
+            return (
+                finish_score(self.coarse_sums[idx], q, entry.tokens.len(), exact_hits),
+                all_exact,
+            );
+        }
+        let mut total = 0.0f64;
+        let mut all_exact = true;
+        for i in 0..q {
+            total += if self.token_exact(entry, i, qmask) {
+                1.0
+            } else {
+                all_exact = false;
+                self.global_max(i)
+            };
+        }
+        (finish_score(total, q, entry.tokens.len(), exact_hits), all_exact)
+    }
+
+    /// The largest fuzzy contribution query token `i` could draw from
+    /// *any* vocabulary token: the maximum over its verified one-edit
+    /// similarities (excluding the query token's own sym, which can never
+    /// be a fuzzy match) and the length bounds of every character length
+    /// present in the vocabulary. Dominates `fuzzy_bound` for every entry
+    /// termwise: each of `fuzzy_bound`'s cases — cross-query similarities
+    /// included, since the other query token is itself in the vocabulary —
+    /// is either one of these exact d≤1 similarities or the identical
+    /// length-bound float expression evaluated at a present length (the
+    /// ≥64 pool's supremum `1 - 1/max(lq, 64)` dominates each pooled
+    /// length's bound with real-arithmetic margin ≥ `1/(64·max_len)`, far
+    /// above f64 rounding; the equal-length case is the same expression
+    /// bit-for-bit).
+    fn global_max(&mut self, i: usize) -> f64 {
+        if !self.gmax[i].is_nan() {
+            return self.gmax[i];
+        }
+        if !self.d1_seeded[i] {
+            self.d1_seeded[i] = true;
+            self.seed_d1(i);
+        }
+        let lq = self.q_char_lens[i];
+        let mut g = 0.0f64;
+        for &(sym, s) in &self.d1_sets[i] {
+            if Some(sym) != self.query_syms[i] && s > g {
+                g = s;
+            }
+        }
+        let mut mask = self.cands.vocab_len_mask();
+        while mask != 0 {
+            let bit = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            let lc = if bit == 63 { lq.max(64) } else { bit + 1 };
+            let min_dist = lq.abs_diff(lc).max(if bit == 63 || !d1_complete(lq, lc) {
+                1
+            } else {
+                2
+            });
+            let bound = 1.0 - min_dist as f64 / lq.max(lc) as f64;
+            if bound > g {
+                g = bound;
+            }
+        }
+        self.gmax[i] = g;
+        g
+    }
+
+    /// A score upper bound without running the edit kernel against any
+    /// candidate token.
+    fn upper_bound(&mut self, entry: &LabelEntry, qmask: u64, exact_hits: usize) -> f64 {
+        let q = self.query_tokens.len();
+        let mut total = 0.0f64;
+        for i in 0..q {
+            let contrib = if self.token_exact(entry, i, qmask) {
+                1.0
+            } else {
+                self.fuzzy_bound(i, entry, qmask)
+            };
+            self.ub_contribs[i] = contrib;
+            total += contrib;
+        }
+        finish_score(total, q, entry.tokens.len(), exact_hits)
+    }
+
+    /// A dominating bound on query token `i`'s fuzzy contribution to the
+    /// entry, from three exhaustive cases over the entry's tokens:
+    ///
+    /// * a token exactly matching another query token contributes exactly
+    ///   the query-to-query similarity (computed once per query);
+    /// * a token in `i`'s verified one-edit neighborhood contributes its
+    ///   exact, memoised similarity;
+    /// * any other token is provably at distance ≥ 2 when both sides are
+    ///   short enough for the deletion index to be complete (≥ 1
+    ///   otherwise), and its exact character length is known — bounded
+    ///   with the similarity's own float expression, so the bound
+    ///   dominates the true value in actual f64 arithmetic.
+    fn fuzzy_bound(&mut self, i: usize, entry: &LabelEntry, qmask: u64) -> f64 {
+        if !self.d1_seeded[i] {
+            self.d1_seeded[i] = true;
+            self.seed_d1(i);
+        }
+        let q = self.query_tokens.len();
+        let lq = self.q_char_lens[i];
+        let mut bound = 0.0f64;
+        for j in 0..q {
+            if j != i && self.token_exact(entry, j, qmask) {
+                let s = self.cross_sim(i, j);
+                if s > bound {
+                    bound = s;
+                }
+            }
+        }
+        let d1 = &self.d1_sets[i];
+        for &ct in entry.tokens.sorted() {
+            // Tokens equal to a query token are covered by the
+            // cross-similarity pass above (they can only be in the entry
+            // as exact hits of that query token).
+            if self.query_syms.contains(&Some(ct)) {
+                continue;
+            }
+            let s = if let Ok(at) = d1.binary_search_by_key(&ct, |&(sym, _)| sym) {
+                d1[at].1
+            } else {
+                let lc = self.cands.token_char_len(ct);
+                let max_len = lq.max(lc);
+                let min_dist = lq.abs_diff(lc).max(if d1_complete(lq, lc) { 2 } else { 1 });
+                1.0 - min_dist as f64 / max_len as f64
+            };
+            if s > bound {
+                bound = s;
+            }
+        }
+        bound
+    }
+
+    /// `levenshtein_similarity(query_token_i, query_token_j)`, from a
+    /// lazily built per-query matrix.
+    fn cross_sim(&mut self, i: usize, j: usize) -> f64 {
+        let q = self.query_tokens.len();
+        if self.cross.is_empty() {
+            metrics::count_edit_distance_calls((q * q - q) as u64);
+            self.cross = (0..q * q)
+                .map(|x| {
+                    let (a, b) = (x / q, x % q);
+                    if a == b {
+                        1.0
+                    } else {
+                        levenshtein_similarity(&self.query_tokens[a], &self.query_tokens[b])
+                    }
+                })
+                .collect();
+        }
+        self.cross[i * q + j]
+    }
+
+    /// The exact score, bit-identical to scoring the entry with the full
+    /// per-token `levenshtein_similarity` maximum: contributions
+    /// accumulate in query-token order, and the fuzzy maximum only ever
+    /// skips tokens proven unable to change it.
+    ///
+    /// Returns `None` when the entry is abandoned part-way: before each
+    /// fuzzy token, the running total is completed with the remaining
+    /// tokens' `upper_bound` contributions — the same addition sequence
+    /// with termwise-dominating addends, so the completion dominates the
+    /// true score in f64 — and if even that completion cannot enter
+    /// `top`, neither can the entry. `upper_bound` must have been called
+    /// for this entry immediately before (it fills the contributions).
+    fn score(
+        &mut self,
+        entry: &LabelEntry,
+        pos: u32,
+        qmask: u64,
+        exact_hits: usize,
+        top: &TopList,
+    ) -> Option<f64> {
+        let q = self.query_tokens.len();
+        let mut total = 0.0f64;
+        for i in 0..q {
+            if self.token_exact(entry, i, qmask) {
+                total += 1.0;
+                continue;
+            }
+            let mut optimistic = total;
+            for j in i..q {
+                optimistic += self.ub_contribs[j];
+            }
+            let completion = finish_score(optimistic, q, entry.tokens.len(), exact_hits);
+            if !top.may_enter(completion, entry.id, pos) {
+                return None;
+            }
+            total += self.best_fuzzy(i, entry);
+        }
+        Some(finish_score(total, q, entry.tokens.len(), exact_hits))
+    }
+
+    /// Query token `i`'s best similarity against the entry's tokens.
+    fn best_fuzzy(&mut self, i: usize, entry: &LabelEntry) -> f64 {
+        if !self.d1_seeded[i] {
+            self.d1_seeded[i] = true;
+            self.seed_d1(i);
+        }
+        let qt = self.query_tokens[i].as_str();
+        let lq = self.q_char_lens[i];
+        let mut best = 0.0f64;
+        for &ct in entry.tokens.tokens() {
+            // Length bound first, before any hashing: the entry does not
+            // contain query token `i` (that is why we are in the fuzzy
+            // path), so `ct` differs from it and its distance is at least
+            // `max(length difference, 1)`. Computed with the similarity's
+            // own float expression, the bound dominates the true
+            // similarity, so a bound at or below the running maximum
+            // means the token cannot raise it — even if a memoised exact
+            // value exists.
+            let lc = self.cands.token_char_len(ct);
+            let max_len = lq.max(lc);
+            let len_bound = 1.0 - lq.abs_diff(lc).max(1) as f64 / max_len as f64;
+            if len_bound <= best {
+                continue;
+            }
+            let cached = self.memo[i].get(&ct).copied();
+            match cached {
+                Some(SimBound::Exact(s)) => {
+                    if s > best {
+                        best = s;
+                    }
+                }
+                // The memoised refutation is at or below the running
+                // maximum: the token provably cannot raise it.
+                Some(SimBound::Below(b)) if b <= best => {}
+                _ => {
+                    metrics::count_edit_distance_calls(1);
+                    match bounded_levenshtein(
+                        qt,
+                        self.interner.resolve(ct),
+                        max_dist_for(best, max_len),
+                    ) {
+                        Some(d) => {
+                            // Same float expression as
+                            // `levenshtein_similarity`, same `d`:
+                            // bit-identical similarity.
+                            let s = 1.0 - d as f64 / max_len as f64;
+                            self.memo[i].insert(ct, SimBound::Exact(s));
+                            if s > best {
+                                best = s;
+                            }
+                        }
+                        None => {
+                            // sim < best, and best is tighter than any
+                            // previously stored refutation (a looser one
+                            // is why we re-ran the kernel).
+                            self.memo[i].insert(ct, SimBound::Below(best));
+                        }
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    /// Fold the d≤1 deletion neighborhood of query token `i` into the
+    /// memo: these carry almost all near-miss score mass, and knowing
+    /// them exactly up front lets the running maximum start high so the
+    /// bounded kernel can refute everything else cheaply.
+    fn seed_d1(&mut self, i: usize) {
+        let qt = self.query_tokens[i].as_str();
+        let lq = self.q_char_lens[i];
+        let near = self.cands.near_syms(qt, lq);
+        if near.is_empty() {
+            return;
+        }
+        metrics::count_edit_distance_calls(near.len() as u64);
+        for sym in near {
+            if let Some(d) = within_one_edit(qt, self.interner.resolve(sym)) {
+                let max_len = lq.max(self.cands.token_char_len(sym));
+                let s = 1.0 - d as f64 / max_len as f64;
+                self.memo[i].insert(sym, SimBound::Exact(s));
+                // `near` is sorted, so the set stays sorted by sym.
+                self.d1_sets[i].push((sym, s));
+            }
+        }
+    }
+}
+
+/// One query-token posting cursor of the document-at-a-time merge.
+struct Cursor<'a> {
+    /// Index of the query token this cursor belongs to.
+    token: usize,
+    /// The token's posting list (entry positions, ascending, one per
+    /// occurrence of the token in the entry).
+    list: &'a [u32],
+    /// Next unconsumed offset in `list`.
+    at: usize,
+}
+
 /// The lookup algorithm shared by [`LabelIndex`] and [`SharedLabelIndex`]
 /// (see [`LabelIndex::lookup`] for the semantics).
+///
+/// Candidates are exactly the entries sharing at least one token with
+/// the query, as before — but instead of scoring all of them and
+/// sorting, the document-at-a-time merge visits them in entry order,
+/// bounds each candidate's score from precomputed length buckets, and
+/// fully scores only candidates whose bound could still enter the
+/// running top-k (`TopList`). Scored candidates resolve near-miss tokens
+/// through a per-token memo seeded from the deletion neighborhood and
+/// refined with the bounded bit-parallel kernel, so the number of edit
+/// distance computations depends on the query's local token
+/// neighbourhood, not on the index size. Results — ids, score bits,
+/// surfaced labels, order — are identical to the flat scan's.
+/// How many posting slots of the rarest query token the floor-warming
+/// pass resolves before the merge. Purely a latency knob: warming more
+/// costs more up-front scoring, warming less leaves the early merge with
+/// a low floor. Results are identical at any value.
+const WARM_CAP: usize = 1024;
+
 fn lookup_core(
     interner: &Interner,
     entries: &[LabelEntry],
     postings: &HashMap<Sym, Vec<u32>>,
+    cands: &CandidateIndex,
     label: &str,
     k: usize,
 ) -> Vec<LabelMatch> {
@@ -293,111 +856,141 @@ fn lookup_core(
     }
     let query_syms: Vec<Option<Sym>> = query_tokens.iter().map(|t| interner.get(t)).collect();
 
-    // Gather candidate entry positions with their exact-token hit counts.
-    let mut hits: HashMap<u32, usize> = HashMap::new();
-    for sym in query_syms.iter().flatten() {
-        if let Some(postings) = postings.get(sym) {
-            for &pos in postings {
-                *hits.entry(pos).or_insert(0) += 1;
+    // One cursor per query-token occurrence with a posting list. A token
+    // never interned, or interned but never indexed, cannot match any
+    // entry; duplicate query tokens keep one cursor per occurrence so
+    // hit multiplicities match the original accumulation.
+    let mut cursors: Vec<Cursor> = Vec::with_capacity(query_tokens.len());
+    for (i, sym) in query_syms.iter().enumerate() {
+        if let Some(sym) = sym {
+            if let Some(list) = postings.get(sym) {
+                if !list.is_empty() {
+                    cursors.push(Cursor { token: i, list, at: 0 });
+                }
             }
         }
     }
-    if hits.is_empty() {
+    if cursors.is_empty() {
         return Vec::new();
     }
 
-    // Per-query-token memo of Levenshtein similarity by candidate token
-    // *sym*: candidate sets share a small token vocabulary (postings
-    // guarantee overlap), so each distinct (query token, candidate
-    // token) pair is edit-scored once — not once per entry occurrence.
-    // Only possible because tokens are interned; a String index would
-    // have to hash full tokens to get the same effect.
-    let mut sim_memo: Vec<HashMap<Sym, f64>> = vec![HashMap::new(); query_tokens.len()];
-    let mut scored: Vec<(LabelMatch, u32)> = hits
-        .into_iter()
-        .map(|(pos, exact_hits)| {
-            let entry = &entries[pos as usize];
-            let score =
-                score_candidate(interner, &query_tokens, &query_syms, &mut sim_memo, entry, exact_hits);
-            (LabelMatch { id: entry.id, normalized: entry.normalized, score }, pos)
-        })
-        .collect();
+    let mut scorer = Scorer::new(interner, cands, &query_tokens, &query_syms);
+    let mut top = TopList::new(k);
 
-    // Deduplicate by id, keeping the best score per id. The entry position
-    // is the final tie-break so the ordering is *total*: `hits` iterates in
-    // HashMap order, and without the position two same-id entries tying on
-    // score (an entity with several labels matching equally well) would
-    // surface a nondeterministically chosen `normalized` label.
-    scored.sort_by(|(a, a_pos), (b, b_pos)| {
-        b.score
-            .partial_cmp(&a.score)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then_with(|| a.id.cmp(&b.id))
-            .then_with(|| a_pos.cmp(b_pos))
-    });
-    let mut seen = std::collections::HashSet::new();
-    let mut out: Vec<LabelMatch> = scored
-        .into_iter()
-        .filter_map(|(m, _)| seen.insert(m.id).then_some(m))
-        .collect();
-    out.truncate(k);
-    out
+    // Weigh a candidate exactly once, through two bound gates of
+    // increasing cost: the entry-independent coarse bound (a few float
+    // ops) rejects the bulk of one-hit candidates without touching the
+    // entry's tokens; survivors pay for the per-entry-token bound, and
+    // only candidates passing both are scored exactly.
+    let mut consider = |pos: u32, qmask: u64, exact_hits: usize| {
+        let entry = &entries[pos as usize];
+        let (coarse, all_exact) = scorer.coarse_bound(entry, qmask, exact_hits);
+        if !top.may_enter(coarse, entry.id, pos) {
+            metrics::count_candidate_skipped();
+            return;
+        }
+        if all_exact {
+            // The coarse bound over all-1.0 contributions *is* the score.
+            metrics::count_candidate_scored();
+            top.insert(TopItem { score: coarse, id: entry.id, pos, normalized: entry.normalized });
+            return;
+        }
+        let ub = scorer.upper_bound(entry, qmask, exact_hits);
+        if !top.may_enter(ub, entry.id, pos) {
+            metrics::count_candidate_skipped();
+            return;
+        }
+        metrics::count_candidate_scored();
+        if let Some(score) = scorer.score(entry, pos, qmask, exact_hits, &top) {
+            top.insert(TopItem { score, id: entry.id, pos, normalized: entry.normalized });
+        }
+    };
+
+    // Floor warming: the position-ordered merge raises the top-k floor
+    // only as strong candidates stream past, so a query whose best
+    // matches sit late in the entry array would score thousands of
+    // mediocre candidates first. Resolving a capped prefix of the
+    // *rarest* query token's posting list up front — where the
+    // highest-coverage matches concentrate — raises the floor before the
+    // merge starts. Scoring any subset exactly is always sound, and the
+    // top list is insertion-order independent, so results are unchanged.
+    let warm: &[u32] = {
+        let shortest =
+            cursors.iter().map(|c| c.list).min_by_key(|l| l.len()).expect("cursors non-empty");
+        &shortest[..shortest.len().min(WARM_CAP)]
+    };
+    let mut warm_at = 0usize;
+    let mut prev = None;
+    for &pos in warm {
+        // Posting lists carry one slot per token occurrence; duplicate
+        // positions are consecutive.
+        if prev == Some(pos) {
+            continue;
+        }
+        prev = Some(pos);
+        let (qmask, exact_hits) = exact_profile(&entries[pos as usize], &query_syms);
+        consider(pos, qmask, exact_hits);
+    }
+
+    loop {
+        // Next candidate: the smallest unconsumed entry position.
+        let mut pos = u32::MAX;
+        for c in &cursors {
+            if let Some(&p) = c.list.get(c.at) {
+                pos = pos.min(p);
+            }
+        }
+        if pos == u32::MAX {
+            break;
+        }
+        // Drain every cursor at `pos`: which query tokens hit (qmask) and
+        // with what total multiplicity (exact_hits).
+        let mut qmask = 0u64;
+        let mut exact_hits = 0usize;
+        for c in &mut cursors {
+            while c.list.get(c.at) == Some(&pos) {
+                exact_hits += 1;
+                if c.token < 64 {
+                    qmask |= 1u64 << c.token;
+                }
+                c.at += 1;
+            }
+        }
+
+        // Warmed positions were already weighed (exactly — the warm pass
+        // computes the same qmask/exact_hits from the entry's tokens).
+        // `warm` is ascending and the merge emits positions in ascending
+        // order, so a single advancing pointer replaces a binary search.
+        while warm_at < warm.len() && warm[warm_at] < pos {
+            warm_at += 1;
+        }
+        if warm.get(warm_at) != Some(&pos) {
+            consider(pos, qmask, exact_hits);
+        }
+    }
+
+    top.into_matches()
 }
 
-/// Score a candidate's (pre-tokenised) label against the query tokens.
-///
-/// Each query token contributes its best per-token similarity against
-/// the candidate tokens — 1.0 for an exact hit, decided by a binary
-/// search on the candidate's sorted syms instead of a string scan;
-/// Levenshtein runs only for tokens the candidate provably lacks, and
-/// each distinct (query token, candidate sym) pair is edit-scored once
-/// per lookup via `sim_memo`. The mean over query tokens is then
-/// slightly penalised by the relative difference in token counts so
-/// that "paris" prefers "paris" over "paris hilton discography".
-fn score_candidate(
-    interner: &Interner,
-    query_tokens: &[String],
-    query_syms: &[Option<Sym>],
-    sim_memo: &mut [HashMap<Sym, f64>],
-    entry: &LabelEntry,
-    exact_hits: usize,
-) -> f64 {
-    let candidate_tokens = &entry.tokens;
-    if candidate_tokens.is_empty() {
-        return 0.0;
-    }
-    let mut total = 0.0;
-    for ((qt, qsym), memo) in query_tokens.iter().zip(query_syms).zip(sim_memo) {
-        // Exact membership: an interned query token equal to a candidate
-        // token. A query token that was never interned cannot equal any
-        // candidate token (all candidate tokens are interned).
-        let best = match qsym {
-            Some(sym) if candidate_tokens.contains(*sym) => 1.0,
-            _ => {
-                let mut best: f64 = 0.0;
-                for &ct in candidate_tokens.tokens() {
-                    let s = *memo
-                        .entry(ct)
-                        .or_insert_with(|| levenshtein_similarity(qt, interner.resolve(ct)));
-                    if s > best {
-                        best = s;
-                    }
+/// Which query tokens an entry contains (`qmask` bit per query-token
+/// index < 64) and the total posting multiplicity (`exact_hits`) —
+/// computed from the entry's tokens directly, bit-identical to what the
+/// posting-cursor drain derives for the same entry.
+fn exact_profile(entry: &LabelEntry, query_syms: &[Option<Sym>]) -> (u64, usize) {
+    let mut qmask = 0u64;
+    let mut exact_hits = 0usize;
+    for (i, sym) in query_syms.iter().enumerate() {
+        if let Some(sym) = *sym {
+            let mult = entry.tokens.tokens().iter().filter(|&&t| t == sym).count();
+            if mult > 0 {
+                exact_hits += mult;
+                if i < 64 {
+                    qmask |= 1u64 << i;
                 }
-                best
             }
-        };
-        total += best;
+        }
     }
-    let coverage = total / query_tokens.len() as f64;
-    let len_penalty = {
-        let q = query_tokens.len() as f64;
-        let c = candidate_tokens.len() as f64;
-        1.0 - (q - c).abs() / (q + c)
-    };
-    // Exact hits give a small additive bonus to stabilise the ordering
-    // among candidates that tie on coverage.
-    let bonus = exact_hits as f64 * 1e-6;
-    (coverage * 0.8 + len_penalty * 0.2 + bonus).min(1.0)
+    (qmask, exact_hits)
 }
 
 #[cfg(test)]
@@ -560,7 +1153,148 @@ mod tests {
         assert_eq!(idx.resolve(m.normalized), "paris");
     }
 
+    /// String-level reimplementation of the pre-pruning flat scan: score
+    /// every entry sharing a token, full `levenshtein_similarity` per
+    /// near-miss token, sort, dedup by id, truncate. The pruned lookup
+    /// must reproduce it bit-for-bit.
+    fn reference_lookup(
+        items: &[(u64, String)],
+        idx: &LabelIndex,
+        label: &str,
+        k: usize,
+    ) -> Vec<LabelMatch> {
+        use ltee_text::{levenshtein_similarity, normalize_label, tokenize};
+        if k == 0 {
+            return Vec::new();
+        }
+        let q = normalize_label(label);
+        let qts = tokenize(&q);
+        if qts.is_empty() {
+            return Vec::new();
+        }
+        let mut scored: Vec<(LabelMatch, u32)> = Vec::new();
+        for (pos, (id, lab)) in items.iter().enumerate() {
+            let n = normalize_label(lab);
+            let cts = tokenize(&n);
+            if cts.is_empty() {
+                continue;
+            }
+            let exact_hits: usize =
+                qts.iter().map(|qt| cts.iter().filter(|ct| *ct == qt).count()).sum();
+            if exact_hits == 0 {
+                continue;
+            }
+            let mut total = 0.0;
+            for qt in &qts {
+                let best = if cts.iter().any(|ct| ct == qt) {
+                    1.0
+                } else {
+                    let mut b = 0.0f64;
+                    for ct in &cts {
+                        let s = levenshtein_similarity(qt, ct);
+                        if s > b {
+                            b = s;
+                        }
+                    }
+                    b
+                };
+                total += best;
+            }
+            let coverage = total / qts.len() as f64;
+            let len_penalty = {
+                let qn = qts.len() as f64;
+                let cn = cts.len() as f64;
+                1.0 - (qn - cn).abs() / (qn + cn)
+            };
+            let score =
+                (coverage * 0.8 + len_penalty * 0.2 + exact_hits as f64 * 1e-6).min(1.0);
+            let normalized = idx.interner().get(&n).expect("inserted label is interned");
+            scored.push((LabelMatch { id: *id, normalized, score }, pos as u32));
+        }
+        scored.sort_by(|(a, ap), (b, bp)| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.id.cmp(&b.id))
+                .then_with(|| ap.cmp(bp))
+        });
+        let mut seen = std::collections::HashSet::new();
+        let mut out: Vec<LabelMatch> =
+            scored.into_iter().filter_map(|(m, _)| seen.insert(m.id).then_some(m)).collect();
+        out.truncate(k);
+        out
+    }
+
+    #[test]
+    fn pruning_skips_candidates_without_changing_the_winner() {
+        let mut idx = LabelIndex::new();
+        idx.insert(0, "alpha beta gamma");
+        for i in 1..300u64 {
+            idx.insert(i, format!("alpha filler{i}").as_str());
+        }
+        let before = crate::metrics::snapshot();
+        let matches = idx.lookup("alpha beta gamma", 1);
+        let after = crate::metrics::snapshot();
+        assert_eq!(matches[0].id, 0);
+        // With k = 1 and an exact self-match, every other candidate must
+        // be dismissed from its bound alone. Counters are process-global
+        // and other tests add concurrently, but only this lookup runs
+        // between the two snapshots on this thread, and additions are
+        // monotone — a strict increase proves this lookup skipped.
+        assert!(
+            after.candidates_skipped > before.candidates_skipped,
+            "expected upper-bound pruning to engage"
+        );
+    }
+
     proptest! {
+        #[test]
+        fn pruned_lookup_matches_flat_reference(
+            labels in proptest::collection::vec("[ab ]{1,10}", 1..24),
+            query in "[ab ]{1,10}",
+            k in 1usize..5,
+        ) {
+            // Tiny alphabet: heavy token sharing, near-miss tokens one or
+            // two edits apart, duplicate ids — the worst case for pruning
+            // correctness.
+            let items: Vec<(u64, String)> = labels
+                .into_iter()
+                .enumerate()
+                .map(|(i, l)| ((i % 5) as u64, l))
+                .collect();
+            let idx = LabelIndex::build(items.iter().map(|(id, l)| (*id, l.as_str())));
+            let expected = reference_lookup(&items, &idx, &query, k);
+            prop_assert_eq!(&idx.lookup(&query, k), &expected);
+            let shared = idx.into_shared();
+            prop_assert_eq!(&shared.lookup(&query, k), &expected);
+        }
+
+        #[test]
+        fn pruned_lookup_matches_reference_on_dropped_char_queries(
+            labels in proptest::collection::vec("[abc]{2,8}", 2..16),
+            pick in 0usize..16,
+            drop in 0usize..8,
+        ) {
+            // Query = an indexed label with one char removed: guarantees
+            // the fuzzy path (and the d<=1 seeding) is exercised.
+            let items: Vec<(u64, String)> = labels
+                .into_iter()
+                .enumerate()
+                .map(|(i, l)| (i as u64, l))
+                .collect();
+            let src = &items[pick % items.len()].1;
+            let at = drop % src.chars().count();
+            let query: String = src
+                .chars()
+                .enumerate()
+                .filter_map(|(i, c)| (i != at).then_some(c))
+                .collect();
+            prop_assume!(!query.is_empty());
+            let idx = LabelIndex::build(items.iter().map(|(id, l)| (*id, l.as_str())));
+            let expected = reference_lookup(&items, &idx, &query, 3);
+            prop_assert_eq!(&idx.lookup(&query, 3), &expected);
+        }
+
         #[test]
         fn lookup_never_exceeds_k(label in "[a-z ]{1,20}", k in 0usize..6) {
             let idx = sample_index();

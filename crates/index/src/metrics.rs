@@ -1,0 +1,88 @@
+//! Deterministic instrumentation of the fuzzy lookup path.
+//!
+//! The pruned lookup's whole point is doing *less work per query as the
+//! index grows*; wall-clock benchmarks can show that but cannot assert it
+//! reproducibly on shared CI hardware. These counters can: the lookup
+//! visits candidates in a deterministic order (document-at-a-time over
+//! sorted postings, entry token order within a candidate, sorted sym
+//! order in the deletion-neighborhood probe), so for a fixed corpus and
+//! query stream every counter value is a pure function of the input and
+//! can be asserted exactly. The throughput benchmark records them in
+//! `BENCH_intern.json` and CI fails if the candidates-examined curve
+//! stops being sublinear.
+//!
+//! Counters are process-global relaxed atomics: lookups may run
+//! concurrently (shared snapshots), so tests that assert on them must
+//! either own the process (benchmarks) or assert on monotone deltas.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static EDIT_DISTANCE_CALLS: AtomicU64 = AtomicU64::new(0);
+static CANDIDATES_SCORED: AtomicU64 = AtomicU64::new(0);
+static CANDIDATES_SKIPPED: AtomicU64 = AtomicU64::new(0);
+
+/// A point-in-time copy of the lookup counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LookupMetrics {
+    /// Edit-distance kernel invocations: bounded Levenshtein runs plus
+    /// the cheap one-edit verifications behind deletion-neighborhood
+    /// probes. The headline sublinearity counter.
+    pub edit_distance_calls: u64,
+    /// Candidate entries that were actually scored.
+    pub candidates_scored: u64,
+    /// Candidate entries dismissed from their upper bound alone, without
+    /// scoring.
+    pub candidates_skipped: u64,
+}
+
+/// Read the current counter values.
+pub fn snapshot() -> LookupMetrics {
+    LookupMetrics {
+        edit_distance_calls: EDIT_DISTANCE_CALLS.load(Ordering::Relaxed),
+        candidates_scored: CANDIDATES_SCORED.load(Ordering::Relaxed),
+        candidates_skipped: CANDIDATES_SKIPPED.load(Ordering::Relaxed),
+    }
+}
+
+/// Reset all counters to zero. Meant for benchmarks and other
+/// single-owner processes; concurrent lookups make the subsequent
+/// snapshot a race, not an error.
+pub fn reset() {
+    EDIT_DISTANCE_CALLS.store(0, Ordering::Relaxed);
+    CANDIDATES_SCORED.store(0, Ordering::Relaxed);
+    CANDIDATES_SKIPPED.store(0, Ordering::Relaxed);
+}
+
+#[inline]
+pub(crate) fn count_edit_distance_calls(n: u64) {
+    EDIT_DISTANCE_CALLS.fetch_add(n, Ordering::Relaxed);
+}
+
+#[inline]
+pub(crate) fn count_candidate_scored() {
+    CANDIDATES_SCORED.fetch_add(1, Ordering::Relaxed);
+}
+
+#[inline]
+pub(crate) fn count_candidate_skipped() {
+    CANDIDATES_SKIPPED.fetch_add(1, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        // Other tests in the process may add concurrently; assert deltas
+        // are at least what this thread contributed.
+        let before = snapshot();
+        count_edit_distance_calls(3);
+        count_candidate_scored();
+        count_candidate_skipped();
+        let after = snapshot();
+        assert!(after.edit_distance_calls >= before.edit_distance_calls + 3);
+        assert!(after.candidates_scored > before.candidates_scored);
+        assert!(after.candidates_skipped > before.candidates_skipped);
+    }
+}

@@ -3,36 +3,69 @@
 //! Used as the inner similarity function of [Monge-Elkan](crate::monge_elkan)
 //! when comparing labels of rows, entities and knowledge base instances.
 
+use std::cell::RefCell;
+
+thread_local! {
+    /// DP rows, reused across calls: the classic two-row program used to
+    /// allocate two fresh `Vec<usize>` per comparison, which dominated its
+    /// profile on short tokens. One thread-local scratch pair removes the
+    /// allocations entirely; the values written are identical.
+    static ROWS: RefCell<(Vec<usize>, Vec<usize>)> = const { RefCell::new((Vec::new(), Vec::new())) };
+    /// Char scratch for the non-ASCII path (ASCII input never collects).
+    static CHARS: RefCell<(Vec<char>, Vec<char>)> = const { RefCell::new((Vec::new(), Vec::new())) };
+}
+
 /// Compute the Levenshtein (edit) distance between two strings, counted in
 /// Unicode scalar values.
 ///
 /// The implementation uses the classic two-row dynamic program, which keeps
-/// memory at `O(min(|a|, |b|))`.
+/// memory at `O(min(|a|, |b|))` — and allocates nothing per call: ASCII
+/// input runs directly over the byte slices, and both the DP rows and the
+/// non-ASCII char scratch are thread-local reusable buffers. This function
+/// is the **oracle** for [`crate::bounded_levenshtein`]; the two must stay
+/// independent implementations.
 pub fn levenshtein_distance(a: &str, b: &str) -> usize {
-    let a_chars: Vec<char> = a.chars().collect();
-    let b_chars: Vec<char> = b.chars().collect();
+    if a.is_ascii() && b.is_ascii() {
+        // For ASCII, one char == one byte: the byte DP is char-identical.
+        return two_row_dp(a.as_bytes(), b.as_bytes());
+    }
+    CHARS.with(|chars| {
+        let mut chars = chars.borrow_mut();
+        let (a_chars, b_chars) = &mut *chars;
+        a_chars.clear();
+        a_chars.extend(a.chars());
+        b_chars.clear();
+        b_chars.extend(b.chars());
+        two_row_dp(a_chars, b_chars)
+    })
+}
+
+/// The two-row dynamic program over any symbol slice, rows drawn from the
+/// thread-local scratch.
+fn two_row_dp<T: PartialEq>(a: &[T], b: &[T]) -> usize {
     // Iterate over the longer string and keep the DP row for the shorter one.
-    let (long, short) = if a_chars.len() >= b_chars.len() {
-        (&a_chars, &b_chars)
-    } else {
-        (&b_chars, &a_chars)
-    };
+    let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
     if short.is_empty() {
         return long.len();
     }
+    ROWS.with(|rows| {
+        let mut rows = rows.borrow_mut();
+        let (prev, curr) = &mut *rows;
+        prev.clear();
+        prev.extend(0..=short.len());
+        curr.clear();
+        curr.resize(short.len() + 1, 0);
 
-    let mut prev: Vec<usize> = (0..=short.len()).collect();
-    let mut curr: Vec<usize> = vec![0; short.len() + 1];
-
-    for (i, lc) in long.iter().enumerate() {
-        curr[0] = i + 1;
-        for (j, sc) in short.iter().enumerate() {
-            let cost = usize::from(lc != sc);
-            curr[j + 1] = (prev[j + 1] + 1).min(curr[j] + 1).min(prev[j] + cost);
+        for (i, lc) in long.iter().enumerate() {
+            curr[0] = i + 1;
+            for (j, sc) in short.iter().enumerate() {
+                let cost = usize::from(lc != sc);
+                curr[j + 1] = (prev[j + 1] + 1).min(curr[j] + 1).min(prev[j] + cost);
+            }
+            std::mem::swap(prev, curr);
         }
-        std::mem::swap(&mut prev, &mut curr);
-    }
-    prev[short.len()]
+        prev[short.len()]
+    })
 }
 
 /// Levenshtein similarity normalised to `[0, 1]`:

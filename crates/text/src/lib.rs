@@ -19,6 +19,10 @@
 //! All functions operate on already-normalised text; [`normalize`] provides
 //! the shared cleaning / tokenisation used across the pipeline.
 //!
+//! The [`myers`] module adds a bit-parallel bounded variant of the
+//! Levenshtein kernel ([`bounded_levenshtein`]) used by the fuzzy label
+//! index's pruned lookup path; the classic DP stays the oracle.
+//!
 //! The [`interned`] module provides the symbol-based entry points
 //! ([`normalize_and_intern`], [`tokenize_interned`],
 //! [`monge_elkan_tokens`]) that the hot paths use: same values, one
@@ -30,12 +34,14 @@ pub mod interned;
 pub mod jaccard;
 pub mod levenshtein;
 pub mod monge_elkan;
+pub mod myers;
 pub mod normalize;
 pub mod vector;
 
 pub use interned::{monge_elkan_tokens, normalize_and_intern, tokenize_interned};
 pub use jaccard::{jaccard_similarity, token_overlap};
 pub use levenshtein::{levenshtein_distance, levenshtein_similarity};
+pub use myers::{bounded_levenshtein, within_one_edit};
 pub use monge_elkan::monge_elkan_similarity;
 pub use normalize::{clean_label, normalize_label, tokenize};
 pub use vector::{cosine_similarity, BowVector};

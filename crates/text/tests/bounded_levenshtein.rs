@@ -1,0 +1,134 @@
+//! Known-answer and property tests for the bit-parallel bounded
+//! Levenshtein kernel: [`bounded_levenshtein`] must agree with the classic
+//! two-row DP ([`levenshtein_distance`], the oracle) on every input —
+//! ASCII and unicode, single-block and multi-block — and must return
+//! `None` exactly when the true distance exceeds the bound.
+
+use ltee_text::{bounded_levenshtein, levenshtein_distance, within_one_edit};
+use proptest::prelude::*;
+
+/// The contract, checked exhaustively around the true distance: `Some(d)`
+/// iff `d <= bound`, with `d` the oracle's integer.
+fn assert_bounded_contract(a: &str, b: &str) {
+    let d = levenshtein_distance(a, b);
+    for bound in d.saturating_sub(2)..=d + 2 {
+        let got = bounded_levenshtein(a, b, bound);
+        let expected = (d <= bound).then_some(d);
+        assert_eq!(got, expected, "bounded_levenshtein({a:?}, {b:?}, {bound}), true d = {d}");
+    }
+    assert_eq!(bounded_levenshtein(a, b, usize::MAX), Some(d), "unbounded ({a:?}, {b:?})");
+}
+
+#[test]
+fn known_answers() {
+    let cases: &[(&str, &str, usize)] = &[
+        ("kitten", "sitting", 3),
+        ("saturday", "sunday", 3),
+        ("", "", 0),
+        ("", "abc", 3),
+        ("abc", "", 3),
+        ("flaw", "lawn", 2),
+        ("ab", "ba", 2),
+        ("gumbo", "gambol", 2),
+        ("café", "cafe", 1),
+        ("münchen", "munchen", 1),
+    ];
+    for &(a, b, d) in cases {
+        assert_eq!(levenshtein_distance(a, b), d, "oracle ({a:?}, {b:?})");
+        assert_bounded_contract(a, b);
+        // Symmetry of the kernel, both argument orders.
+        assert_bounded_contract(b, a);
+    }
+}
+
+/// The multi-char case-fold corpus: 'İ' (U+0130) lower-cases to the
+/// two-char "i\u{307}", which is exactly the kind of label the normaliser
+/// produces and the index compares. The kernel must count scalar values,
+/// combining marks included.
+#[test]
+fn case_fold_corpus() {
+    let corpus = [
+        "i\u{307}stanbul",
+        "istanbul",
+        "i\u{307}stanbul buluşması",
+        "stra\u{DF}e",
+        "strasse",
+        "i\u{307}i\u{307}i\u{307}",
+    ];
+    for a in &corpus {
+        for b in &corpus {
+            assert_bounded_contract(a, b);
+        }
+    }
+    // Counted in scalars: the combining dot is one edit.
+    assert_eq!(bounded_levenshtein("i\u{307}stanbul", "istanbul", 1), Some(1));
+}
+
+/// Strings past 64 chars force the multi-block kernel; build them so edits
+/// land on both sides of the block boundary.
+#[test]
+fn multi_block_known_answers() {
+    let base: String = "abcdefghijklmnopqrstuvwxyz".repeat(3); // 78 chars
+    let mut sub_at_70 = base.clone();
+    sub_at_70.replace_range(70..71, "X");
+    let mut sub_at_10 = base.clone();
+    sub_at_10.replace_range(10..11, "X");
+    let truncated: String = base.chars().take(65).collect();
+    let shifted: String = format!("zz{base}");
+    for other in [&sub_at_70, &sub_at_10, &truncated, &shifted] {
+        assert_bounded_contract(&base, other);
+    }
+    assert_eq!(levenshtein_distance(&base, &sub_at_70), 1);
+    assert_eq!(bounded_levenshtein(&base, &sub_at_70, 0), None);
+    // A long unicode pair exercises the char-level multi-block path.
+    let uni = format!("{}ß", "é".repeat(70));
+    let uni_edit = format!("{}x", "é".repeat(69));
+    assert_bounded_contract(&uni, &uni_edit);
+}
+
+#[test]
+fn length_gap_rejects_without_matrix_work() {
+    // |len difference| > bound must be None no matter the contents.
+    assert_eq!(bounded_levenshtein("abc", "abcdefgh", 3), None);
+    assert_eq!(bounded_levenshtein(&"a".repeat(500), "a", 100), None);
+    assert_eq!(bounded_levenshtein("", "xy", 1), None);
+}
+
+proptest! {
+    #[test]
+    fn agrees_with_dp_on_random_unicode(a in ".{0,30}", b in ".{0,30}") {
+        assert_bounded_contract(&a, &b);
+    }
+
+    #[test]
+    fn agrees_with_dp_on_long_pairs_forcing_multi_block(
+        a in "[ab]{60,90}",
+        b in "[abc]{60,90}",
+    ) {
+        // Small alphabet: distances far below the length, so the bound
+        // sweep in the contract exercises both Some and None paths deep
+        // inside the multi-block kernel.
+        assert_bounded_contract(&a, &b);
+    }
+
+    #[test]
+    fn agrees_with_dp_on_mixed_length_pairs(a in ".{0,80}", b in "[a-f]{0,80}") {
+        assert_bounded_contract(&a, &b);
+    }
+
+    #[test]
+    fn none_exactly_when_distance_exceeds_bound(
+        a in "[a-d]{0,20}",
+        b in "[a-d]{0,20}",
+        bound in 0usize..12,
+    ) {
+        let d = levenshtein_distance(&a, &b);
+        prop_assert_eq!(bounded_levenshtein(&a, &b, bound), (d <= bound).then_some(d));
+    }
+
+    #[test]
+    fn within_one_edit_matches_dp(a in "[ab]{0,6}", b in "[ab]{0,6}") {
+        let d = levenshtein_distance(&a, &b);
+        prop_assert_eq!(within_one_edit(&a, &b), (d <= 1).then_some(d));
+    }
+}

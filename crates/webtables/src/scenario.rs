@@ -539,6 +539,37 @@ pub fn with_exotic_labels(mut corpus: Corpus, qualifiers: [&str; 3]) -> Corpus {
     corpus
 }
 
+/// Append copies of the first few tables of a corpus whose labels gain a
+/// token longer than 64 characters (`stem` repeated past the limit), so
+/// every layer that compares labels — blocking, clustering, fuzzy serving
+/// — must handle tokens that overflow a single machine word of the
+/// bit-parallel Levenshtein kernel, inside the tier-1 bit-identity proofs.
+pub fn with_long_labels(mut corpus: Corpus, stem: &str) -> Corpus {
+    assert!(!stem.is_empty(), "stem must be non-empty");
+    let mut stretch = String::new();
+    while stretch.chars().count() <= 64 {
+        stretch.push_str(stem);
+    }
+    let max_id = corpus.tables().iter().map(|t| t.id.raw()).max().unwrap_or(0);
+    let templates: Vec<_> = corpus.tables().iter().take(2).cloned().collect();
+    for (i, mut table) in templates.into_iter().enumerate() {
+        table.id = TableId(max_id + 1 + i as u64);
+        let label_col = table.truth.label_column;
+        for (row, cell) in table.columns[label_col].cells.iter_mut().enumerate() {
+            *cell = match row % 3 {
+                0 => format!("{cell} {stretch}"),
+                1 => format!("{stretch} {cell}"),
+                // Every third row keeps its original label so long and
+                // short tokens compete inside one block.
+                _ => cell.clone(),
+            };
+        }
+        assert!(table.validate().is_ok(), "long-label fixture table must stay consistent");
+        corpus.push(table);
+    }
+    corpus
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

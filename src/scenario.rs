@@ -11,7 +11,7 @@
 //! import one path.
 
 pub use ltee_webtables::scenario::{
-    novel_row_share, with_exotic_labels, Scenario, ScenarioConfig, ScenarioSeed,
+    novel_row_share, with_exotic_labels, with_long_labels, Scenario, ScenarioConfig, ScenarioSeed,
 };
 
 use ltee_core::prelude::*;

@@ -17,17 +17,65 @@
 //! of random labels plus systematic perturbations of labels actually
 //! served by the snapshot.
 //!
-//! Deterministic: `Scale::tiny()` world with fixed seed 5150, one shared
-//! training run. Expected runtime: ~25 s in debug.
+//! Three corpora share the machinery:
+//!
+//! * the plain training corpus (seed 5150),
+//! * a near-duplicate **flood** corpus ([`Scenario::NearDuplicateFlood`])
+//!   — many labels one or two edits apart, the adversarial case for
+//!   candidate pruning, where score upper bounds separate almost nothing,
+//! * a **long-label** corpus ([`with_long_labels`]) whose labels carry a
+//!   single token past 64 characters, forcing the multi-block path of
+//!   the bit-parallel Levenshtein kernel through the full serving stack.
+//!
+//! Deterministic: `Scale::tiny()` worlds with fixed seeds, one shared
+//! training run per corpus. Expected runtime: a few seconds in debug.
 
 use std::sync::{Arc, OnceLock};
 
+use ltee::scenario::{with_long_labels, Scenario, TrainedWorld};
 use ltee_core::prelude::*;
 use ltee_serve::{ClassSnapshot, KbSnapshot, ServePipeline};
 use ltee_text::{levenshtein_similarity, normalize_label, tokenize};
 use proptest::prelude::*;
 
 static SNAPSHOT: OnceLock<Arc<KbSnapshot>> = OnceLock::new();
+static FLOOD_SNAPSHOT: OnceLock<Arc<KbSnapshot>> = OnceLock::new();
+static LONG_LABEL_SNAPSHOT: OnceLock<Arc<KbSnapshot>> = OnceLock::new();
+
+/// Sequential-config training world shared by the scenario snapshots.
+fn sequential_trained_world(seed: u64) -> TrainedWorld {
+    let config =
+        PipelineConfig { parallelism: Parallelism::Sequential, ..PipelineConfig::fast() };
+    TrainedWorld::train_with(seed, &CorpusConfig::tiny(), config)
+}
+
+/// Snapshot fed the near-duplicate flood corpus.
+fn flood_snapshot() -> Arc<KbSnapshot> {
+    FLOOD_SNAPSHOT
+        .get_or_init(|| {
+            let trained = sequential_trained_world(5151);
+            let corpus = trained.scenario_corpus(Scenario::NearDuplicateFlood, 97);
+            let mut serving = trained.serve();
+            for batch in corpus.split_into_batches(2) {
+                serving.ingest(&batch).expect("fresh table ids");
+            }
+            serving.snapshot()
+        })
+        .clone()
+}
+
+/// Snapshot fed a corpus whose labels carry >64-char single tokens.
+fn long_label_snapshot() -> Arc<KbSnapshot> {
+    LONG_LABEL_SNAPSHOT
+        .get_or_init(|| {
+            let trained = sequential_trained_world(5152);
+            let corpus = with_long_labels(trained.corpus.clone(), "supercalifragilistic");
+            let mut serving = trained.serve();
+            serving.ingest(&corpus).expect("fresh table ids");
+            serving.snapshot()
+        })
+        .clone()
+}
 
 /// One shared snapshot for every property case (training once).
 fn snapshot() -> Arc<KbSnapshot> {
@@ -198,19 +246,21 @@ fn assert_merged_agreement(snap: &KbSnapshot, query: &str, k: usize) {
     }
 }
 
-fn check_query(query: &str, k: usize) {
-    let snap = snapshot();
+fn check_query_on(snap: &KbSnapshot, query: &str, k: usize) {
     for slice in snap.classes() {
-        assert_class_agreement(&snap, slice, query, k);
+        assert_class_agreement(snap, slice, query, k);
     }
-    assert_merged_agreement(&snap, query, k);
+    assert_merged_agreement(snap, query, k);
 }
 
-/// Deterministically pick a served label and perturb it: drop one
-/// character and/or append garbage, producing near-miss queries that
+fn check_query(query: &str, k: usize) {
+    check_query_on(&snapshot(), query, k);
+}
+
+/// Deterministically pick a label served by `snap` and perturb it: drop
+/// one character and/or append garbage, producing near-miss queries that
 /// exercise the Levenshtein branch instead of the exact-token fast path.
-fn perturbed_label(pick: usize, drop: usize, suffix: &str) -> Option<String> {
-    let snap = snapshot();
+fn perturbed_label_on(snap: &KbSnapshot, pick: usize, drop: usize, suffix: &str) -> Option<String> {
     let slices: Vec<_> = snap.classes().collect();
     let slice = slices[pick % slices.len()];
     let record = slice.record((pick / slices.len()) as u32 % slice.len() as u32)?;
@@ -222,6 +272,31 @@ fn perturbed_label(pick: usize, drop: usize, suffix: &str) -> Option<String> {
     let mut query: String = chars.into_iter().collect();
     query.push_str(suffix);
     Some(query)
+}
+
+fn perturbed_label(pick: usize, drop: usize, suffix: &str) -> Option<String> {
+    perturbed_label_on(&snapshot(), pick, drop, suffix)
+}
+
+/// The scenario snapshots must actually serve records (and, for the
+/// long-label corpus, >64-char tokens) — otherwise the agreement
+/// properties over them would pass vacuously.
+#[test]
+fn scenario_snapshots_serve_their_corpora() {
+    let flood = flood_snapshot();
+    assert!(
+        flood.classes().any(|s| !s.is_empty()),
+        "flood snapshot should serve records"
+    );
+    let long = long_label_snapshot();
+    let has_long_token = long.classes().any(|slice| {
+        slice.records().iter().any(|r| {
+            r.labels.iter().any(|l| {
+                tokenize(&normalize_label(l)).iter().any(|t| t.chars().count() > 64)
+            })
+        })
+    });
+    assert!(has_long_token, "long-label snapshot should serve a >64-char token");
 }
 
 proptest! {
@@ -239,6 +314,39 @@ proptest! {
     ) {
         if let Some(query) = perturbed_label(pick, drop, &suffix) {
             check_query(&query, k);
+        }
+    }
+
+    #[test]
+    fn flood_queries_agree_with_brute_force(
+        pick in 0usize..4096,
+        drop in 0usize..32,
+        suffix in "[a-z]{0,2}",
+        k in 1usize..6,
+    ) {
+        // Near-duplicate flood: many candidates within one or two edits
+        // of each other, so pruning bounds separate almost nothing and
+        // the top-k boundary is contested by score ties — exactly where
+        // an unsound skip or a float divergence would surface.
+        let snap = flood_snapshot();
+        if let Some(query) = perturbed_label_on(&snap, pick, drop, &suffix) {
+            check_query_on(&snap, &query, k);
+        }
+    }
+
+    #[test]
+    fn long_label_queries_agree_with_brute_force(
+        pick in 0usize..2048,
+        drop in 0usize..96,
+        k in 1usize..5,
+    ) {
+        // Labels carry a >64-char token: dropping a character from it
+        // keeps it past the single-block limit, so the multi-block
+        // kernel runs inside the full serving stack and must agree with
+        // the string-level brute force bit-for-bit.
+        let snap = long_label_snapshot();
+        if let Some(query) = perturbed_label_on(&snap, pick, drop, "") {
+            check_query_on(&snap, &query, k);
         }
     }
 
