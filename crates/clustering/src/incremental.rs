@@ -159,6 +159,64 @@ impl StreamingClusterer {
         }
     }
 
+    /// Rebuild a clusterer from persisted cluster assignments, replaying
+    /// the blocking side effects of [`StreamingClusterer::ingest`] without
+    /// re-scoring a single row pair.
+    ///
+    /// Used by checkpoint recovery: the assignment decisions are the
+    /// expensive model-driven part of ingest, so they are persisted, while
+    /// the prefix blocking index and the per-cluster block-key sets are a
+    /// pure function of `(contexts, clusters, config)` and are replayed
+    /// here row by row — the exact sequence of `intern_label` / `lookup` /
+    /// `insert` calls ingest performed, so the rebuilt state (including
+    /// every internal `Sym` id) is bit-identical to the clusterer that
+    /// produced the assignments.
+    ///
+    /// Caller contract (validated by the checkpoint decoder before this is
+    /// reached): every row index in `clusters` is `< contexts.len()`,
+    /// every row appears in exactly one cluster, each cluster's rows are
+    /// ascending, and clusters are ordered by founding row.
+    pub fn from_parts(
+        config: ClusteringConfig,
+        contexts: Vec<RowContext>,
+        clusters: Vec<Vec<usize>>,
+    ) -> Self {
+        let mut cluster_of_row = vec![usize::MAX; contexts.len()];
+        for (ci, members) in clusters.iter().enumerate() {
+            for &row in members {
+                assert!(row < contexts.len(), "cluster row index out of bounds");
+                assert_eq!(cluster_of_row[row], usize::MAX, "row assigned to two clusters");
+                cluster_of_row[row] = ci;
+            }
+        }
+        assert!(
+            cluster_of_row.iter().all(|&c| c != usize::MAX),
+            "clusters must partition the rows"
+        );
+
+        let mut cluster_blocks: Vec<HashSet<Sym>> = vec![HashSet::new(); clusters.len()];
+        let mut block_index = LabelIndex::new();
+        for (row_idx, ctx) in contexts.iter().enumerate() {
+            let label = &ctx.normalized_label;
+            // Same order of operations as ingest: block keys are computed
+            // against the strict prefix, then the row itself is indexed.
+            let mut blocks: HashSet<Sym> = HashSet::new();
+            if !label.is_empty() {
+                blocks.insert(block_index.intern_label(label));
+                if config.use_blocking {
+                    for m in block_index.lookup(label, config.block_candidates) {
+                        blocks.insert(m.normalized);
+                    }
+                }
+            }
+            cluster_blocks[cluster_of_row[row_idx]].extend(blocks);
+            if !label.is_empty() {
+                block_index.insert(row_idx as u64, label);
+            }
+        }
+        Self { config, contexts, clusters, cluster_blocks, block_index }
+    }
+
     /// Ingest a micro-batch of rows, assigning each to the best existing
     /// cluster (or founding a new one). Returns the sorted indices of the
     /// clusters that were created or extended.
@@ -353,6 +411,34 @@ mod tests {
             }
             assert_eq!(parts.clusters(), all.clusters(), "split size {split}");
         }
+    }
+
+    #[test]
+    fn from_parts_replays_blocking_state_bit_identically() {
+        let model = label_model();
+        let phi = PhiTableVectors::default();
+        let implicit = ImplicitAttributes::default();
+        let mut interner = Interner::new();
+        let rows = sample_rows(&mut interner);
+
+        // Reference: ingest the first 16 rows, then the rest.
+        let mut reference = StreamingClusterer::new(ClusteringConfig::default());
+        reference.ingest(rows[..16].to_vec(), &model, &phi, &implicit, &interner);
+
+        // Rebuild from the persisted parts (contexts + assignments only),
+        // then continue ingesting: every later decision reads the replayed
+        // blocking state, so divergence anywhere would surface here.
+        let mut rebuilt = StreamingClusterer::from_parts(
+            ClusteringConfig::default(),
+            reference.contexts().to_vec(),
+            reference.clusters().to_vec(),
+        );
+        assert_eq!(rebuilt.cluster_blocks, reference.cluster_blocks);
+        let t_ref = reference.ingest(rows[16..].to_vec(), &model, &phi, &implicit, &interner);
+        let t_new = rebuilt.ingest(rows[16..].to_vec(), &model, &phi, &implicit, &interner);
+        assert_eq!(t_ref, t_new);
+        assert_eq!(rebuilt.clusters(), reference.clusters());
+        assert_eq!(rebuilt.cluster_blocks, reference.cluster_blocks);
     }
 
     #[test]

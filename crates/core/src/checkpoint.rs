@@ -1,0 +1,1024 @@
+//! Durable checkpoints of accumulated serve state.
+//!
+//! [`crate::artifact::ModelArtifact`] (PR 3) made the *models* persistent;
+//! this module makes the *accumulated knowledge-base state* persistent: a
+//! [`PipelineCheckpoint`] captures everything an [`IncrementalPipeline`]
+//! has learned from the stream so far, in the same versioned / checksummed
+//! / bounds-checked binary discipline as the artifact format, so a serving
+//! process can restart (or a second process can spawn) without re-ingesting
+//! the corpus.
+//!
+//! ## What is persisted vs. rebuilt
+//!
+//! The checkpoint persists the **expensive model-driven decisions** and
+//! rebuilds the **cheap derived state** on restore:
+//!
+//! * persisted — the interner arena (every string, in mint order, so every
+//!   `Sym` id is reproduced exactly), the accumulated corpus (tables in
+//!   arrival order), the accumulated schema mapping, and per class the
+//!   cluster assignments, fused entities and new-detection results;
+//! * rebuilt — row contexts, the prefix blocking index and per-cluster
+//!   block keys ([`StreamingClusterer::from_parts`]), frozen PHI vectors
+//!   (replayed per table in arrival order), implicit attributes and KBT
+//!   scores (both pure functions of corpus + mapping + frozen KB).
+//!
+//! Skipping schema matching, pair scoring and fusion on restore is what
+//! makes cold recovery decisively faster than re-ingesting the corpus
+//! (`benches/recovery_throughput.rs` gates this in CI); the incremental-
+//! equivalence contract (every rebuilt structure is a deterministic
+//! function of the persisted decisions) is what makes the restored
+//! pipeline **bit-identical** to the one that wrote the checkpoint —
+//! `tests/recovery_equivalence.rs` proves it end to end.
+//!
+//! ## File format (version 1)
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic  b"LTEECKP\x01"
+//! 8       4     format version (u32 LE) — currently 1
+//! 12      8     config fingerprint (u64 LE, `config_fingerprint`)
+//! 20      8     applied batches (u64 LE) — non-empty ingests == snapshot version
+//! 28      8     payload length in bytes (u64 LE)
+//! 36      8     payload FNV-1a64 checksum (u64 LE)
+//! 44      …     payload: interner strings · corpus · mapping · per-class
+//!               clusters/entities/results, encoded via `ltee_ml::codec`
+//! ```
+//!
+//! Decoding validates magic, version, length and checksum before touching
+//! the payload, every collection length is bounds-checked against the
+//! remaining stream (no allocation bombs), and the decoded state is
+//! cross-validated (tables well-formed, ids unique, clusters partition the
+//! mapped rows in founding order) before any of it is trusted. Restoring
+//! additionally rejects a checkpoint written under a different inference
+//! configuration ([`CheckpointError::ConfigMismatch`]).
+
+use std::collections::HashSet;
+use std::path::Path;
+
+use ltee_clustering::{
+    build_row_contexts, ImplicitAttributes, StreamingClusterer, StreamingPhi,
+};
+use ltee_fusion::{kbt_scores_for_tables, Entity, ScoringMethod};
+use ltee_intern::Interner;
+use ltee_kb::{ClassKey, KnowledgeBase, CLASS_KEYS};
+use ltee_matching::{AttributeMatch, CorpusMapping, TableMapping};
+use ltee_ml::codec::{fnv1a64, ByteReader, ByteWriter, CodecError};
+use ltee_newdetect::{NewDetectionOutcome, NewDetectionResult};
+use ltee_types::{DataType, Date, DateGranularity, DetectedType, Value};
+use ltee_webtables::{Column, Corpus, RowRef, TableId, TableTruth, WebTable};
+
+use crate::artifact::config_fingerprint;
+use crate::incremental::{class_rows_in_arrival_order, ClassState, IncrementalPipeline};
+use crate::pipeline::{PipelineConfig, TrainedModels};
+
+/// Magic bytes opening every checkpoint file.
+pub const CHECKPOINT_MAGIC: [u8; 8] = *b"LTEECKP\x01";
+
+/// The checkpoint format version this build writes and reads.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// Offset where the checkpoint payload starts (after magic, version,
+/// fingerprint, applied-batch count, payload length and checksum).
+pub const CHECKPOINT_PAYLOAD_START: usize = 44;
+
+/// Errors raised while encoding, decoding, validating or restoring a
+/// checkpoint.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Reading or writing the checkpoint file failed.
+    Io(std::io::Error),
+    /// The input does not start with the checkpoint magic.
+    BadMagic,
+    /// The checkpoint was written by an unknown format version.
+    UnsupportedVersion(u32),
+    /// The payload failed its checksum, length or cross-validation check.
+    Corrupted(String),
+    /// A payload field could not be decoded.
+    Decode(CodecError),
+    /// The checkpoint was written under a different inference configuration.
+    ConfigMismatch {
+        /// Fingerprint stored in the checkpoint.
+        checkpoint: u64,
+        /// Fingerprint of the configuration the caller supplied.
+        config: u64,
+    },
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            CheckpointError::BadMagic => {
+                write!(f, "not an LTEE state checkpoint (bad magic header)")
+            }
+            CheckpointError::UnsupportedVersion(v) => write!(
+                f,
+                "unsupported checkpoint format version {v} (this build reads version {CHECKPOINT_VERSION})"
+            ),
+            CheckpointError::Corrupted(why) => write!(f, "checkpoint is corrupted: {why}"),
+            CheckpointError::Decode(e) => write!(f, "checkpoint payload is malformed: {e}"),
+            CheckpointError::ConfigMismatch { checkpoint, config } => write!(
+                f,
+                "checkpoint was written under a different configuration \
+                 (checkpoint fingerprint {checkpoint:#018x}, pipeline config fingerprint {config:#018x}); \
+                 recover with the writing process's config or start a fresh store"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            CheckpointError::Decode(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CodecError> for CheckpointError {
+    fn from(e: CodecError) -> Self {
+        CheckpointError::Decode(e)
+    }
+}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+// ───────────────────────── value / table / mapping codecs ────────────────
+
+fn encode_value_into(value: &Value, w: &mut ByteWriter) {
+    match value {
+        Value::Text(s) => {
+            w.write_u8(0);
+            w.write_str(s);
+        }
+        Value::Nominal(s) => {
+            w.write_u8(1);
+            w.write_str(s);
+        }
+        Value::InstanceRef(s) => {
+            w.write_u8(2);
+            w.write_str(s);
+        }
+        Value::Date(d) => {
+            w.write_u8(3);
+            w.write_u32(d.year as u32);
+            w.write_u8(d.month);
+            w.write_u8(d.day);
+            w.write_u8(match d.granularity {
+                DateGranularity::Year => 0,
+                DateGranularity::Day => 1,
+            });
+        }
+        Value::Quantity(q) => {
+            w.write_u8(4);
+            w.write_f64(*q);
+        }
+        Value::NominalInt(i) => {
+            w.write_u8(5);
+            w.write_u64(*i as u64);
+        }
+    }
+}
+
+fn decode_value_from(r: &mut ByteReader<'_>) -> Result<Value, CodecError> {
+    match r.read_u8("value tag")? {
+        0 => Ok(Value::Text(r.read_str("text value")?)),
+        1 => Ok(Value::Nominal(r.read_str("nominal value")?)),
+        2 => Ok(Value::InstanceRef(r.read_str("instance-ref value")?)),
+        3 => {
+            let year = r.read_u32("date year")? as i32;
+            let month = r.read_u8("date month")?;
+            let day = r.read_u8("date day")?;
+            let granularity = match r.read_u8("date granularity")? {
+                0 => DateGranularity::Year,
+                1 => DateGranularity::Day,
+                tag => return Err(CodecError::InvalidTag { what: "date granularity", tag }),
+            };
+            Ok(Value::Date(Date { year, month, day, granularity }))
+        }
+        4 => Ok(Value::Quantity(r.read_f64("quantity value")?)),
+        5 => Ok(Value::NominalInt(r.read_u64("nominal-int value")? as i64)),
+        tag => Err(CodecError::InvalidTag { what: "value", tag }),
+    }
+}
+
+fn data_type_tag(dt: DataType) -> u8 {
+    match dt {
+        DataType::Text => 0,
+        DataType::NominalString => 1,
+        DataType::InstanceReference => 2,
+        DataType::Date => 3,
+        DataType::Quantity => 4,
+        DataType::NominalInteger => 5,
+    }
+}
+
+fn data_type_from_tag(tag: u8) -> Result<DataType, CodecError> {
+    Ok(match tag {
+        0 => DataType::Text,
+        1 => DataType::NominalString,
+        2 => DataType::InstanceReference,
+        3 => DataType::Date,
+        4 => DataType::Quantity,
+        5 => DataType::NominalInteger,
+        tag => return Err(CodecError::InvalidTag { what: "data type", tag }),
+    })
+}
+
+fn detected_type_tag(dt: DetectedType) -> u8 {
+    match dt {
+        DetectedType::Text => 0,
+        DetectedType::Date => 1,
+        DetectedType::Quantity => 2,
+    }
+}
+
+fn detected_type_from_tag(tag: u8) -> Result<DetectedType, CodecError> {
+    Ok(match tag {
+        0 => DetectedType::Text,
+        1 => DetectedType::Date,
+        2 => DetectedType::Quantity,
+        tag => return Err(CodecError::InvalidTag { what: "detected type", tag }),
+    })
+}
+
+fn class_key_from_code(code: u8) -> Result<ClassKey, CodecError> {
+    ClassKey::from_code(code).ok_or(CodecError::InvalidTag { what: "class key", tag: code })
+}
+
+fn encode_table_into(table: &WebTable, w: &mut ByteWriter) {
+    w.write_u64(table.id.raw());
+    w.write_len(table.columns.len());
+    for column in &table.columns {
+        w.write_str(&column.header);
+        w.write_str_slice(&column.cells);
+    }
+    w.write_u8(table.truth.class.code());
+    w.write_usize(table.truth.label_column);
+    w.write_len(table.truth.column_property.len());
+    for prop in &table.truth.column_property {
+        w.write_bool(prop.is_some());
+        if let Some(p) = prop {
+            w.write_str(p);
+        }
+    }
+    w.write_len(table.truth.row_entity.len());
+    for entity in &table.truth.row_entity {
+        w.write_u64(entity.raw());
+    }
+}
+
+fn decode_table_from(r: &mut ByteReader<'_>) -> Result<WebTable, CheckpointError> {
+    let id = TableId(r.read_u64("table id")?);
+    let num_columns = r.read_len("table columns", 8)?;
+    let mut columns = Vec::with_capacity(num_columns);
+    for _ in 0..num_columns {
+        let header = r.read_str("column header")?;
+        let cells = r.read_str_vec("column cells")?;
+        columns.push(Column { header, cells });
+    }
+    let class = class_key_from_code(r.read_u8("truth class")?)?;
+    let label_column = r.read_usize("truth label column")?;
+    let num_props = r.read_len("truth column properties", 1)?;
+    let mut column_property = Vec::with_capacity(num_props);
+    for _ in 0..num_props {
+        column_property.push(if r.read_bool("truth property flag")? {
+            Some(r.read_str("truth property")?)
+        } else {
+            None
+        });
+    }
+    let num_entities = r.read_len("truth row entities", 8)?;
+    let mut row_entity = Vec::with_capacity(num_entities);
+    for _ in 0..num_entities {
+        row_entity.push(ltee_kb::EntityId(r.read_u64("truth row entity")?));
+    }
+    let table = WebTable {
+        id,
+        columns,
+        truth: TableTruth { class, label_column, column_property, row_entity },
+    };
+    table
+        .validate()
+        .map_err(|why| CheckpointError::Corrupted(format!("table {}: {why}", id.raw())))?;
+    Ok(table)
+}
+
+/// Encode a corpus (tables in arrival order). Shared by the checkpoint
+/// payload and by WAL batch records (`ltee-store`), so a replayed batch and
+/// a checkpointed corpus go through the exact same byte layout.
+pub fn encode_corpus(corpus: &Corpus) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    encode_corpus_into(corpus, &mut w);
+    w.into_bytes()
+}
+
+fn encode_corpus_into(corpus: &Corpus, w: &mut ByteWriter) {
+    w.write_len(corpus.len());
+    for table in corpus.tables() {
+        encode_table_into(table, w);
+    }
+}
+
+/// Decode a corpus encoded by [`encode_corpus`], validating every table and
+/// rejecting duplicate table ids. Requires the reader to be fully consumed.
+pub fn decode_corpus(bytes: &[u8]) -> Result<Corpus, CheckpointError> {
+    let mut r = ByteReader::new(bytes);
+    let corpus = decode_corpus_from(&mut r)?;
+    r.expect_eof()?;
+    Ok(corpus)
+}
+
+fn decode_corpus_from(r: &mut ByteReader<'_>) -> Result<Corpus, CheckpointError> {
+    let num_tables = r.read_len("corpus tables", 16)?;
+    let mut tables = Vec::with_capacity(num_tables);
+    let mut seen = HashSet::new();
+    for _ in 0..num_tables {
+        let table = decode_table_from(r)?;
+        if !seen.insert(table.id) {
+            return Err(CheckpointError::Corrupted(format!(
+                "duplicate table id {} in corpus",
+                table.id.raw()
+            )));
+        }
+        tables.push(table);
+    }
+    Ok(Corpus::from_tables(tables))
+}
+
+fn encode_mapping_into(mapping: &TableMapping, w: &mut ByteWriter) {
+    w.write_u64(mapping.table.raw());
+    w.write_bool(mapping.class.is_some());
+    if let Some(class) = mapping.class {
+        w.write_u8(class.code());
+    }
+    w.write_f64(mapping.class_score);
+    w.write_usize(mapping.label_column);
+    w.write_len(mapping.detected_types.len());
+    for &dt in &mapping.detected_types {
+        w.write_u8(detected_type_tag(dt));
+    }
+    w.write_len(mapping.correspondences.len());
+    for c in &mapping.correspondences {
+        w.write_bool(c.is_some());
+        if let Some(m) = c {
+            w.write_str(&m.property);
+            w.write_u8(data_type_tag(m.data_type));
+            w.write_f64(m.score);
+        }
+    }
+}
+
+fn decode_mapping_from(r: &mut ByteReader<'_>) -> Result<TableMapping, CheckpointError> {
+    let table = TableId(r.read_u64("mapping table id")?);
+    let class = if r.read_bool("mapping class flag")? {
+        Some(class_key_from_code(r.read_u8("mapping class")?)?)
+    } else {
+        None
+    };
+    let class_score = r.read_f64("mapping class score")?;
+    let label_column = r.read_usize("mapping label column")?;
+    let num_types = r.read_len("mapping detected types", 1)?;
+    let mut detected_types = Vec::with_capacity(num_types);
+    for _ in 0..num_types {
+        detected_types.push(detected_type_from_tag(r.read_u8("detected type")?)?);
+    }
+    let num_cols = r.read_len("mapping correspondences", 1)?;
+    let mut correspondences = Vec::with_capacity(num_cols);
+    for _ in 0..num_cols {
+        correspondences.push(if r.read_bool("correspondence flag")? {
+            let property = r.read_str("correspondence property")?;
+            let data_type = data_type_from_tag(r.read_u8("correspondence data type")?)?;
+            let score = r.read_f64("correspondence score")?;
+            Some(AttributeMatch { property, data_type, score })
+        } else {
+            None
+        });
+    }
+    Ok(TableMapping { table, class, class_score, label_column, detected_types, correspondences })
+}
+
+fn encode_entity_into(entity: &Entity, w: &mut ByteWriter) {
+    // The class is implied by the per-class section the entity sits in.
+    w.write_len(entity.rows.len());
+    for row in &entity.rows {
+        w.write_u64(row.table.raw());
+        w.write_usize(row.row);
+    }
+    w.write_str_slice(&entity.labels);
+    w.write_len(entity.facts.len());
+    for (property, value, score) in &entity.facts {
+        w.write_str(property);
+        encode_value_into(value, w);
+        w.write_f64(*score);
+    }
+}
+
+fn decode_entity_from(r: &mut ByteReader<'_>, class: ClassKey) -> Result<Entity, CheckpointError> {
+    let num_rows = r.read_len("entity rows", 16)?;
+    let mut rows = Vec::with_capacity(num_rows);
+    for _ in 0..num_rows {
+        let table = TableId(r.read_u64("entity row table")?);
+        let row = r.read_usize("entity row index")?;
+        rows.push(RowRef::new(table, row));
+    }
+    let labels = r.read_str_vec("entity labels")?;
+    let num_facts = r.read_len("entity facts", 14)?;
+    let mut facts = Vec::with_capacity(num_facts);
+    for _ in 0..num_facts {
+        let property = r.read_str("fact property")?;
+        let value = decode_value_from(r)?;
+        let score = r.read_f64("fact score")?;
+        facts.push((property, value, score));
+    }
+    Ok(Entity { class, rows, labels, facts })
+}
+
+fn encode_result_into(result: &NewDetectionResult, w: &mut ByteWriter) {
+    w.write_usize(result.entity);
+    match result.outcome {
+        NewDetectionOutcome::New => w.write_u8(0),
+        NewDetectionOutcome::Existing(instance) => {
+            w.write_u8(1);
+            w.write_u64(instance.raw());
+        }
+    }
+    w.write_f64(result.best_score);
+    w.write_usize(result.candidate_count);
+}
+
+fn decode_result_from(r: &mut ByteReader<'_>) -> Result<NewDetectionResult, CheckpointError> {
+    let entity = r.read_usize("result entity")?;
+    let outcome = match r.read_u8("result outcome")? {
+        0 => NewDetectionOutcome::New,
+        1 => NewDetectionOutcome::Existing(ltee_kb::InstanceId(r.read_u64("result instance")?)),
+        tag => return Err(CodecError::InvalidTag { what: "detection outcome", tag }.into()),
+    };
+    let best_score = r.read_f64("result best score")?;
+    let candidate_count = r.read_usize("result candidate count")?;
+    Ok(NewDetectionResult { entity, outcome, best_score, candidate_count })
+}
+
+// ─────────────────────────── the checkpoint itself ───────────────────────
+
+/// The persisted per-class decisions (parallel to [`CLASS_KEYS`]).
+#[derive(Debug, Clone)]
+struct ClassDump {
+    clusters: Vec<Vec<usize>>,
+    entities: Vec<Entity>,
+    results: Vec<NewDetectionResult>,
+}
+
+/// A full checkpoint of [`IncrementalPipeline`] accumulated state.
+///
+/// Capture one with [`IncrementalPipeline::checkpoint`], persist it with
+/// [`PipelineCheckpoint::encode`] / [`PipelineCheckpoint::save`], and bring
+/// a fresh process back to the exact pre-checkpoint state with
+/// [`PipelineCheckpoint::decode`] + [`PipelineCheckpoint::restore`]. See
+/// the [module docs](self) for the format and the persisted/rebuilt split.
+#[derive(Debug, Clone)]
+pub struct PipelineCheckpoint {
+    /// Fingerprint of the inference configuration the state was produced
+    /// under (see [`config_fingerprint`]).
+    pub fingerprint: u64,
+    /// Number of non-empty micro-batches applied before the checkpoint was
+    /// taken — equals the published snapshot version of the serve layer.
+    pub applied_batches: u64,
+    interner_strings: Vec<String>,
+    tables: Vec<WebTable>,
+    mappings: Vec<TableMapping>,
+    classes: Vec<ClassDump>,
+}
+
+impl IncrementalPipeline<'_> {
+    /// Capture a checkpoint of the accumulated state. `applied_batches` is
+    /// the number of non-empty batches ingested so far (the serve layer's
+    /// snapshot version); the pipeline itself does not track batch
+    /// boundaries, so the durability layer supplies it.
+    pub fn checkpoint(&self, applied_batches: u64) -> PipelineCheckpoint {
+        let mut mappings: Vec<TableMapping> = self.mapping.tables().cloned().collect();
+        // Canonical byte stream: the mapping lives in a HashMap, so encode
+        // it sorted by table id (arrival order is already canonical for
+        // everything else).
+        mappings.sort_by_key(|m| m.table);
+        PipelineCheckpoint {
+            fingerprint: config_fingerprint(&self.config),
+            applied_batches,
+            interner_strings: self.interner.iter().map(|(_, s)| s.to_string()).collect(),
+            tables: self.corpus.tables().to_vec(),
+            mappings,
+            classes: self
+                .states
+                .iter()
+                .map(|s| ClassDump {
+                    clusters: s.clusterer.clusters().to_vec(),
+                    entities: s.entities.clone(),
+                    results: s.results.clone(),
+                })
+                .collect(),
+        }
+    }
+}
+
+impl PipelineCheckpoint {
+    /// Encode the checkpoint into its binary file format.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.write_str_slice(&self.interner_strings);
+        w.write_len(self.tables.len());
+        for table in &self.tables {
+            encode_table_into(table, &mut w);
+        }
+        w.write_len(self.mappings.len());
+        for mapping in &self.mappings {
+            encode_mapping_into(mapping, &mut w);
+        }
+        w.write_len(self.classes.len());
+        for dump in &self.classes {
+            w.write_len(dump.clusters.len());
+            for cluster in &dump.clusters {
+                w.write_len(cluster.len());
+                for &row in cluster {
+                    w.write_u32(row as u32);
+                }
+            }
+            w.write_len(dump.entities.len());
+            for entity in &dump.entities {
+                encode_entity_into(entity, &mut w);
+            }
+            w.write_len(dump.results.len());
+            for result in &dump.results {
+                encode_result_into(result, &mut w);
+            }
+        }
+        let payload = w.into_bytes();
+
+        let mut out = Vec::with_capacity(CHECKPOINT_PAYLOAD_START + payload.len());
+        out.extend_from_slice(&CHECKPOINT_MAGIC);
+        out.extend_from_slice(&CHECKPOINT_VERSION.to_le_bytes());
+        out.extend_from_slice(&self.fingerprint.to_le_bytes());
+        out.extend_from_slice(&self.applied_batches.to_le_bytes());
+        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(&fnv1a64(&payload).to_le_bytes());
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    /// Decode and fully validate a checkpoint from bytes.
+    ///
+    /// Header checks (magic, version, payload length, checksum) run before
+    /// any payload byte is interpreted; payload decoding is bounds-checked
+    /// throughout; and the decoded state is cross-validated — tables
+    /// well-formed with unique ids, mapping entries unique, and per class
+    /// the clusters must partition the mapped rows in founding order with
+    /// results parallel to clusters. Anything else is a typed rejection,
+    /// never a panic.
+    pub fn decode(bytes: &[u8]) -> Result<Self, CheckpointError> {
+        if bytes.len() < 8 || bytes[..8] != CHECKPOINT_MAGIC {
+            return Err(CheckpointError::BadMagic);
+        }
+        let mut header = ByteReader::new(&bytes[8..CHECKPOINT_PAYLOAD_START.min(bytes.len())]);
+        let version = header.read_u32("checkpoint.version")?;
+        if version != CHECKPOINT_VERSION {
+            return Err(CheckpointError::UnsupportedVersion(version));
+        }
+        let fingerprint = header.read_u64("checkpoint.fingerprint")?;
+        let applied_batches = header.read_u64("checkpoint.applied_batches")?;
+        let payload_len = header.read_u64("checkpoint.payload_len")? as usize;
+        let checksum = header.read_u64("checkpoint.checksum")?;
+        let payload = &bytes[CHECKPOINT_PAYLOAD_START..];
+        if payload.len() != payload_len {
+            return Err(CheckpointError::Corrupted(format!(
+                "payload length mismatch: header says {payload_len} bytes, file holds {}",
+                payload.len()
+            )));
+        }
+        let actual = fnv1a64(payload);
+        if actual != checksum {
+            return Err(CheckpointError::Corrupted(format!(
+                "payload checksum mismatch: header {checksum:#018x}, computed {actual:#018x}"
+            )));
+        }
+
+        let mut r = ByteReader::new(payload);
+        let interner_strings = r.read_str_vec("interner strings")?;
+        let corpus = decode_corpus_from(&mut r)?;
+        let num_mappings = r.read_len("corpus mappings", 16)?;
+        let mut mappings = Vec::with_capacity(num_mappings);
+        let mut seen = HashSet::new();
+        for _ in 0..num_mappings {
+            let mapping = decode_mapping_from(&mut r)?;
+            if !seen.insert(mapping.table) {
+                return Err(CheckpointError::Corrupted(format!(
+                    "duplicate mapping for table {}",
+                    mapping.table.raw()
+                )));
+            }
+            mappings.push(mapping);
+        }
+        let num_classes = r.read_len("class states", 12)?;
+        if num_classes != CLASS_KEYS.len() {
+            return Err(CheckpointError::Corrupted(format!(
+                "checkpoint holds {num_classes} class states, this build has {}",
+                CLASS_KEYS.len()
+            )));
+        }
+        let mut classes = Vec::with_capacity(num_classes);
+        for _ in 0..num_classes {
+            let num_clusters = r.read_len("clusters", 4)?;
+            let mut clusters = Vec::with_capacity(num_clusters);
+            for _ in 0..num_clusters {
+                let num_rows = r.read_len("cluster rows", 4)?;
+                let mut cluster = Vec::with_capacity(num_rows);
+                for _ in 0..num_rows {
+                    cluster.push(r.read_u32("cluster row index")? as usize);
+                }
+                clusters.push(cluster);
+            }
+            let num_entities = r.read_len("entities", 12)?;
+            let mut entities = Vec::with_capacity(num_entities);
+            for _ in 0..num_entities {
+                entities.push(decode_entity_from(&mut r, ClassKey::Song)?);
+            }
+            let num_results = r.read_len("results", 25)?;
+            let mut results = Vec::with_capacity(num_results);
+            for _ in 0..num_results {
+                results.push(decode_result_from(&mut r)?);
+            }
+            classes.push(ClassDump { clusters, entities, results });
+        }
+        r.expect_eof()?;
+
+        // Patch in the real class keys (the per-class sections are in
+        // CLASS_KEYS order; the entity decoder used a placeholder).
+        for (class, dump) in CLASS_KEYS.iter().zip(classes.iter_mut()) {
+            for entity in &mut dump.entities {
+                entity.class = *class;
+            }
+        }
+
+        let checkpoint = PipelineCheckpoint {
+            fingerprint,
+            applied_batches,
+            interner_strings,
+            tables: corpus.tables().to_vec(),
+            mappings,
+            classes,
+        };
+        checkpoint.validate_state(&corpus)?;
+        Ok(checkpoint)
+    }
+
+    /// Cross-validate the decoded state: per class, the clusters must
+    /// partition the rows of that class's tables exactly once, in founding
+    /// order, with entities/results parallel to the cluster list. This is
+    /// what lets [`StreamingClusterer::from_parts`] assume well-formed
+    /// inputs.
+    fn validate_state(&self, corpus: &Corpus) -> Result<(), CheckpointError> {
+        let mapping = CorpusMapping::from_tables(self.mappings.clone());
+        for (&class, dump) in CLASS_KEYS.iter().zip(&self.classes) {
+            let rows = class_rows_in_arrival_order(corpus, &mapping, class);
+            if dump.entities.len() != dump.clusters.len()
+                || dump.results.len() != dump.clusters.len()
+            {
+                return Err(CheckpointError::Corrupted(format!(
+                    "{class}: {} clusters but {} entities / {} results",
+                    dump.clusters.len(),
+                    dump.entities.len(),
+                    dump.results.len()
+                )));
+            }
+            let mut assigned = vec![false; rows.len()];
+            let mut previous_founder = None;
+            for (ci, cluster) in dump.clusters.iter().enumerate() {
+                if cluster.is_empty() {
+                    return Err(CheckpointError::Corrupted(format!(
+                        "{class}: cluster {ci} is empty"
+                    )));
+                }
+                if previous_founder.is_some_and(|f| cluster[0] <= f) {
+                    return Err(CheckpointError::Corrupted(format!(
+                        "{class}: clusters are not in founding order at cluster {ci}"
+                    )));
+                }
+                previous_founder = Some(cluster[0]);
+                let mut previous_row = None;
+                for &row in cluster {
+                    if row >= rows.len() {
+                        return Err(CheckpointError::Corrupted(format!(
+                            "{class}: cluster {ci} references row {row} of {} mapped rows",
+                            rows.len()
+                        )));
+                    }
+                    if assigned[row] {
+                        return Err(CheckpointError::Corrupted(format!(
+                            "{class}: row {row} assigned to more than one cluster"
+                        )));
+                    }
+                    if previous_row.is_some_and(|p| row <= p) {
+                        return Err(CheckpointError::Corrupted(format!(
+                            "{class}: cluster {ci} rows are not ascending"
+                        )));
+                    }
+                    assigned[row] = true;
+                    previous_row = Some(row);
+                }
+                if dump.results[ci].entity != ci {
+                    return Err(CheckpointError::Corrupted(format!(
+                        "{class}: result {ci} points at cluster {}",
+                        dump.results[ci].entity
+                    )));
+                }
+            }
+            if let Some(unassigned) = assigned.iter().position(|&a| !a) {
+                return Err(CheckpointError::Corrupted(format!(
+                    "{class}: mapped row {unassigned} is in no cluster"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Check that `config` matches the configuration the checkpoint's state
+    /// was produced under.
+    pub fn verify_config(&self, config: &PipelineConfig) -> Result<(), CheckpointError> {
+        let fingerprint = config_fingerprint(config);
+        if fingerprint == self.fingerprint {
+            Ok(())
+        } else {
+            Err(CheckpointError::ConfigMismatch { checkpoint: self.fingerprint, config: fingerprint })
+        }
+    }
+
+    /// Restore an [`IncrementalPipeline`] to the exact state it had when
+    /// the checkpoint was captured — bit-identical, including every `Sym`
+    /// id and every `f64` bit pattern.
+    ///
+    /// Rebuilds the derived state (contexts, blocking, PHI, implicit
+    /// attributes, KBT scores) from the persisted decisions; see the
+    /// [module docs](self). Fails with [`CheckpointError::ConfigMismatch`]
+    /// when `config` differs from the writing process's config, and with
+    /// [`CheckpointError::Corrupted`] when the rebuild detects an
+    /// inconsistency the structural validation could not (vocabulary
+    /// missing from the persisted interner).
+    pub fn restore<'a>(
+        &self,
+        kb: &'a KnowledgeBase,
+        models: TrainedModels,
+        config: PipelineConfig,
+    ) -> Result<IncrementalPipeline<'a>, CheckpointError> {
+        self.verify_config(&config)?;
+
+        // Re-minting the arena in stored order reproduces every Sym id;
+        // all interning below is re-interning of already-present strings,
+        // asserted by the baseline check at the end.
+        let mut interner = Interner::new();
+        for s in &self.interner_strings {
+            interner.intern(s);
+        }
+        let baseline = interner.len();
+
+        let corpus = Corpus::from_tables(self.tables.clone());
+        let mapping = CorpusMapping::from_tables(self.mappings.clone());
+        let all_tables: Vec<TableId> = corpus.tables().iter().map(|t| t.id).collect();
+
+        let mut states = Vec::with_capacity(CLASS_KEYS.len());
+        for (&class, dump) in CLASS_KEYS.iter().zip(&self.classes) {
+            let kb_index = kb.label_index(class);
+            let rows = class_rows_in_arrival_order(&corpus, &mapping, class);
+            let contexts = build_row_contexts(&corpus, &mapping, &rows, &mut interner);
+
+            // Replay the frozen PHI vectors per table, in arrival order —
+            // the same per-table label sequences ingest fed to add_table.
+            let mut phi = StreamingPhi::new();
+            for table in corpus.tables() {
+                if mapping.table(table.id).map(|tm| tm.class) != Some(Some(class)) {
+                    continue;
+                }
+                let labels: Vec<String> = contexts
+                    .iter()
+                    .filter(|c| c.row.table == table.id)
+                    .filter(|c| !c.normalized_label.is_empty())
+                    .map(|c| c.normalized_label.clone())
+                    .collect();
+                phi.add_table(table.id, &labels);
+            }
+
+            let clusterer = StreamingClusterer::from_parts(
+                config.clustering.clone(),
+                contexts,
+                dump.clusters.clone(),
+            );
+            let implicit = ImplicitAttributes::build(&corpus, &mapping, kb, class, &kb_index);
+            let kbt = if config.fusion.scoring == ScoringMethod::Kbt {
+                kbt_scores_for_tables(&corpus, &mapping, kb, class, &all_tables)
+            } else {
+                std::collections::HashMap::new()
+            };
+            states.push(ClassState {
+                class,
+                kb_index,
+                clusterer,
+                phi,
+                implicit,
+                kbt,
+                entities: dump.entities.clone(),
+                results: dump.results.clone(),
+            });
+        }
+
+        if interner.len() != baseline {
+            return Err(CheckpointError::Corrupted(format!(
+                "state rebuild minted {} new interned strings — the checkpointed interner does \
+                 not cover the corpus vocabulary",
+                interner.len() - baseline
+            )));
+        }
+
+        Ok(IncrementalPipeline { kb, models, config, corpus, mapping, interner, states })
+    }
+
+    /// Write the checkpoint to a file.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+        std::fs::write(path, self.encode())?;
+        Ok(())
+    }
+
+    /// Read and decode a checkpoint file.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, CheckpointError> {
+        Self::decode(&std::fs::read(path)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_codec_round_trips_every_variant_bit_exactly() {
+        let values = vec![
+            Value::Text("héllo world".into()),
+            Value::Nominal("US-07302".into()),
+            Value::InstanceRef("New England Patriots".into()),
+            Value::Date(Date::year(-44)),
+            Value::Date(Date::day(1969, 7, 20)),
+            Value::Quantity(-0.0),
+            Value::Quantity(f64::NAN),
+            Value::NominalInt(-12),
+        ];
+        let mut w = ByteWriter::new();
+        for v in &values {
+            encode_value_into(v, &mut w);
+        }
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        for v in &values {
+            let decoded = decode_value_from(&mut r).unwrap();
+            match (v, &decoded) {
+                (Value::Quantity(a), Value::Quantity(b)) => assert_eq!(a.to_bits(), b.to_bits()),
+                _ => assert_eq!(*v, decoded),
+            }
+        }
+        r.expect_eof().unwrap();
+    }
+
+    #[test]
+    fn invalid_value_and_type_tags_are_rejected() {
+        let mut r = ByteReader::new(&[9]);
+        assert!(matches!(
+            decode_value_from(&mut r),
+            Err(CodecError::InvalidTag { what: "value", tag: 9 })
+        ));
+        assert!(data_type_from_tag(6).is_err());
+        assert!(detected_type_from_tag(3).is_err());
+        assert!(class_key_from_code(250).is_err());
+    }
+
+    #[test]
+    fn corpus_codec_round_trips_and_rejects_duplicates() {
+        let table = WebTable {
+            id: TableId(7),
+            columns: vec![Column {
+                header: "song".into(),
+                cells: vec!["Yellow Submarine".into(), "".into()],
+            }],
+            truth: TableTruth {
+                class: ClassKey::Song,
+                label_column: 0,
+                column_property: vec![None],
+                row_entity: vec![ltee_kb::EntityId(1), ltee_kb::EntityId(2)],
+            },
+        };
+        let corpus = Corpus::from_tables(vec![table.clone()]);
+        let decoded = decode_corpus(&encode_corpus(&corpus)).unwrap();
+        assert_eq!(decoded.tables(), corpus.tables());
+
+        let doubled = Corpus::from_tables(vec![table.clone(), table]);
+        // from_tables collapses the id lookup, but the encoded stream still
+        // carries both tables — decode must reject it.
+        let mut w = ByteWriter::new();
+        encode_corpus_into(&doubled, &mut w);
+        assert!(matches!(
+            decode_corpus(&w.into_bytes()),
+            Err(CheckpointError::Corrupted(why)) if why.contains("duplicate table id")
+        ));
+    }
+
+    #[test]
+    fn restore_is_bit_identical_and_ingests_identically_afterwards() {
+        use crate::pipeline::train_models;
+        use ltee_kb::{generate_world, GeneratorConfig, Scale};
+        use ltee_webtables::{generate_corpus, CorpusConfig, GoldStandard};
+
+        let world = generate_world(&GeneratorConfig::new(Scale::tiny(), 58));
+        let corpus = generate_corpus(&world, &CorpusConfig::tiny());
+        let golds: Vec<GoldStandard> =
+            CLASS_KEYS.iter().map(|&c| GoldStandard::build(&world, &corpus, c)).collect();
+        let config = PipelineConfig::fast();
+        let models = train_models(&corpus, world.kb(), &golds, &config).unwrap();
+
+        let batches = corpus.split_into_batches(3);
+        let mut original = IncrementalPipeline::new(world.kb(), models.clone(), config.clone());
+        original.ingest(&batches[0]).unwrap();
+        original.ingest(&batches[1]).unwrap();
+
+        let checkpoint = original.checkpoint(2);
+        let decoded = PipelineCheckpoint::decode(&checkpoint.encode()).unwrap();
+        assert_eq!(decoded.applied_batches, 2);
+        let mut restored = decoded.restore(world.kb(), models, config.clone()).unwrap();
+
+        assert_eq!(restored.interner.len(), original.interner.len());
+        assert_eq!(restored.corpus.tables(), original.corpus.tables());
+        for (a, b) in original.states.iter().zip(&restored.states) {
+            assert_eq!(a.clusterer.clusters(), b.clusterer.clusters());
+            assert_eq!(a.entities, b.entities);
+            assert_eq!(a.results, b.results);
+            assert_eq!(a.phi.table_count(), b.phi.table_count());
+        }
+
+        // The decisive check: both pipelines must evolve identically.
+        let ra = original.ingest(&batches[2]).unwrap();
+        let rb = restored.ingest(&batches[2]).unwrap();
+        assert_eq!(ra.touched_classes, rb.touched_classes);
+        assert_eq!(ra.new_entities, rb.new_entities);
+        for (a, b) in original.states.iter().zip(&restored.states) {
+            assert_eq!(a.clusterer.clusters(), b.clusterer.clusters());
+            assert_eq!(a.entities, b.entities);
+            for (x, y) in a.results.iter().zip(&b.results) {
+                assert_eq!(x.entity, y.entity);
+                assert_eq!(x.outcome, y.outcome);
+                assert_eq!(x.best_score.to_bits(), y.best_score.to_bits());
+                assert_eq!(x.candidate_count, y.candidate_count);
+            }
+        }
+
+        // Config-fingerprint guard.
+        let mut other = PipelineConfig::fast();
+        other.iterations = config.iterations + 1;
+        assert!(matches!(
+            decoded.verify_config(&other),
+            Err(CheckpointError::ConfigMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn decode_rejects_bad_magic_truncation_and_version() {
+        assert!(matches!(PipelineCheckpoint::decode(b"nope"), Err(CheckpointError::BadMagic)));
+        let empty = PipelineCheckpoint {
+            fingerprint: 1,
+            applied_batches: 0,
+            interner_strings: vec![],
+            tables: vec![],
+            mappings: vec![],
+            classes: CLASS_KEYS
+                .iter()
+                .map(|_| ClassDump { clusters: vec![], entities: vec![], results: vec![] })
+                .collect(),
+        };
+        let bytes = empty.encode();
+        assert!(PipelineCheckpoint::decode(&bytes).is_ok());
+        assert!(matches!(
+            PipelineCheckpoint::decode(&bytes[..20]),
+            Err(CheckpointError::Decode(_))
+        ));
+        let mut wrong_version = bytes.clone();
+        wrong_version[8] = 99;
+        assert!(matches!(
+            PipelineCheckpoint::decode(&wrong_version),
+            Err(CheckpointError::UnsupportedVersion(99))
+        ));
+        let mut flipped = bytes;
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x40;
+        assert!(matches!(
+            PipelineCheckpoint::decode(&flipped),
+            Err(CheckpointError::Corrupted(_))
+        ));
+    }
+}

@@ -60,7 +60,7 @@ use crate::pipeline::{
 /// Processing in arrival order makes the equivalence contract hold for any
 /// ids — K micro-batches are bit-identical to one pass over the
 /// concatenated corpus *in the same table order*.
-fn class_rows_in_arrival_order(
+pub(crate) fn class_rows_in_arrival_order(
     batch: &Corpus,
     mapping: &CorpusMapping,
     class: ClassKey,
@@ -77,22 +77,22 @@ fn class_rows_in_arrival_order(
 
 /// Per-class accumulated serve state.
 #[derive(Debug, Clone)]
-struct ClassState {
-    class: ClassKey,
+pub(crate) struct ClassState {
+    pub(crate) class: ClassKey,
     /// Label index over the knowledge base instances of the class, built
     /// once at load time (the KB is frozen during serving).
-    kb_index: LabelIndex,
-    clusterer: StreamingClusterer,
-    phi: StreamingPhi,
-    implicit: ImplicitAttributes,
+    pub(crate) kb_index: LabelIndex,
+    pub(crate) clusterer: StreamingClusterer,
+    pub(crate) phi: StreamingPhi,
+    pub(crate) implicit: ImplicitAttributes,
     /// Accumulated per-column KBT scores (only populated under
     /// [`ltee_fusion::ScoringMethod::Kbt`] scoring), extended per batch so
     /// fusion never rescans the whole corpus.
-    kbt: std::collections::HashMap<(ltee_webtables::TableId, usize), f64>,
+    pub(crate) kbt: std::collections::HashMap<(ltee_webtables::TableId, usize), f64>,
     /// One fused entity per cluster (parallel to the clusterer's clusters).
-    entities: Vec<Entity>,
+    pub(crate) entities: Vec<Entity>,
     /// One detection result per cluster; `entity` is the cluster index.
-    results: Vec<NewDetectionResult>,
+    pub(crate) results: Vec<NewDetectionResult>,
 }
 
 /// Summary of one [`IncrementalPipeline::ingest`] call.
@@ -128,19 +128,19 @@ pub struct IngestReport {
 /// [`IncrementalPipeline::output`] at any point.
 #[derive(Debug, Clone)]
 pub struct IncrementalPipeline<'a> {
-    kb: &'a KnowledgeBase,
-    models: TrainedModels,
-    config: PipelineConfig,
+    pub(crate) kb: &'a KnowledgeBase,
+    pub(crate) models: TrainedModels,
+    pub(crate) config: PipelineConfig,
     /// All ingested tables.
-    corpus: Corpus,
+    pub(crate) corpus: Corpus,
     /// Accumulated schema mapping of all ingested tables.
-    mapping: CorpusMapping,
+    pub(crate) mapping: CorpusMapping,
     /// The run interner: every label/token of the stream is interned once,
     /// in arrival order, and all similarity scoring compares integers. Its
     /// lifetime is the pipeline's — syms are never persisted (the artifact
     /// stores strings; a new serving process re-interns from scratch).
-    interner: Interner,
-    states: Vec<ClassState>,
+    pub(crate) interner: Interner,
+    pub(crate) states: Vec<ClassState>,
 }
 
 impl<'a> IncrementalPipeline<'a> {

@@ -73,12 +73,14 @@
 #![warn(missing_docs)]
 
 pub mod artifact;
+pub mod checkpoint;
 pub mod experiments;
 pub mod incremental;
 pub mod parallel;
 pub mod pipeline;
 
 pub use artifact::{config_fingerprint, ArtifactError, ModelArtifact};
+pub use checkpoint::{decode_corpus, encode_corpus, CheckpointError, PipelineCheckpoint};
 pub use incremental::{IncrementalPipeline, IngestReport};
 pub use parallel::Parallelism;
 pub use pipeline::{
@@ -89,6 +91,7 @@ pub use pipeline::{
 /// Convenience prelude re-exporting the types needed to drive the pipeline.
 pub mod prelude {
     pub use crate::artifact::{ArtifactError, ModelArtifact};
+    pub use crate::checkpoint::{CheckpointError, PipelineCheckpoint};
     pub use crate::experiments::{self, ExperimentConfig};
     pub use crate::incremental::{IncrementalPipeline, IngestReport};
     pub use crate::parallel::Parallelism;

@@ -1,0 +1,184 @@
+//! Durable serving: a [`ServePipeline`] whose accumulated state survives
+//! the process.
+//!
+//! [`DurableServePipeline`] pairs the serve layer with an
+//! [`ltee_store::KbStore`] directory and upholds one protocol:
+//!
+//! 1. **WAL first.** Every non-empty micro-batch is encoded and fsynced to
+//!    the write-ahead log *before* it is applied in memory. A batch the
+//!    pipeline then rejects (duplicate table id) is rolled back off the
+//!    log, so disk state never gets ahead of a state that will exist.
+//! 2. **Checkpoints are cuts, not copies of the log.** A checkpoint
+//!    captures the full accumulated state after batch *N*; the store then
+//!    compacts the WAL down to what the retained fallback checkpoint
+//!    cannot reconstruct.
+//! 3. **Recovery = newest valid checkpoint + WAL tail replay.** The PR 3
+//!    incremental-equivalence contract makes the replay deterministic, so
+//!    the recovered process is *bit-identical* — snapshot fingerprints and
+//!    all — to the process that never crashed
+//!    (`tests/recovery_equivalence.rs` proves this at every crash point).
+//!
+//! The recovered snapshot sequence resumes at the recovered batch count:
+//! versions published before the crash are not in the new process's
+//! history (`snapshot_at` of older versions returns `None`), matching the
+//! snapshot cell's "history of *this* cell" contract.
+
+use std::path::Path;
+
+use ltee_core::checkpoint::{decode_corpus, encode_corpus};
+use ltee_core::{config_fingerprint, IngestReport, PipelineConfig, TrainedModels};
+use ltee_kb::KnowledgeBase;
+use ltee_store::{KbStore, StoreError, WalTail};
+use ltee_webtables::Corpus;
+
+use crate::{IncrementalPipeline, KbSnapshot, ServePipeline, SnapshotReader};
+
+use std::sync::Arc;
+
+/// When [`DurableServePipeline::ingest`] should cut a checkpoint on its
+/// own.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckpointPolicy {
+    /// Never automatically — the caller invokes
+    /// [`DurableServePipeline::checkpoint`] explicitly.
+    Manual,
+    /// After every `n`-th applied batch (n ≥ 1).
+    EveryBatches(u64),
+}
+
+/// What [`DurableServePipeline::open`] recovered from the store directory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryReport {
+    /// Applied-batch count of the checkpoint recovery started from, if one
+    /// was usable.
+    pub from_checkpoint: Option<u64>,
+    /// WAL batches replayed on top of the checkpoint.
+    pub replayed_batches: u64,
+    /// How the WAL scan ended; [`WalTail::Truncated`] means a torn tail
+    /// was dropped (and repaired on disk).
+    pub wal_tail: WalTail,
+}
+
+impl RecoveryReport {
+    /// Total batches the recovered process serves (checkpoint + replay) —
+    /// equals the published snapshot version after recovery.
+    pub fn recovered_batches(&self) -> u64 {
+        self.from_checkpoint.unwrap_or(0) + self.replayed_batches
+    }
+}
+
+/// A [`ServePipeline`] backed by a durable store directory: crash-safe
+/// ingest (WAL-first), periodic checkpoints, and restart recovery that is
+/// bit-identical to never having crashed. See the [module docs](self).
+#[derive(Debug)]
+pub struct DurableServePipeline<'a> {
+    serve: ServePipeline<'a>,
+    store: KbStore,
+    policy: CheckpointPolicy,
+}
+
+impl<'a> DurableServePipeline<'a> {
+    /// Open (or initialise) the store at `dir` and recover whatever state
+    /// survived: newest structurally valid checkpoint, then replay of the
+    /// WAL tail. A checkpoint or WAL minted under a different config
+    /// fingerprint is a hard typed error; a torn WAL tail is dropped and
+    /// repaired. On success the published snapshot version equals the
+    /// number of batches recovered.
+    pub fn open(
+        dir: impl AsRef<Path>,
+        kb: &'a KnowledgeBase,
+        models: TrainedModels,
+        config: PipelineConfig,
+        policy: CheckpointPolicy,
+    ) -> Result<(Self, RecoveryReport), StoreError> {
+        if let CheckpointPolicy::EveryBatches(n) = policy {
+            assert!(n >= 1, "EveryBatches(0) would checkpoint nowhere");
+        }
+        let fingerprint = config_fingerprint(&config);
+        let recovery = KbStore::open(dir, fingerprint)?;
+
+        let (pipeline, from_checkpoint) = match &recovery.checkpoint {
+            Some(ckpt) => {
+                let restored = ckpt.restore(kb, models, config)?;
+                (restored, Some(ckpt.applied_batches))
+            }
+            None => (IncrementalPipeline::new(kb, models, config), None),
+        };
+        let mut serve = ServePipeline::from_pipeline(kb, pipeline, from_checkpoint.unwrap_or(0));
+
+        let mut replayed = 0u64;
+        for record in &recovery.tail {
+            let batch = decode_corpus(&record.payload)?;
+            serve.ingest(&batch)?;
+            replayed += 1;
+        }
+        debug_assert_eq!(serve.version(), recovery.store.next_seq() - 1);
+
+        let report = RecoveryReport {
+            from_checkpoint,
+            replayed_batches: replayed,
+            wal_tail: recovery.wal_tail,
+        };
+        Ok((Self { serve, store: recovery.store, policy }, report))
+    }
+
+    /// Ingest one micro-batch durably: fsync it to the WAL, apply it, then
+    /// cut a checkpoint if the policy says so. Empty batches are no-ops and
+    /// touch neither the log nor the version; rejected batches are rolled
+    /// back off the log and leave no trace.
+    pub fn ingest(&mut self, batch: &Corpus) -> Result<IngestReport, StoreError> {
+        if batch.is_empty() {
+            return Ok(self.serve.ingest(batch)?);
+        }
+        let wal_size = self.store.wal_size()?;
+        self.store.append_batch(&encode_corpus(batch))?;
+        let report = match self.serve.ingest(batch) {
+            Ok(report) => report,
+            Err(rejected) => {
+                self.store.rollback_append(wal_size)?;
+                return Err(rejected.into());
+            }
+        };
+        if let CheckpointPolicy::EveryBatches(n) = self.policy {
+            if self.serve.version().is_multiple_of(n) {
+                self.checkpoint()?;
+            }
+        }
+        Ok(report)
+    }
+
+    /// Cut a checkpoint of the current state now (retention and WAL
+    /// compaction included — see [`KbStore::write_checkpoint`]).
+    pub fn checkpoint(&mut self) -> Result<(), StoreError> {
+        let checkpoint = self.serve.pipeline.checkpoint(self.serve.version());
+        self.store.write_checkpoint(&checkpoint)?;
+        Ok(())
+    }
+
+    /// A wait-free reader handle (see [`ServePipeline::reader`]).
+    pub fn reader(&self) -> SnapshotReader {
+        self.serve.reader()
+    }
+
+    /// The current snapshot (see [`ServePipeline::snapshot`]).
+    pub fn snapshot(&self) -> Arc<KbSnapshot> {
+        self.serve.snapshot()
+    }
+
+    /// The latest published version — equals the number of non-empty
+    /// batches this KB has absorbed across all processes that wrote to the
+    /// store.
+    pub fn version(&self) -> u64 {
+        self.serve.version()
+    }
+
+    /// The wrapped serve pipeline.
+    pub fn serve(&self) -> &ServePipeline<'a> {
+        &self.serve
+    }
+
+    /// The backing store (for diagnostics: paths, next batch number).
+    pub fn store(&self) -> &KbStore {
+        &self.store
+    }
+}

@@ -62,10 +62,12 @@
 #![warn(missing_docs)]
 
 pub mod cell;
+pub mod durable;
 pub mod query;
 pub mod snapshot;
 
 pub use cell::SnapshotCell;
+pub use durable::{CheckpointPolicy, DurableServePipeline, RecoveryReport};
 pub use query::{EntityHit, EntityRef, Query, QueryOutput};
 pub use snapshot::{
     ClassPage, ClassSnapshot, ClassStats, EntityRecord, KbSnapshot, LinkOutcome, SnapshotStats,
@@ -110,6 +112,32 @@ impl<'a> ServePipeline<'a> {
             cell: Arc::new(SnapshotCell::new(Arc::new(KbSnapshot::empty()))),
             class_cache: vec![None; CLASS_KEYS.len()],
         }
+    }
+
+    /// Adopt an already-populated pipeline (a checkpoint restore) and
+    /// publish its accumulated state as version `version` — the number of
+    /// non-empty batches the pipeline has absorbed. Readers acquired after
+    /// this see the full recovered KB immediately; versions before
+    /// `version` predate this process and are not in the cell's history.
+    pub(crate) fn from_pipeline(
+        kb: &'a KnowledgeBase,
+        pipeline: IncrementalPipeline<'a>,
+        version: u64,
+    ) -> Self {
+        let mut class_cache: Vec<Option<Arc<ClassSnapshot>>> = vec![None; CLASS_KEYS.len()];
+        for (slot, &class) in CLASS_KEYS.iter().enumerate() {
+            if let Some((entities, results)) = pipeline.class_entities(class) {
+                class_cache[slot] =
+                    Some(Arc::new(ClassSnapshot::build(kb, class, entities, results)));
+            }
+        }
+        let initial = Arc::new(KbSnapshot::assemble(
+            version,
+            pipeline.ingested_tables(),
+            pipeline.ingested_rows(),
+            class_cache.clone(),
+        ));
+        Self { kb, pipeline, cell: Arc::new(SnapshotCell::new(initial)), class_cache }
     }
 
     /// Create a serving pipeline from a persisted artifact (verifying its

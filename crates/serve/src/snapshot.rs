@@ -258,6 +258,45 @@ impl KbSnapshot {
         self.rows
     }
 
+    /// A content fingerprint of everything this snapshot serves: version,
+    /// corpus counters, and every record of every class slice — labels,
+    /// facts, provenance, link outcome, with `f64`s hashed by exact bit
+    /// pattern. Two snapshots answer every query identically iff their
+    /// fingerprints match, which is what the recovery-equivalence suite
+    /// asserts between a recovered process and the never-crashed run.
+    pub fn fingerprint(&self) -> u64 {
+        use std::fmt::Write as _;
+        let mut canon = String::new();
+        let _ = write!(canon, "v{};t{};r{}", self.version, self.tables, self.rows);
+        for (slot, class) in self.classes.iter().enumerate() {
+            let Some(class) = class else {
+                let _ = write!(canon, "|c{slot}:-");
+                continue;
+            };
+            let _ = write!(canon, "|c{slot}:{}", class.records().len());
+            for record in class.records() {
+                let _ = write!(canon, "[{:?}", record.labels);
+                for (property, value, score) in &record.facts {
+                    let _ = write!(canon, ";{property}={value:?}@{:016x}", score.to_bits());
+                }
+                let _ = write!(canon, ";rows{:?};tables{:?}", record.rows, record.tables);
+                match &record.outcome {
+                    LinkOutcome::New => canon.push_str(";new"),
+                    LinkOutcome::Existing { instance, label } => {
+                        let _ = write!(canon, ";={}:{label}", instance.raw());
+                    }
+                }
+                let _ = write!(
+                    canon,
+                    ";s{:016x};k{}]",
+                    record.best_score.to_bits(),
+                    record.candidate_count
+                );
+            }
+        }
+        ltee_ml::codec::fnv1a64(canon.as_bytes())
+    }
+
     /// The slice serving one class, if it has entities.
     pub fn class(&self, class: ClassKey) -> Option<&ClassSnapshot> {
         let slot = CLASS_KEYS.iter().position(|&c| c == class)?;

@@ -1,0 +1,577 @@
+//! # ltee-store
+//!
+//! Durability layer for the accumulated serving state: a directory holding
+//! checksummed [`PipelineCheckpoint`] files plus an append-only write-ahead
+//! log of ingested micro-batches (see [`wal`] for the byte format and the
+//! crash-consistency contract).
+//!
+//! ## Store layout
+//!
+//! ```text
+//! <dir>/wal.log                      the write-ahead log
+//! <dir>/ckpt-00000000000000000042.bin  checkpoint after batch 42
+//! ```
+//!
+//! ## Protocol
+//!
+//! * **Ingest**: encode the batch, [`KbStore::append_batch`] (write +
+//!   fsync), *then* apply it in memory. A crash between the two replays
+//!   the batch on recovery; a crash during the append leaves a torn tail
+//!   the scanner drops. Either way recovery lands on a prefix of the
+//!   applied batches.
+//! * **Checkpoint**: [`KbStore::write_checkpoint`] writes to a temp file
+//!   and renames it into place — a checkpoint is either fully present or
+//!   absent, never torn-but-plausible (and a torn temp file is invisible
+//!   to recovery). Retention keeps the newest checkpoint plus one
+//!   predecessor; the WAL is then compacted down to the records the older
+//!   retained checkpoint does not cover, so a corrupt newest checkpoint
+//!   can always fall back to `older checkpoint + longer replay`.
+//! * **Recovery**: [`KbStore::open`] picks the newest *structurally valid*
+//!   checkpoint (corrupt ones are skipped, not fatal), scans the WAL,
+//!   repairs any torn tail by truncating it, and returns the checkpoint
+//!   plus the contiguous tail of batch records still to replay. A
+//!   structurally valid checkpoint or WAL minted under a *different
+//!   config fingerprint* is a hard typed error — silently mixing
+//!   configurations would poison the state.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use ltee_core::checkpoint::{CheckpointError, PipelineCheckpoint};
+
+pub mod wal;
+
+pub use wal::{scan_wal, WalRecord, WalScan, WalTail};
+
+/// Errors raised by the durability layer.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Reading or writing a store file failed.
+    Io(std::io::Error),
+    /// A checkpoint file failed to decode, validate or match the config.
+    Checkpoint(CheckpointError),
+    /// Replaying a WAL batch was rejected by the pipeline — the log is
+    /// intact (every record passed its checksum) but semantically
+    /// inconsistent with the recovered checkpoint.
+    Pipeline(ltee_core::PipelineError),
+    /// The WAL file does not start with the WAL magic.
+    BadWalMagic,
+    /// The WAL was written by an unknown format version.
+    UnsupportedWalVersion(u32),
+    /// The WAL was written under a different inference configuration.
+    WalConfigMismatch {
+        /// Fingerprint stored in the WAL header.
+        wal: u64,
+        /// Fingerprint of the configuration the caller supplied.
+        config: u64,
+    },
+    /// The WAL's surviving records do not connect to the checkpoint: the
+    /// first record past the checkpoint is not batch `applied + 1`.
+    WalGap {
+        /// Batches covered by the recovered checkpoint.
+        applied: u64,
+        /// First surviving WAL batch number past the checkpoint.
+        first_seq: u64,
+    },
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store I/O error: {e}"),
+            StoreError::Checkpoint(e) => write!(f, "{e}"),
+            StoreError::Pipeline(e) => write!(f, "replaying the write-ahead log failed: {e}"),
+            StoreError::BadWalMagic => {
+                write!(f, "not an LTEE write-ahead log (bad magic header)")
+            }
+            StoreError::UnsupportedWalVersion(v) => write!(
+                f,
+                "unsupported WAL format version {v} (this build reads version {})",
+                wal::WAL_VERSION
+            ),
+            StoreError::WalConfigMismatch { wal, config } => write!(
+                f,
+                "write-ahead log was written under a different configuration \
+                 (WAL fingerprint {wal:#018x}, pipeline config fingerprint {config:#018x})"
+            ),
+            StoreError::WalGap { applied, first_seq } => write!(
+                f,
+                "write-ahead log does not connect to the checkpoint: checkpoint covers \
+                 {applied} batches but the first surviving WAL record is batch {first_seq}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            StoreError::Checkpoint(e) => Some(e),
+            StoreError::Pipeline(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ltee_core::PipelineError> for StoreError {
+    fn from(e: ltee_core::PipelineError) -> Self {
+        StoreError::Pipeline(e)
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl From<CheckpointError> for StoreError {
+    fn from(e: CheckpointError) -> Self {
+        StoreError::Checkpoint(e)
+    }
+}
+
+/// What [`KbStore::open`] recovered from the directory.
+#[derive(Debug)]
+pub struct StoreRecovery {
+    /// The opened store, positioned to append the next batch.
+    pub store: KbStore,
+    /// Newest structurally valid checkpoint, if any.
+    pub checkpoint: Option<PipelineCheckpoint>,
+    /// WAL records past the checkpoint, contiguous from `applied + 1`,
+    /// still to be replayed.
+    pub tail: Vec<WalRecord>,
+    /// How the WAL scan ended (a truncated tail has already been repaired
+    /// on disk by the time `open` returns).
+    pub wal_tail: WalTail,
+}
+
+/// A durable store directory: checkpoints + write-ahead log.
+#[derive(Debug)]
+pub struct KbStore {
+    dir: PathBuf,
+    fingerprint: u64,
+    next_seq: u64,
+}
+
+impl KbStore {
+    /// Path of the write-ahead log inside `dir`.
+    pub fn wal_path(dir: &Path) -> PathBuf {
+        dir.join("wal.log")
+    }
+
+    /// Path of the checkpoint file covering `applied` batches inside `dir`.
+    pub fn checkpoint_path(dir: &Path, applied: u64) -> PathBuf {
+        dir.join(format!("ckpt-{applied:020}.bin"))
+    }
+
+    /// Open (or initialise) a store directory for a pipeline whose config
+    /// fingerprint is `fingerprint`, recovering whatever state survived.
+    ///
+    /// See the [crate docs](self) for the recovery rules. The returned
+    /// [`StoreRecovery`] carries the newest valid checkpoint and the
+    /// contiguous WAL tail past it; the caller restores the checkpoint and
+    /// replays the tail.
+    pub fn open(dir: impl AsRef<Path>, fingerprint: u64) -> Result<StoreRecovery, StoreError> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+
+        // Newest structurally valid checkpoint wins; corrupt files are
+        // skipped (falling back to an older checkpoint or a fresh start),
+        // but a valid checkpoint under the wrong config is a hard error.
+        let mut checkpoint = None;
+        for applied in Self::list_checkpoints(&dir)? {
+            match PipelineCheckpoint::load(Self::checkpoint_path(&dir, applied)) {
+                Ok(ckpt) => {
+                    if ckpt.fingerprint != fingerprint {
+                        return Err(CheckpointError::ConfigMismatch {
+                            checkpoint: ckpt.fingerprint,
+                            config: fingerprint,
+                        }
+                        .into());
+                    }
+                    checkpoint = Some(ckpt);
+                    break;
+                }
+                Err(CheckpointError::ConfigMismatch { .. }) => unreachable!(),
+                Err(_corrupt) => continue,
+            }
+        }
+        let applied = checkpoint.as_ref().map_or(0, |c| c.applied_batches);
+
+        let wal_path = Self::wal_path(&dir);
+        let (scan, wal_bytes_len) = if wal_path.exists() {
+            let bytes = fs::read(&wal_path)?;
+            (scan_wal(&bytes)?, bytes.len())
+        } else {
+            (
+                WalScan { fingerprint: Some(fingerprint), records: Vec::new(), tail: WalTail::Clean },
+                0,
+            )
+        };
+        if let Some(wal_fingerprint) = scan.fingerprint {
+            if wal_fingerprint != fingerprint {
+                return Err(StoreError::WalConfigMismatch {
+                    wal: wal_fingerprint,
+                    config: fingerprint,
+                });
+            }
+        }
+
+        // Records the checkpoint already covers are dropped; the rest must
+        // connect to it without a gap.
+        let tail: Vec<WalRecord> =
+            scan.records.iter().filter(|r| r.seq > applied).cloned().collect();
+        if let Some(first) = tail.first() {
+            if first.seq != applied + 1 {
+                return Err(StoreError::WalGap { applied, first_seq: first.seq });
+            }
+        }
+
+        // Repair the log on disk: drop any torn tail and any records the
+        // checkpoint covers, so future appends extend a pristine log.
+        let dirty = scan.fingerprint.is_none()
+            || !matches!(scan.tail, WalTail::Clean)
+            || tail.len() != scan.records.len()
+            || wal_bytes_len == 0
+            || !wal_path.exists();
+        if dirty {
+            Self::rewrite_wal(&dir, fingerprint, &tail)?;
+        }
+
+        let next_seq = applied + tail.len() as u64 + 1;
+        let store = KbStore { dir, fingerprint, next_seq };
+        Ok(StoreRecovery { store, checkpoint, tail, wal_tail: scan.tail })
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The batch number the next [`KbStore::append_batch`] will write.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Append one encoded micro-batch to the WAL and fsync it. Returns the
+    /// batch number assigned. Call this *before* applying the batch in
+    /// memory — the WAL must always be ahead of the applied state.
+    pub fn append_batch(&mut self, payload: &[u8]) -> Result<u64, StoreError> {
+        let seq = self.next_seq;
+        let record = wal::encode_wal_record(seq, payload);
+        let mut file = OpenOptions::new().append(true).open(Self::wal_path(&self.dir))?;
+        file.write_all(&record)?;
+        file.sync_data()?;
+        self.next_seq += 1;
+        Ok(seq)
+    }
+
+    /// Current byte length of the WAL file. Capture it before an
+    /// [`KbStore::append_batch`] whose in-memory apply might be rejected,
+    /// and hand it to [`KbStore::rollback_append`] if it is.
+    pub fn wal_size(&self) -> Result<u64, StoreError> {
+        Ok(fs::metadata(Self::wal_path(&self.dir))?.len())
+    }
+
+    /// Undo the most recent [`KbStore::append_batch`] by truncating the WAL
+    /// back to `size` — used when the apply step rejects the batch (e.g. a
+    /// duplicate table id), so a rejected batch leaves no trace on disk and
+    /// its batch number is reused.
+    pub fn rollback_append(&mut self, size: u64) -> Result<(), StoreError> {
+        let file = OpenOptions::new().write(true).open(Self::wal_path(&self.dir))?;
+        file.set_len(size)?;
+        file.sync_data()?;
+        self.next_seq -= 1;
+        Ok(())
+    }
+
+    /// Durably write `checkpoint` (temp file + rename, so it is atomic),
+    /// then apply retention: keep this checkpoint plus its newest surviving
+    /// predecessor, delete older ones, and compact the WAL down to the
+    /// records the older retained checkpoint does not cover.
+    pub fn write_checkpoint(&mut self, checkpoint: &PipelineCheckpoint) -> Result<(), StoreError> {
+        if checkpoint.fingerprint != self.fingerprint {
+            return Err(CheckpointError::ConfigMismatch {
+                checkpoint: checkpoint.fingerprint,
+                config: self.fingerprint,
+            }
+            .into());
+        }
+        let path = Self::checkpoint_path(&self.dir, checkpoint.applied_batches);
+        let tmp = path.with_extension("bin.tmp");
+        {
+            let mut file = File::create(&tmp)?;
+            file.write_all(&checkpoint.encode())?;
+            file.sync_all()?;
+        }
+        fs::rename(&tmp, &path)?;
+
+        // Retention: newest two checkpoints survive.
+        let all = Self::list_checkpoints(&self.dir)?;
+        for &applied in all.iter().skip(2) {
+            fs::remove_file(Self::checkpoint_path(&self.dir, applied))?;
+        }
+
+        // Compact the WAL to what the *older* retained checkpoint cannot
+        // reconstruct, so recovery can still fall back one checkpoint.
+        let keep_after = all.get(1).copied().unwrap_or(checkpoint.applied_batches);
+        let bytes = fs::read(Self::wal_path(&self.dir))?;
+        let scan = scan_wal(&bytes)?;
+        let kept: Vec<WalRecord> =
+            scan.records.iter().filter(|r| r.seq > keep_after).cloned().collect();
+        if kept.len() != scan.records.len() || !matches!(scan.tail, WalTail::Clean) {
+            Self::rewrite_wal(&self.dir, self.fingerprint, &kept)?;
+        }
+        Ok(())
+    }
+
+    /// Applied-batch counts of the checkpoints in `dir`, newest first.
+    fn list_checkpoints(dir: &Path) -> Result<Vec<u64>, StoreError> {
+        let mut found = Vec::new();
+        for entry in fs::read_dir(dir)? {
+            let name = entry?.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some(digits) =
+                name.strip_prefix("ckpt-").and_then(|rest| rest.strip_suffix(".bin"))
+            {
+                if let Ok(applied) = digits.parse::<u64>() {
+                    found.push(applied);
+                }
+            }
+        }
+        found.sort_unstable_by(|a, b| b.cmp(a));
+        Ok(found)
+    }
+
+    /// Atomically replace the WAL with `header + records` (temp + rename).
+    fn rewrite_wal(dir: &Path, fingerprint: u64, records: &[WalRecord]) -> Result<(), StoreError> {
+        let path = Self::wal_path(dir);
+        let tmp = path.with_extension("log.tmp");
+        {
+            let mut file = File::create(&tmp)?;
+            file.write_all(&wal::encode_wal_header(fingerprint))?;
+            for record in records {
+                file.write_all(&wal::encode_wal_record(record.seq, &record.payload))?;
+            }
+            file.sync_all()?;
+        }
+        fs::rename(&tmp, &path)?;
+        Ok(())
+    }
+}
+
+/// Crash-point enumeration for the injection harness: every byte-prefix
+/// length of a WAL file at which a kill must leave a recoverable store.
+pub mod crashpoints {
+    use super::wal::{scan_wal, WAL_HEADER_LEN, WAL_RECORD_HEADER_LEN};
+
+    /// Enumerate the crash points of a (clean) WAL file as byte-prefix
+    /// lengths: the empty file, a torn file header, the header boundary,
+    /// and per record a torn record header, a torn payload and the record
+    /// boundary itself — plus the full length (no bytes lost).
+    ///
+    /// Panics if `bytes` is not a clean WAL (the harness enumerates crash
+    /// points of the *uncrashed* run's log).
+    pub fn wal_crash_prefixes(bytes: &[u8]) -> Vec<usize> {
+        let scan = scan_wal(bytes).expect("crash-point enumeration needs a well-formed WAL");
+        assert!(
+            matches!(scan.tail, super::WalTail::Clean),
+            "crash-point enumeration needs a clean WAL"
+        );
+        let mut cuts = vec![0, WAL_HEADER_LEN / 2, WAL_HEADER_LEN];
+        let mut start = WAL_HEADER_LEN;
+        for record in &scan.records {
+            let payload_len = record.end_offset - start - WAL_RECORD_HEADER_LEN;
+            cuts.push(start + WAL_RECORD_HEADER_LEN / 2); // torn record header
+            cuts.push(start + WAL_RECORD_HEADER_LEN + payload_len / 2); // torn payload
+            cuts.push(record.end_offset); // record boundary
+            start = record.end_offset;
+        }
+        cuts.push(bytes.len());
+        cuts.sort_unstable();
+        cuts.dedup();
+        cuts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ltee_ml::codec::{fnv1a64, ByteWriter};
+
+    /// Hand-build an encoded empty checkpoint (no tables, no state) with
+    /// the given fingerprint and applied-batch count, exercising the real
+    /// decoder on the way in.
+    fn empty_checkpoint(fingerprint: u64, applied: u64) -> PipelineCheckpoint {
+        let mut w = ByteWriter::new();
+        w.write_len(0); // interner strings
+        w.write_len(0); // corpus tables
+        w.write_len(0); // mappings
+        let num_classes = ltee_kb::CLASS_KEYS.len();
+        w.write_len(num_classes);
+        for _ in 0..num_classes {
+            w.write_len(0); // clusters
+            w.write_len(0); // entities
+            w.write_len(0); // results
+        }
+        let payload = w.into_bytes();
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&ltee_core::checkpoint::CHECKPOINT_MAGIC);
+        bytes.extend_from_slice(&ltee_core::checkpoint::CHECKPOINT_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&fingerprint.to_le_bytes());
+        bytes.extend_from_slice(&applied.to_le_bytes());
+        bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        bytes.extend_from_slice(&fnv1a64(&payload).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        PipelineCheckpoint::decode(&bytes).expect("hand-built checkpoint must decode")
+    }
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("ltee-store-test-{}-{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn fresh_store_appends_and_recovers_the_tail() {
+        let dir = scratch_dir("fresh");
+        let mut rec = KbStore::open(&dir, 42).unwrap();
+        assert!(rec.checkpoint.is_none());
+        assert!(rec.tail.is_empty());
+        assert_eq!(rec.store.append_batch(b"one").unwrap(), 1);
+        assert_eq!(rec.store.append_batch(b"two").unwrap(), 2);
+
+        let rec2 = KbStore::open(&dir, 42).unwrap();
+        assert_eq!(rec2.wal_tail, WalTail::Clean);
+        assert_eq!(
+            rec2.tail.iter().map(|r| (r.seq, r.payload.clone())).collect::<Vec<_>>(),
+            vec![(1, b"one".to_vec()), (2, b"two".to_vec())]
+        );
+        assert_eq!(rec2.store.next_seq(), 3);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_repaired_and_future_appends_are_clean() {
+        let dir = scratch_dir("torn");
+        let mut rec = KbStore::open(&dir, 7).unwrap();
+        rec.store.append_batch(b"alpha").unwrap();
+        rec.store.append_batch(b"beta").unwrap();
+
+        // Tear the log mid-way through the second record's payload.
+        let wal = KbStore::wal_path(&dir);
+        let bytes = fs::read(&wal).unwrap();
+        fs::write(&wal, &bytes[..bytes.len() - 2]).unwrap();
+
+        let mut rec2 = KbStore::open(&dir, 7).unwrap();
+        assert!(matches!(rec2.wal_tail, WalTail::Truncated { .. }));
+        assert_eq!(rec2.tail.len(), 1);
+        assert_eq!(rec2.store.next_seq(), 2);
+        rec2.store.append_batch(b"beta-again").unwrap();
+
+        let rec3 = KbStore::open(&dir, 7).unwrap();
+        assert_eq!(rec3.wal_tail, WalTail::Clean);
+        assert_eq!(
+            rec3.tail.iter().map(|r| (r.seq, r.payload.clone())).collect::<Vec<_>>(),
+            vec![(1, b"alpha".to_vec()), (2, b"beta-again".to_vec())]
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_retention_and_wal_compaction() {
+        let dir = scratch_dir("retention");
+        let mut rec = KbStore::open(&dir, 9).unwrap();
+        for i in 1..=6u64 {
+            rec.store.append_batch(format!("batch-{i}").as_bytes()).unwrap();
+            rec.store.write_checkpoint(&empty_checkpoint(9, i)).unwrap();
+        }
+        // Newest two checkpoints survive; older ones are gone.
+        let found = KbStore::list_checkpoints(&dir).unwrap();
+        assert_eq!(found, vec![6, 5]);
+        // The WAL keeps only what checkpoint 5 cannot reconstruct.
+        let scan = scan_wal(&fs::read(KbStore::wal_path(&dir)).unwrap()).unwrap();
+        assert_eq!(scan.records.iter().map(|r| r.seq).collect::<Vec<_>>(), vec![6]);
+
+        // Recovery prefers the newest checkpoint and replays nothing.
+        let rec2 = KbStore::open(&dir, 9).unwrap();
+        assert_eq!(rec2.checkpoint.as_ref().unwrap().applied_batches, 6);
+        assert!(rec2.tail.is_empty());
+        assert_eq!(rec2.store.next_seq(), 7);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_newest_checkpoint_falls_back_to_predecessor() {
+        let dir = scratch_dir("fallback");
+        let mut rec = KbStore::open(&dir, 3).unwrap();
+        rec.store.append_batch(b"b1").unwrap();
+        rec.store.write_checkpoint(&empty_checkpoint(3, 1)).unwrap();
+        rec.store.append_batch(b"b2").unwrap();
+        rec.store.write_checkpoint(&empty_checkpoint(3, 2)).unwrap();
+
+        // Corrupt the newest checkpoint file.
+        let newest = KbStore::checkpoint_path(&dir, 2);
+        let mut bytes = fs::read(&newest).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        fs::write(&newest, &bytes).unwrap();
+
+        let rec2 = KbStore::open(&dir, 3).unwrap();
+        assert_eq!(rec2.checkpoint.as_ref().unwrap().applied_batches, 1);
+        // Compaction retained batch 2 exactly for this fallback.
+        assert_eq!(
+            rec2.tail.iter().map(|r| (r.seq, r.payload.clone())).collect::<Vec<_>>(),
+            vec![(2, b"b2".to_vec())]
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn config_mismatches_are_hard_typed_errors() {
+        let dir = scratch_dir("mismatch");
+        let mut rec = KbStore::open(&dir, 1).unwrap();
+        rec.store.append_batch(b"b1").unwrap();
+        assert!(matches!(
+            KbStore::open(&dir, 2),
+            Err(StoreError::WalConfigMismatch { wal: 1, config: 2 })
+        ));
+        // A checkpoint under the wrong fingerprint is also rejected, even
+        // with a matching WAL.
+        assert!(matches!(
+            rec.store.write_checkpoint(&empty_checkpoint(99, 1)),
+            Err(StoreError::Checkpoint(CheckpointError::ConfigMismatch { .. }))
+        ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn every_wal_crash_prefix_recovers_without_panic() {
+        let dir = scratch_dir("crashes");
+        let mut rec = KbStore::open(&dir, 5).unwrap();
+        for i in 1..=3u64 {
+            rec.store.append_batch(format!("payload-{i}").as_bytes()).unwrap();
+        }
+        let bytes = fs::read(KbStore::wal_path(&dir)).unwrap();
+        let cuts = crashpoints::wal_crash_prefixes(&bytes);
+        assert!(cuts.len() >= 3 + 3 * 3);
+        for &cut in &cuts {
+            let crash_dir = scratch_dir(&format!("crash-{cut}"));
+            fs::create_dir_all(&crash_dir).unwrap();
+            fs::write(KbStore::wal_path(&crash_dir), &bytes[..cut]).unwrap();
+            let recovered = KbStore::open(&crash_dir, 5).unwrap();
+            // The recovered records are a prefix of the batches appended.
+            for (i, r) in recovered.tail.iter().enumerate() {
+                assert_eq!(r.seq, i as u64 + 1);
+                assert_eq!(r.payload, format!("payload-{}", i + 1).as_bytes());
+            }
+            assert_eq!(recovered.store.next_seq(), recovered.tail.len() as u64 + 1);
+            fs::remove_dir_all(&crash_dir).unwrap();
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -27,13 +27,24 @@
 //! and must reject oversized collections via `LengthOverflow` rather than
 //! allocating gigabytes.
 //!
+//! The same discipline covers the durability formats (PR 8): a second
+//! 200-case corpus corrupts a *state checkpoint* (`PipelineCheckpoint`)
+//! with the same five families, and a 100-case corpus mutates a
+//! write-ahead log, where the contract is different — the scanner must
+//! never panic and must always recover a strict prefix of the original
+//! records (mid-log corruption truncates at the last valid record rather
+//! than rejecting the file).
+//!
 //! Deterministic: fixed seed 2718 for the model training, ChaCha-seeded
-//! garbage. Expected runtime: ~20 s in debug (one training run; the 232
+//! garbage. Expected runtime: ~40 s in debug (two training runs; the
 //! decodes are microseconds each).
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::OnceLock;
 
 use ltee_core::prelude::*;
+use ltee_store::wal::{encode_wal_header, encode_wal_record};
+use ltee_store::{scan_wal, WalTail};
 use rand::{RngCore, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
@@ -68,6 +79,283 @@ fn with_fixed_header(original: &[u8], payload: &[u8]) -> Vec<u8> {
 /// `Err(())` when it panicked.
 fn decode_caught(bytes: &[u8]) -> Result<Result<ModelArtifact, ArtifactError>, ()> {
     catch_unwind(AssertUnwindSafe(|| ModelArtifact::decode(bytes))).map_err(|_| ())
+}
+
+/// Offsets 12..28 of a checkpoint header hold the config fingerprint and
+/// the applied-batch count — both opaque stored data (validated against
+/// the config / the WAL later, not at decode time), so flip/substitution
+/// families skip them.
+const CHECKPOINT_OPAQUE_BYTES: std::ops::Range<usize> = 12..28;
+/// Payload offset of the checkpoint format (see `ltee_core::checkpoint`).
+const CHECKPOINT_PAYLOAD_START: usize = 44;
+
+/// One trained serve run, shared by the durability fuzz tests: the encoded
+/// checkpoint after three ingested micro-batches, plus the WAL those
+/// batches would have written.
+fn durability_bytes() -> &'static (Vec<u8>, Vec<u8>) {
+    static BYTES: OnceLock<(Vec<u8>, Vec<u8>)> = OnceLock::new();
+    BYTES.get_or_init(|| {
+        let world = generate_world(&GeneratorConfig::new(Scale::tiny(), 2718));
+        let corpus = generate_corpus(&world, &CorpusConfig::tiny());
+        let golds: Vec<GoldStandard> =
+            CLASS_KEYS.iter().map(|&c| GoldStandard::build(&world, &corpus, c)).collect();
+        let config =
+            PipelineConfig { parallelism: Parallelism::Sequential, ..PipelineConfig::fast() };
+        let models = train_models(&corpus, world.kb(), &golds, &config).expect("trainable corpus");
+        let mut pipeline = IncrementalPipeline::new(world.kb(), models, config.clone());
+        let mut wal = encode_wal_header(ltee_core::config_fingerprint(&config));
+        for (i, batch) in corpus.split_into_batches(3).iter().enumerate() {
+            wal.extend_from_slice(&encode_wal_record(
+                i as u64 + 1,
+                &ltee_core::encode_corpus(batch),
+            ));
+            pipeline.ingest(batch).expect("fresh table ids");
+        }
+        (pipeline.checkpoint(3).encode(), wal)
+    })
+}
+
+/// Rebuild a valid checkpoint header around a (possibly corrupted) payload
+/// — the checkpoint layout puts the length at 28..36 and the checksum at
+/// 36..44.
+fn with_fixed_checkpoint_header(original: &[u8], payload: &[u8]) -> Vec<u8> {
+    let mut out = original[..CHECKPOINT_PAYLOAD_START].to_vec();
+    out[28..36].copy_from_slice(&(payload.len() as u64).to_le_bytes());
+    out[36..44].copy_from_slice(&ltee_ml::codec::fnv1a64(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+fn decode_checkpoint_caught(
+    bytes: &[u8],
+) -> Result<Result<PipelineCheckpoint, CheckpointError>, ()> {
+    catch_unwind(AssertUnwindSafe(|| PipelineCheckpoint::decode(bytes))).map_err(|_| ())
+}
+
+#[test]
+fn two_hundred_corrupted_checkpoints_are_all_rejected_without_panicking() {
+    let (valid, _) = durability_bytes();
+    assert!(PipelineCheckpoint::decode(valid).is_ok(), "the uncorrupted checkpoint must decode");
+    let len = valid.len();
+    let payload_len = len - CHECKPOINT_PAYLOAD_START;
+    assert!(payload_len > 4096, "fuzz corpus assumes a non-trivial payload, got {payload_len}");
+
+    let mut corpus: Vec<(String, Vec<u8>)> = Vec::new();
+
+    // 1. Whole-file truncations, 40 evenly spaced lengths in [0, len).
+    for i in 0..40 {
+        let cut = i * len / 40;
+        corpus.push((format!("truncate[..{cut}]"), valid[..cut].to_vec()));
+    }
+
+    // 2. Single bit flips at 64 evenly spaced offsets (opaque header bytes
+    //    skipped): without a checksum re-fix every flip must be caught by
+    //    the header checks or the checksum.
+    let mut offset = 0usize;
+    let mut flips = 0usize;
+    while flips < 64 {
+        let pos = offset % len;
+        offset += (len / 64).max(1) + 1;
+        if CHECKPOINT_OPAQUE_BYTES.contains(&pos) {
+            continue;
+        }
+        let mut bytes = valid.clone();
+        let bit = flips % 8;
+        bytes[pos] ^= 1 << bit;
+        corpus.push((format!("bitflip[{pos}] bit {bit}"), bytes));
+        flips += 1;
+    }
+
+    // 3. Byte substitutions at 32 evenly spaced offsets, alternating
+    //    0x00 / 0xFF (opaque header bytes skipped).
+    let mut subs = 0usize;
+    let mut offset = 1usize;
+    while subs < 32 {
+        let pos = offset % len;
+        offset += (len / 32).max(1) + 3;
+        if CHECKPOINT_OPAQUE_BYTES.contains(&pos) {
+            continue;
+        }
+        let value = if subs.is_multiple_of(2) { 0x00 } else { 0xFF };
+        if valid[pos] == value {
+            offset += 1;
+            continue;
+        }
+        let mut bytes = valid.clone();
+        bytes[pos] = value;
+        corpus.push((format!("substitute[{pos}] = {value:#04x}"), bytes));
+        subs += 1;
+    }
+
+    // 4. Seeded-random garbage of assorted sizes.
+    let mut rng = ChaCha8Rng::seed_from_u64(0xF423);
+    for i in 0..24 {
+        let size = (i * 171) % 4096;
+        let bytes: Vec<u8> = (0..size).map(|_| rng.next_u32() as u8).collect();
+        corpus.push((format!("garbage #{i} ({size} B)"), bytes));
+    }
+
+    // 5. Payload truncations with a re-fixed header: the checksum matches,
+    //    so the bounds-checked state decoders (and the cross-validation of
+    //    clusters against the decoded corpus) must reject the short stream.
+    for i in 0..40 {
+        let cut = i * payload_len / 40;
+        let bytes = with_fixed_checkpoint_header(
+            valid,
+            &valid[CHECKPOINT_PAYLOAD_START..CHECKPOINT_PAYLOAD_START + cut],
+        );
+        corpus.push((format!("payload truncate[..{cut}] (checksum fixed)"), bytes));
+    }
+
+    assert_eq!(corpus.len(), 200, "the corpus is specified as exactly 200 cases");
+
+    let mut failures: Vec<String> = Vec::new();
+    for (label, bytes) in &corpus {
+        match decode_checkpoint_caught(bytes) {
+            Err(_) => failures.push(format!("{label}: PANICKED")),
+            Ok(Ok(_)) => failures.push(format!("{label}: decoded successfully")),
+            Ok(Err(_typed_rejection)) => {}
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} of 200 corrupted checkpoints were not cleanly rejected:\n  {}",
+        failures.len(),
+        failures.join("\n  ")
+    );
+}
+
+#[test]
+fn checkpoint_length_prefix_bombs_are_typed_rejections() {
+    let (valid, _) = durability_bytes();
+    let payload_len = valid.len() - CHECKPOINT_PAYLOAD_START;
+
+    // Splice u32::MAX over 4 bytes at 32 evenly spaced payload offsets and
+    // re-fix the header. Unlike the model artifact (whose payload is mostly
+    // f64 weights), a state checkpoint is mostly structured collections —
+    // but a splice can still land inside a score or a long label, so a
+    // successful decode is tolerated; panics and large allocations are not.
+    for i in 0..32 {
+        let pos = i * (payload_len - 4) / 31;
+        let mut payload = valid[CHECKPOINT_PAYLOAD_START..].to_vec();
+        payload[pos..pos + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        let bytes = with_fixed_checkpoint_header(valid, &payload);
+        if decode_checkpoint_caught(&bytes).is_err() {
+            panic!("length bomb at payload offset {pos} panicked the decoder");
+        }
+    }
+
+    // The canonical bomb: the first payload bytes are the interner-string
+    // count — declaring ~4 billion strings must be a typed LengthOverflow,
+    // not a 4 GiB allocation.
+    let mut payload = valid[CHECKPOINT_PAYLOAD_START..].to_vec();
+    payload[0..4].copy_from_slice(&u32::MAX.to_le_bytes());
+    let bytes = with_fixed_checkpoint_header(valid, &payload);
+    match PipelineCheckpoint::decode(&bytes) {
+        Err(CheckpointError::Decode(_)) => {}
+        other => panic!("a length bomb on the first prefix must be a decode error, got {other:?}"),
+    }
+}
+
+#[test]
+fn one_hundred_mutated_wals_always_recover_a_strict_record_prefix() {
+    let (_, valid) = durability_bytes();
+    let reference = scan_wal(valid).expect("the uncorrupted WAL must scan");
+    assert_eq!(reference.tail, WalTail::Clean);
+    assert_eq!(reference.records.len(), 3);
+    let len = valid.len();
+
+    let mut corpus: Vec<(String, Vec<u8>)> = Vec::new();
+
+    // 1. Whole-file truncations at 30 evenly spaced lengths — every torn
+    //    tail a crash could leave.
+    for i in 0..30 {
+        let cut = i * len / 30;
+        corpus.push((format!("truncate[..{cut}]"), valid[..cut].to_vec()));
+    }
+
+    // 2. Single bit flips at 40 evenly spaced offsets, anywhere in the
+    //    file (header flips become hard typed errors; body flips must
+    //    drop the damaged record and everything after it).
+    for i in 0..40 {
+        let pos = i * len / 40;
+        let mut bytes = valid.clone();
+        bytes[pos] ^= 1 << (i % 8);
+        corpus.push((format!("bitflip[{pos}] bit {}", i % 8), bytes));
+    }
+
+    // 3. Seeded-random garbage (wrong magic, or empty → torn header).
+    let mut rng = ChaCha8Rng::seed_from_u64(0xF424);
+    for i in 0..15 {
+        let size = (i * 313) % 2048;
+        let bytes: Vec<u8> = (0..size).map(|_| rng.next_u32() as u8).collect();
+        corpus.push((format!("garbage #{i} ({size} B)"), bytes));
+    }
+
+    // 4. Oversized length prefixes: splice u32::MAX into each record's
+    //    length field and at assorted payload offsets — the scanner must
+    //    truncate, never allocate the declared size.
+    let mut splices = Vec::new();
+    let mut start = 20; // WAL_HEADER_LEN
+    for record in &reference.records {
+        splices.push(start + 8); // the length field of this record header
+        start = record.end_offset;
+    }
+    let mut pos = 25usize;
+    while splices.len() < 15 {
+        splices.push(pos % (len - 4));
+        pos += (len / 13).max(5);
+    }
+    for (i, &pos) in splices.iter().enumerate() {
+        let mut bytes = valid.clone();
+        bytes[pos..pos + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        corpus.push((format!("length splice #{i} at {pos}"), bytes));
+    }
+
+    assert_eq!(corpus.len(), 100, "the WAL corpus is specified as exactly 100 cases");
+
+    let mut failures: Vec<String> = Vec::new();
+    for (label, bytes) in &corpus {
+        match catch_unwind(AssertUnwindSafe(|| scan_wal(bytes))) {
+            Err(_) => failures.push(format!("{label}: PANICKED")),
+            Ok(Err(_typed_rejection)) => {}
+            Ok(Ok(scan)) => {
+                // Valid-prefix contract: every recovered record must be
+                // byte-identical to the reference record at its position.
+                for (i, record) in scan.records.iter().enumerate() {
+                    if reference.records.get(i) != Some(record) {
+                        failures.push(format!("{label}: record {i} is not a reference prefix"));
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} of 100 mutated WALs broke the recovery contract:\n  {}",
+        failures.len(),
+        failures.join("\n  ")
+    );
+}
+
+#[test]
+fn mid_log_wal_corruption_recovers_to_the_last_valid_record() {
+    let (_, valid) = durability_bytes();
+    let reference = scan_wal(valid).unwrap();
+    // Corrupt one payload byte of the *middle* record: the scan must keep
+    // record 1 exactly and drop records 2 and 3.
+    let mid = reference.records[1].end_offset - 1;
+    let mut bytes = valid.clone();
+    bytes[mid] ^= 0x10;
+    let scan = scan_wal(&bytes).unwrap();
+    assert_eq!(scan.records.len(), 1);
+    assert_eq!(scan.records[0], reference.records[0]);
+    assert!(matches!(
+        &scan.tail,
+        WalTail::Truncated { offset, reason }
+            if *offset == reference.records[0].end_offset && reason.contains("checksum")
+    ));
 }
 
 #[test]
@@ -147,7 +435,7 @@ fn two_hundred_corrupted_artifacts_are_all_rejected_without_panicking() {
     let mut failures: Vec<String> = Vec::new();
     for (label, bytes) in &corpus {
         match decode_caught(bytes) {
-            Err(()) => failures.push(format!("{label}: PANICKED")),
+            Err(_) => failures.push(format!("{label}: PANICKED")),
             Ok(Ok(_)) => failures.push(format!("{label}: decoded successfully")),
             Ok(Err(_typed_rejection)) => {}
         }
