@@ -13,9 +13,9 @@
 //! The checkpoint persists the **expensive model-driven decisions** and
 //! rebuilds the **cheap derived state** on restore:
 //!
-//! * persisted — the interner arena (every string, in mint order, so every
-//!   `Sym` id is reproduced exactly), the accumulated corpus (tables in
-//!   arrival order), the accumulated schema mapping, and per class the
+//! * persisted — the accumulated corpus (tables in arrival order), the
+//!   accumulated schema mapping, and per class the interner arena (every
+//!   string, in mint order, so every `Sym` id is reproduced exactly), the
 //!   cluster assignments, fused entities and new-detection results;
 //! * rebuilt — row contexts, the prefix blocking index and per-cluster
 //!   block keys ([`StreamingClusterer::from_parts`]), frozen PHI vectors
@@ -30,19 +30,29 @@
 //! pipeline **bit-identical** to the one that wrote the checkpoint —
 //! `tests/recovery_equivalence.rs` proves it end to end.
 //!
-//! ## File format (version 1)
+//! ## File format (version 2)
 //!
 //! ```text
 //! offset  size  field
 //! 0       8     magic  b"LTEECKP\x01"
-//! 8       4     format version (u32 LE) — currently 1
+//! 8       4     format version (u32 LE) — currently 2
 //! 12      8     config fingerprint (u64 LE, `config_fingerprint`)
 //! 20      8     applied batches (u64 LE) — non-empty ingests == snapshot version
 //! 28      8     payload length in bytes (u64 LE)
 //! 36      8     payload FNV-1a64 checksum (u64 LE)
-//! 44      …     payload: interner strings · corpus · mapping · per-class
+//! 44      …     payload: corpus · mapping · per-class interner strings /
 //!               clusters/entities/results, encoded via `ltee_ml::codec`
 //! ```
+//!
+//! Version 2 (the class-sharding PR) moved the single pipeline-wide
+//! interner arena into the per-class sections: each class owns its interner
+//! at serve time, so the checkpoint persists one string list per class.
+//! Version-1 files are refused with
+//! [`CheckpointError::UnsupportedVersion`] — the global arena cannot be
+//! split faithfully after the fact. The payload remains **logical per-class
+//! state only**: no shard layout is ever persisted, so any process can
+//! restore a checkpoint under any [`crate::ShardPlan`] (shard and thread
+//! counts are both excluded from the config fingerprint).
 //!
 //! Decoding validates magic, version, length and checksum before touching
 //! the payload, every collection length is bounds-checked against the
@@ -75,7 +85,7 @@ use crate::pipeline::{PipelineConfig, TrainedModels};
 pub const CHECKPOINT_MAGIC: [u8; 8] = *b"LTEECKP\x01";
 
 /// The checkpoint format version this build writes and reads.
-pub const CHECKPOINT_VERSION: u32 = 1;
+pub const CHECKPOINT_VERSION: u32 = 2;
 
 /// Offset where the checkpoint payload starts (after magic, version,
 /// fingerprint, applied-batch count, payload length and checksum).
@@ -470,6 +480,9 @@ fn decode_result_from(r: &mut ByteReader<'_>) -> Result<NewDetectionResult, Chec
 /// The persisted per-class decisions (parallel to [`CLASS_KEYS`]).
 #[derive(Debug, Clone)]
 struct ClassDump {
+    /// The class's interner arena in mint order — re-interning reproduces
+    /// every `Sym` id of the class exactly.
+    interner: Vec<String>,
     clusters: Vec<Vec<usize>>,
     entities: Vec<Entity>,
     results: Vec<NewDetectionResult>,
@@ -490,7 +503,6 @@ pub struct PipelineCheckpoint {
     /// Number of non-empty micro-batches applied before the checkpoint was
     /// taken — equals the published snapshot version of the serve layer.
     pub applied_batches: u64,
-    interner_strings: Vec<String>,
     tables: Vec<WebTable>,
     mappings: Vec<TableMapping>,
     classes: Vec<ClassDump>,
@@ -510,13 +522,13 @@ impl IncrementalPipeline<'_> {
         PipelineCheckpoint {
             fingerprint: config_fingerprint(&self.config),
             applied_batches,
-            interner_strings: self.interner.iter().map(|(_, s)| s.to_string()).collect(),
             tables: self.corpus.tables().to_vec(),
             mappings,
             classes: self
                 .states
                 .iter()
                 .map(|s| ClassDump {
+                    interner: s.interner.iter().map(|(_, str)| str.to_string()).collect(),
                     clusters: s.clusterer.clusters().to_vec(),
                     entities: s.entities.clone(),
                     results: s.results.clone(),
@@ -530,7 +542,6 @@ impl PipelineCheckpoint {
     /// Encode the checkpoint into its binary file format.
     pub fn encode(&self) -> Vec<u8> {
         let mut w = ByteWriter::new();
-        w.write_str_slice(&self.interner_strings);
         w.write_len(self.tables.len());
         for table in &self.tables {
             encode_table_into(table, &mut w);
@@ -541,6 +552,7 @@ impl PipelineCheckpoint {
         }
         w.write_len(self.classes.len());
         for dump in &self.classes {
+            w.write_str_slice(&dump.interner);
             w.write_len(dump.clusters.len());
             for cluster in &dump.clusters {
                 w.write_len(cluster.len());
@@ -607,7 +619,6 @@ impl PipelineCheckpoint {
         }
 
         let mut r = ByteReader::new(payload);
-        let interner_strings = r.read_str_vec("interner strings")?;
         let corpus = decode_corpus_from(&mut r)?;
         let num_mappings = r.read_len("corpus mappings", 16)?;
         let mut mappings = Vec::with_capacity(num_mappings);
@@ -631,6 +642,7 @@ impl PipelineCheckpoint {
         }
         let mut classes = Vec::with_capacity(num_classes);
         for _ in 0..num_classes {
+            let interner = r.read_str_vec("class interner strings")?;
             let num_clusters = r.read_len("clusters", 4)?;
             let mut clusters = Vec::with_capacity(num_clusters);
             for _ in 0..num_clusters {
@@ -651,7 +663,7 @@ impl PipelineCheckpoint {
             for _ in 0..num_results {
                 results.push(decode_result_from(&mut r)?);
             }
-            classes.push(ClassDump { clusters, entities, results });
+            classes.push(ClassDump { interner, clusters, entities, results });
         }
         r.expect_eof()?;
 
@@ -666,7 +678,6 @@ impl PipelineCheckpoint {
         let checkpoint = PipelineCheckpoint {
             fingerprint,
             applied_batches,
-            interner_strings,
             tables: corpus.tables().to_vec(),
             mappings,
             classes,
@@ -775,21 +786,22 @@ impl PipelineCheckpoint {
     ) -> Result<IncrementalPipeline<'a>, CheckpointError> {
         self.verify_config(&config)?;
 
-        // Re-minting the arena in stored order reproduces every Sym id;
-        // all interning below is re-interning of already-present strings,
-        // asserted by the baseline check at the end.
-        let mut interner = Interner::new();
-        for s in &self.interner_strings {
-            interner.intern(s);
-        }
-        let baseline = interner.len();
-
         let corpus = Corpus::from_tables(self.tables.clone());
         let mapping = CorpusMapping::from_tables(self.mappings.clone());
         let all_tables: Vec<TableId> = corpus.tables().iter().map(|t| t.id).collect();
 
         let mut states = Vec::with_capacity(CLASS_KEYS.len());
         for (&class, dump) in CLASS_KEYS.iter().zip(&self.classes) {
+            // Re-minting the class's arena in stored order reproduces every
+            // Sym id of that class; all interning below is re-interning of
+            // already-present strings, asserted by the per-class baseline
+            // check at the end of the loop body.
+            let mut interner = Interner::new();
+            for s in &dump.interner {
+                interner.intern(s);
+            }
+            let baseline = interner.len();
+
             let kb_index = kb.label_index(class);
             let rows = class_rows_in_arrival_order(&corpus, &mapping, class);
             let contexts = build_row_contexts(&corpus, &mapping, &rows, &mut interner);
@@ -821,8 +833,16 @@ impl PipelineCheckpoint {
             } else {
                 std::collections::HashMap::new()
             };
+            if interner.len() != baseline {
+                return Err(CheckpointError::Corrupted(format!(
+                    "{class}: state rebuild minted {} new interned strings — the checkpointed \
+                     interner does not cover the class's corpus vocabulary",
+                    interner.len() - baseline
+                )));
+            }
             states.push(ClassState {
                 class,
+                interner,
                 kb_index,
                 clusterer,
                 phi,
@@ -833,15 +853,7 @@ impl PipelineCheckpoint {
             });
         }
 
-        if interner.len() != baseline {
-            return Err(CheckpointError::Corrupted(format!(
-                "state rebuild minted {} new interned strings — the checkpointed interner does \
-                 not cover the corpus vocabulary",
-                interner.len() - baseline
-            )));
-        }
-
-        Ok(IncrementalPipeline { kb, models, config, corpus, mapping, interner, states })
+        Ok(IncrementalPipeline { kb, models, config, corpus, mapping, states })
     }
 
     /// Write the checkpoint to a file.
@@ -953,9 +965,9 @@ mod tests {
         assert_eq!(decoded.applied_batches, 2);
         let mut restored = decoded.restore(world.kb(), models, config.clone()).unwrap();
 
-        assert_eq!(restored.interner.len(), original.interner.len());
         assert_eq!(restored.corpus.tables(), original.corpus.tables());
         for (a, b) in original.states.iter().zip(&restored.states) {
+            assert_eq!(a.interner.len(), b.interner.len());
             assert_eq!(a.clusterer.clusters(), b.clusterer.clusters());
             assert_eq!(a.entities, b.entities);
             assert_eq!(a.results, b.results);
@@ -993,12 +1005,16 @@ mod tests {
         let empty = PipelineCheckpoint {
             fingerprint: 1,
             applied_batches: 0,
-            interner_strings: vec![],
             tables: vec![],
             mappings: vec![],
             classes: CLASS_KEYS
                 .iter()
-                .map(|_| ClassDump { clusters: vec![], entities: vec![], results: vec![] })
+                .map(|_| ClassDump {
+                    interner: vec![],
+                    clusters: vec![],
+                    entities: vec![],
+                    results: vec![],
+                })
                 .collect(),
         };
         let bytes = empty.encode();

@@ -33,6 +33,19 @@
 //! which is exactly what [`crate::Pipeline::run_streaming`] does. The
 //! repository test `tests/incremental_equivalence.rs` asserts this end to
 //! end at multiple thread counts.
+//!
+//! ## Class sharding
+//!
+//! Each class's accumulated state — streaming clusterer, KB label index,
+//! implicit attributes, KBT cache **and its own interner** — is fully
+//! self-contained, so ingest groups the class states into the shard
+//! buckets of [`crate::ShardPlan`] and runs the buckets concurrently on
+//! the work-stealing pool: once for matching statistics + delta
+//! clustering, once for fusion + new detection. The shard grouping is
+//! pure execution placement (shards share nothing mutable), and both
+//! fan-outs merge their per-class results back in [`CLASS_KEYS`] order,
+//! so every output — including the [`IngestReport`] — is bit-identical
+//! at every (shard count × thread count).
 
 use ltee_clustering::{
     build_row_contexts, ImplicitAttributes, StreamingClusterer, StreamingPhi,
@@ -45,10 +58,13 @@ use ltee_matching::{match_corpus, CorpusMapping};
 use ltee_newdetect::NewDetectionResult;
 use ltee_webtables::Corpus;
 
+use rayon::prelude::*;
+
 use crate::artifact::{ArtifactError, ModelArtifact};
 use crate::pipeline::{
     fuse_and_detect, ClassOutput, PipelineConfig, PipelineError, PipelineOutput, TrainedModels,
 };
+use crate::shard::ShardPlan;
 
 /// The rows of a batch's tables mapped to `class`, in the batch's **storage
 /// order** (arrival order), not sorted by table id.
@@ -76,9 +92,21 @@ pub(crate) fn class_rows_in_arrival_order(
 }
 
 /// Per-class accumulated serve state.
+///
+/// Self-contained by construction — every field (the interner included) is
+/// touched only by this class's processing — which is what lets shard
+/// buckets of states ingest concurrently without sharing anything mutable.
 #[derive(Debug, Clone)]
 pub(crate) struct ClassState {
     pub(crate) class: ClassKey,
+    /// The class's interner: every label/token this class's stream mints
+    /// is interned once, in arrival order, and all similarity scoring
+    /// compares integers. Per-class (rather than one arena per pipeline)
+    /// so shards never contend on a shared arena; no scoring path depends
+    /// on raw `Sym` ordering across classes, so the split changes no
+    /// output. Syms are never persisted — checkpoints store the strings in
+    /// mint order and a restoring process re-interns from scratch.
+    pub(crate) interner: Interner,
     /// Label index over the knowledge base instances of the class, built
     /// once at load time (the KB is frozen during serving).
     pub(crate) kb_index: LabelIndex,
@@ -135,11 +163,9 @@ pub struct IncrementalPipeline<'a> {
     pub(crate) corpus: Corpus,
     /// Accumulated schema mapping of all ingested tables.
     pub(crate) mapping: CorpusMapping,
-    /// The run interner: every label/token of the stream is interned once,
-    /// in arrival order, and all similarity scoring compares integers. Its
-    /// lifetime is the pipeline's — syms are never persisted (the artifact
-    /// stores strings; a new serving process re-interns from scratch).
-    pub(crate) interner: Interner,
+    /// Per-class accumulated state, in [`CLASS_KEYS`] order. Each state
+    /// owns its own interner (see [`ClassState::interner`]), so shard
+    /// buckets of states can ingest concurrently.
     pub(crate) states: Vec<ClassState>,
 }
 
@@ -150,6 +176,7 @@ impl<'a> IncrementalPipeline<'a> {
             .iter()
             .map(|&class| ClassState {
                 class,
+                interner: Interner::new(),
                 kb_index: kb.label_index(class),
                 clusterer: StreamingClusterer::new(config.clustering.clone()),
                 phi: StreamingPhi::new(),
@@ -159,15 +186,7 @@ impl<'a> IncrementalPipeline<'a> {
                 results: Vec::new(),
             })
             .collect();
-        Self {
-            kb,
-            models,
-            config,
-            corpus: Corpus::new(),
-            mapping: CorpusMapping::default(),
-            interner: Interner::new(),
-            states,
-        }
+        Self { kb, models, config, corpus: Corpus::new(), mapping: CorpusMapping::default(), states }
     }
 
     /// Create a serving pipeline from a persisted artifact, verifying that
@@ -232,6 +251,8 @@ impl<'a> IncrementalPipeline<'a> {
             }
         }
         self.config.parallelism.install();
+        let num_shards = self.config.shards.resolve();
+        let num_states = self.states.len();
 
         let mut report = IngestReport {
             tables: batch.len(),
@@ -246,79 +267,44 @@ impl<'a> IncrementalPipeline<'a> {
         let batch_mapping =
             match_corpus(batch, self.kb, &self.models.matcher_weights, &self.config.schema, None);
 
-        let mut touched_per_state: Vec<Vec<usize>> = vec![Vec::new(); self.states.len()];
-        for (state_idx, state) in self.states.iter_mut().enumerate() {
-            let class = state.class;
-            let rows = class_rows_in_arrival_order(batch, &batch_mapping, class);
-            if rows.is_empty() {
-                continue;
-            }
-            report.mapped_rows += rows.len();
+        // Phase 1 — per-class matching statistics + delta clustering,
+        // shard-concurrent. Each class state (its interner included) is
+        // self-contained, so the buckets touch disjoint mutable state and
+        // the grouping is pure execution placement.
+        let kb = self.kb;
+        let models = &self.models;
+        let config = &self.config;
+        let phase1: Vec<Vec<(usize, ClassDelta)>> =
+            shard_buckets(&mut self.states, num_shards, |_| true)
+                .into_par_iter()
+                .map(|bucket| {
+                    bucket
+                        .into_iter()
+                        .map(|(idx, state)| {
+                            (
+                                idx,
+                                ingest_class_delta(state, batch, &batch_mapping, kb, models, config),
+                            )
+                        })
+                        .collect()
+                })
+                .collect();
 
-            // Corpus statistics for the delta: per-table implicit
-            // attributes and frozen PHI vectors (both depend only on the
-            // table and the frozen KB, so they are batch-invariant).
-            let contexts = build_row_contexts(batch, &batch_mapping, &rows, &mut self.interner);
-            let implicit_delta =
-                ImplicitAttributes::build(batch, &batch_mapping, self.kb, class, &state.kb_index);
-            state.implicit.merge(implicit_delta);
-            if self.config.fusion.scoring == ltee_fusion::ScoringMethod::Kbt {
-                let batch_tables: Vec<_> = batch.tables().iter().map(|t| t.id).collect();
-                state.kbt.extend(ltee_fusion::kbt_scores_for_tables(
-                    batch,
-                    &batch_mapping,
-                    self.kb,
-                    class,
-                    &batch_tables,
-                ));
-            }
-            // Freeze PHI vectors table by table, in arrival order (the same
-            // order the rows cluster in).
-            for table in batch.tables() {
-                if batch_mapping.table(table.id).map(|tm| tm.class) != Some(Some(class)) {
-                    continue;
-                }
-                let labels: Vec<String> = contexts
-                    .iter()
-                    .filter(|c| c.row.table == table.id)
-                    .filter(|c| !c.normalized_label.is_empty())
-                    .map(|c| c.normalized_label.clone())
-                    .collect();
-                state.phi.add_table(table.id, &labels);
-            }
-
-            // Delta clustering against all accumulated state.
-            let touched = state.clusterer.ingest(
-                contexts,
-                &self.models.row_model,
-                state.phi.vectors(),
-                &state.implicit,
-                &self.interner,
-            );
-            let previously_known = state.entities.len();
-            report.new_clusters += touched.iter().filter(|&&c| c >= previously_known).count();
-            report.updated_clusters += touched.iter().filter(|&&c| c < previously_known).count();
-            touched_per_state[state_idx] = touched;
-
-            // Re-fuse and re-classify only the touched clusters. The
-            // accumulated corpus/mapping do not yet include this batch, so
-            // merge them first — fusion reads cells through them.
-            if state.entities.len() < state.clusterer.len() {
-                // Placeholders keep `entities`/`results` parallel to the
-                // cluster list until the loop below overwrites them.
-                state.entities.resize_with(state.clusterer.len(), || Entity {
-                    class,
-                    rows: Vec::new(),
-                    labels: Vec::new(),
-                    facts: Vec::new(),
-                });
-                state.results.resize_with(state.clusterer.len(), || NewDetectionResult {
-                    entity: 0,
-                    outcome: ltee_newdetect::NewDetectionOutcome::New,
-                    best_score: 0.0,
-                    candidate_count: 0,
-                });
-            }
+        // Deterministic merge: fold the per-class deltas into the report in
+        // state ([`CLASS_KEYS`]) order, independent of which shard produced
+        // them (the counters are sums either way; the order rule keeps the
+        // merge contract uniform with `touched_classes` below).
+        let mut touched_per_state: Vec<Vec<usize>> = vec![Vec::new(); num_states];
+        let mut ordered: Vec<Option<ClassDelta>> = (0..num_states).map(|_| None).collect();
+        for (idx, delta) in phase1.into_iter().flatten() {
+            ordered[idx] = Some(delta);
+        }
+        for (idx, delta) in ordered.into_iter().enumerate() {
+            let Some(delta) = delta else { continue };
+            report.mapped_rows += delta.mapped_rows;
+            report.new_clusters += delta.new_clusters;
+            report.updated_clusters += delta.updated_clusters;
+            touched_per_state[idx] = delta.touched;
         }
 
         // The accumulated corpus and mapping must include the batch before
@@ -329,40 +315,55 @@ impl<'a> IncrementalPipeline<'a> {
         }
         self.mapping.merge(batch_mapping);
 
-        for (state, touched) in self.states.iter_mut().zip(touched_per_state) {
-            if touched.is_empty() {
-                continue;
-            }
-            let class = state.class;
-            report.touched_classes.push(class);
-            let touched_clusters: Vec<Vec<ltee_webtables::RowRef>> =
-                touched.iter().map(|&c| state.clusterer.cluster_row_refs(c)).collect();
-            let (entities, results) = fuse_and_detect(
-                &touched_clusters,
-                &self.corpus,
-                &self.mapping,
-                self.kb,
-                class,
-                &state.implicit,
-                &state.kb_index,
-                &self.models,
-                &self.config,
-                Some(&state.kbt),
-                &mut self.interner,
-            );
-            for ((cluster_idx, entity), mut result) in
-                touched.iter().copied().zip(entities).zip(results)
-            {
-                result.entity = cluster_idx;
-                if result.outcome.is_new() {
-                    report.new_entities += 1;
-                }
-                state.entities[cluster_idx] = entity;
-                state.results[cluster_idx] = result;
+        // Phase 2 — re-fuse and re-classify only the touched clusters,
+        // again shard-concurrent over disjoint class states (fusion reads
+        // the shared corpus/mapping immutably and writes only its own
+        // state's entities/results/interner).
+        let corpus = &self.corpus;
+        let mapping = &self.mapping;
+        let touched_ref = &touched_per_state;
+        let phase2: Vec<Vec<(usize, usize)>> =
+            shard_buckets(&mut self.states, num_shards, |idx| !touched_ref[idx].is_empty())
+                .into_par_iter()
+                .map(|bucket| {
+                    bucket
+                        .into_iter()
+                        .map(|(idx, state)| {
+                            let new_entities = refresh_touched_clusters(
+                                state,
+                                &touched_ref[idx],
+                                corpus,
+                                mapping,
+                                kb,
+                                models,
+                                config,
+                            );
+                            (idx, new_entities)
+                        })
+                        .collect()
+                })
+                .collect();
+
+        // Merge in state order again: `touched_classes` and the
+        // new-entities counter come out identical at every shard count.
+        let mut new_per_state: Vec<Option<usize>> = vec![None; num_states];
+        for (idx, new_entities) in phase2.into_iter().flatten() {
+            new_per_state[idx] = Some(new_entities);
+        }
+        for (state, new_entities) in self.states.iter().zip(new_per_state) {
+            if let Some(new_entities) = new_entities {
+                report.touched_classes.push(state.class);
+                report.new_entities += new_entities;
             }
         }
 
         Ok(report)
+    }
+
+    /// The number of shard buckets the next ingest would use (resolved from
+    /// the config's [`ShardPlan`] right now).
+    pub fn shard_count(&self) -> usize {
+        self.config.shards.resolve()
     }
 
     /// Snapshot of the cumulative pipeline output over everything ingested
@@ -383,4 +384,159 @@ impl<'a> IncrementalPipeline<'a> {
             .collect();
         PipelineOutput { mapping: self.mapping.clone(), classes }
     }
+}
+
+/// What phase 1 of an ingest produced for one class; folded into the
+/// [`IngestReport`] in state order after the shard fan-out joins.
+struct ClassDelta {
+    mapped_rows: usize,
+    new_clusters: usize,
+    updated_clusters: usize,
+    /// Cluster indexes the batch created or extended.
+    touched: Vec<usize>,
+}
+
+/// Group mutable references to the class states into `num_shards` disjoint
+/// shard buckets ([`ShardPlan::shard_of`]), tagging each state with its
+/// index so the caller can merge results back in state order. States for
+/// which `keep` returns `false` stay out of every bucket.
+fn shard_buckets<'s>(
+    states: &'s mut [ClassState],
+    num_shards: usize,
+    keep: impl Fn(usize) -> bool,
+) -> Vec<Vec<(usize, &'s mut ClassState)>> {
+    let mut buckets: Vec<Vec<(usize, &'s mut ClassState)>> =
+        (0..num_shards.max(1)).map(|_| Vec::new()).collect();
+    for (idx, state) in states.iter_mut().enumerate() {
+        if keep(idx) {
+            buckets[ShardPlan::shard_of(state.class, num_shards)].push((idx, state));
+        }
+    }
+    buckets
+}
+
+/// Phase 1 for one class: corpus statistics for the delta (per-table
+/// implicit attributes, KBT scores and frozen PHI vectors — all functions
+/// of the table and the frozen KB alone, so batch-invariant), then delta
+/// clustering against all accumulated state. Mutates only `state`.
+fn ingest_class_delta(
+    state: &mut ClassState,
+    batch: &Corpus,
+    batch_mapping: &CorpusMapping,
+    kb: &KnowledgeBase,
+    models: &TrainedModels,
+    config: &PipelineConfig,
+) -> ClassDelta {
+    let class = state.class;
+    let rows = class_rows_in_arrival_order(batch, batch_mapping, class);
+    if rows.is_empty() {
+        return ClassDelta {
+            mapped_rows: 0,
+            new_clusters: 0,
+            updated_clusters: 0,
+            touched: Vec::new(),
+        };
+    }
+
+    let contexts = build_row_contexts(batch, batch_mapping, &rows, &mut state.interner);
+    let implicit_delta =
+        ImplicitAttributes::build(batch, batch_mapping, kb, class, &state.kb_index);
+    state.implicit.merge(implicit_delta);
+    if config.fusion.scoring == ltee_fusion::ScoringMethod::Kbt {
+        let batch_tables: Vec<_> = batch.tables().iter().map(|t| t.id).collect();
+        state.kbt.extend(ltee_fusion::kbt_scores_for_tables(
+            batch,
+            batch_mapping,
+            kb,
+            class,
+            &batch_tables,
+        ));
+    }
+    // Freeze PHI vectors table by table, in arrival order (the same order
+    // the rows cluster in).
+    for table in batch.tables() {
+        if batch_mapping.table(table.id).map(|tm| tm.class) != Some(Some(class)) {
+            continue;
+        }
+        let labels: Vec<String> = contexts
+            .iter()
+            .filter(|c| c.row.table == table.id)
+            .filter(|c| !c.normalized_label.is_empty())
+            .map(|c| c.normalized_label.clone())
+            .collect();
+        state.phi.add_table(table.id, &labels);
+    }
+
+    // Delta clustering against all accumulated state.
+    let touched = state.clusterer.ingest(
+        contexts,
+        &models.row_model,
+        state.phi.vectors(),
+        &state.implicit,
+        &state.interner,
+    );
+    let previously_known = state.entities.len();
+    let new_clusters = touched.iter().filter(|&&c| c >= previously_known).count();
+    let updated_clusters = touched.iter().filter(|&&c| c < previously_known).count();
+
+    if state.entities.len() < state.clusterer.len() {
+        // Placeholders keep `entities`/`results` parallel to the cluster
+        // list until phase 2 overwrites them.
+        state.entities.resize_with(state.clusterer.len(), || Entity {
+            class,
+            rows: Vec::new(),
+            labels: Vec::new(),
+            facts: Vec::new(),
+        });
+        state.results.resize_with(state.clusterer.len(), || NewDetectionResult {
+            entity: 0,
+            outcome: ltee_newdetect::NewDetectionOutcome::New,
+            best_score: 0.0,
+            candidate_count: 0,
+        });
+    }
+
+    ClassDelta { mapped_rows: rows.len(), new_clusters, updated_clusters, touched }
+}
+
+/// Phase 2 for one class: fuse and re-classify the clusters the batch
+/// touched, writing the refreshed entities/results into their slots.
+/// Returns how many touched clusters now classify as new. Reads the
+/// accumulated corpus/mapping immutably; mutates only `state`.
+#[allow(clippy::too_many_arguments)]
+fn refresh_touched_clusters(
+    state: &mut ClassState,
+    touched: &[usize],
+    corpus: &Corpus,
+    mapping: &CorpusMapping,
+    kb: &KnowledgeBase,
+    models: &TrainedModels,
+    config: &PipelineConfig,
+) -> usize {
+    let class = state.class;
+    let touched_clusters: Vec<Vec<ltee_webtables::RowRef>> =
+        touched.iter().map(|&c| state.clusterer.cluster_row_refs(c)).collect();
+    let (entities, results) = fuse_and_detect(
+        &touched_clusters,
+        corpus,
+        mapping,
+        kb,
+        class,
+        &state.implicit,
+        &state.kb_index,
+        models,
+        config,
+        Some(&state.kbt),
+        &mut state.interner,
+    );
+    let mut new_entities = 0;
+    for ((cluster_idx, entity), mut result) in touched.iter().copied().zip(entities).zip(results) {
+        result.entity = cluster_idx;
+        if result.outcome.is_new() {
+            new_entities += 1;
+        }
+        state.entities[cluster_idx] = entity;
+        state.results[cluster_idx] = result;
+    }
+    new_entities
 }

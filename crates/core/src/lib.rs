@@ -78,11 +78,13 @@ pub mod experiments;
 pub mod incremental;
 pub mod parallel;
 pub mod pipeline;
+pub mod shard;
 
 pub use artifact::{config_fingerprint, ArtifactError, ModelArtifact};
 pub use checkpoint::{decode_corpus, encode_corpus, CheckpointError, PipelineCheckpoint};
 pub use incremental::{IncrementalPipeline, IngestReport};
 pub use parallel::Parallelism;
+pub use shard::ShardPlan;
 pub use pipeline::{
     train_models, ClassOutput, Pipeline, PipelineConfig, PipelineError, PipelineOutput,
     TrainedModels,
@@ -95,6 +97,7 @@ pub mod prelude {
     pub use crate::experiments::{self, ExperimentConfig};
     pub use crate::incremental::{IncrementalPipeline, IngestReport};
     pub use crate::parallel::Parallelism;
+    pub use crate::shard::ShardPlan;
     pub use crate::pipeline::{
         train_models, ClassOutput, Pipeline, PipelineConfig, PipelineError, PipelineOutput,
         TrainedModels,

@@ -23,6 +23,7 @@ use ltee_newdetect::metrics::EntityContext;
 use ltee_webtables::{Corpus, GoldStandard, RowRef, TableId};
 
 use crate::parallel::Parallelism;
+use crate::shard::ShardPlan;
 
 /// Typed errors of pipeline training and execution.
 ///
@@ -92,6 +93,12 @@ pub struct PipelineConfig {
     /// Thread count for every parallel stage (training and inference).
     /// Results are bit-identical at every setting; see [`Parallelism`].
     pub parallelism: Parallelism,
+    /// How the serve path's per-class states are grouped into
+    /// concurrently-ingesting shards. Pure execution placement — results
+    /// are bit-identical at every setting, and (like `parallelism`) it is
+    /// excluded from the config fingerprint, so artifacts and checkpoints
+    /// are portable across shard counts. See [`ShardPlan`].
+    pub shards: ShardPlan,
 }
 
 impl Default for PipelineConfig {
@@ -108,6 +115,7 @@ impl Default for PipelineConfig {
             newdetect: NewDetectionConfig::default(),
             matcher_genetic: GeneticConfig::default(),
             parallelism: Parallelism::Auto,
+            shards: ShardPlan::Auto,
         }
     }
 }

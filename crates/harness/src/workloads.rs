@@ -22,6 +22,11 @@ pub const WORKLOADS: &[(&str, &str)] = &[
     ("multilingual-mixed", "balanced mix over the multilingual-headers scenario"),
     ("scientific-fetch", "record-fetch-heavy traffic over scientific-paper tables"),
     ("ingest-soak", "sustained re-ingest soak under paging-heavy background reads"),
+    (
+        "sharded-steady",
+        "the steady-read mix at more micro-batches; shard count via LTEE_NUM_SHARDS, \
+         report bytes identical at every setting",
+    ),
 ];
 
 /// Just the names, for error messages.
@@ -80,6 +85,17 @@ pub fn named_workload(name: &str, seed: u64) -> Option<HarnessConfig> {
             churn_readers: 2,
             soak_rounds: 2,
             ..base(MixRatios { exact: 25, fuzzy: 15, fetch: 20, paging: 40 }, 1.0)
+        },
+        // The class-sharding workload: the steady-read traffic mix over
+        // more micro-batches (more per-shard ingest rounds). The shard
+        // count itself is *not* part of the preset — it flows in through
+        // `LTEE_NUM_SHARDS` via `ShardPlan::Auto` in the pipeline config,
+        // and the determinism contract makes the report a pure function
+        // of `(workload, seed)` regardless: CI runs this preset at 1 and
+        // 4 shards and asserts the report files are byte-identical.
+        "sharded-steady" => HarnessConfig {
+            batches: 6,
+            ..base(MixRatios { exact: 40, fuzzy: 30, fetch: 20, paging: 10 }, 1.1)
         },
         _ => return None,
     })

@@ -35,6 +35,51 @@ pub struct LookupMetrics {
     pub candidates_skipped: u64,
 }
 
+impl LookupMetrics {
+    /// The work done since `earlier`, counter by counter (saturating, so
+    /// a reset between the two snapshots yields zeros instead of
+    /// wrapping). Because the counters are process-global, a fan-out that
+    /// queries several shard/class indexes — concurrently or not —
+    /// accumulates into the *same* counters; one delta around the whole
+    /// fan-out therefore measures the total per-lookup work, which is
+    /// what the CI sublinearity gate divides by the query count.
+    pub fn delta_since(self, earlier: LookupMetrics) -> LookupMetrics {
+        LookupMetrics {
+            edit_distance_calls: self
+                .edit_distance_calls
+                .saturating_sub(earlier.edit_distance_calls),
+            candidates_scored: self.candidates_scored.saturating_sub(earlier.candidates_scored),
+            candidates_skipped: self
+                .candidates_skipped
+                .saturating_sub(earlier.candidates_skipped),
+        }
+    }
+
+    /// Candidates examined in any way: scored plus skipped-by-bound.
+    pub fn candidates_examined(self) -> u64 {
+        self.candidates_scored + self.candidates_skipped
+    }
+}
+
+impl std::ops::Add for LookupMetrics {
+    type Output = LookupMetrics;
+
+    /// Counter-wise sum, for folding per-shard deltas into one total.
+    fn add(self, rhs: LookupMetrics) -> LookupMetrics {
+        LookupMetrics {
+            edit_distance_calls: self.edit_distance_calls + rhs.edit_distance_calls,
+            candidates_scored: self.candidates_scored + rhs.candidates_scored,
+            candidates_skipped: self.candidates_skipped + rhs.candidates_skipped,
+        }
+    }
+}
+
+impl std::iter::Sum for LookupMetrics {
+    fn sum<I: Iterator<Item = LookupMetrics>>(iter: I) -> LookupMetrics {
+        iter.fold(LookupMetrics::default(), |acc, m| acc + m)
+    }
+}
+
 /// Read the current counter values.
 pub fn snapshot() -> LookupMetrics {
     LookupMetrics {
@@ -71,6 +116,41 @@ pub(crate) fn count_candidate_skipped() {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn delta_and_sum_aggregate_across_fanout() {
+        // Simulate a two-shard fuzzy fan-out: each "shard" lookup adds to
+        // the same process-global counters, and per-shard deltas sum to
+        // (at least) the overall delta this thread contributed. Monotone
+        // ≥ assertions only — other tests may count concurrently.
+        let overall_before = snapshot();
+
+        let shard_a_before = snapshot();
+        count_edit_distance_calls(2);
+        count_candidate_scored();
+        let shard_a = snapshot().delta_since(shard_a_before);
+
+        let shard_b_before = snapshot();
+        count_edit_distance_calls(5);
+        count_candidate_skipped();
+        let shard_b = snapshot().delta_since(shard_b_before);
+
+        assert!(shard_a.edit_distance_calls >= 2);
+        assert!(shard_b.edit_distance_calls >= 5);
+
+        let folded: LookupMetrics = [shard_a, shard_b].into_iter().sum();
+        assert!(folded.edit_distance_calls >= 7);
+        assert!(folded.candidates_examined() >= 2);
+
+        let overall = snapshot().delta_since(overall_before);
+        assert!(overall.edit_distance_calls >= 7, "fan-out accumulates into one delta");
+        assert!(overall.candidates_scored >= 1);
+        assert!(overall.candidates_skipped >= 1);
+
+        // A delta taken backwards saturates instead of wrapping.
+        let backwards = overall_before.delta_since(snapshot());
+        assert_eq!(backwards.edit_distance_calls, 0);
+    }
 
     #[test]
     fn counters_accumulate_and_snapshot() {

@@ -79,8 +79,35 @@ use ltee_core::{
     ArtifactError, IncrementalPipeline, IngestReport, ModelArtifact, PipelineConfig, PipelineError,
     TrainedModels,
 };
-use ltee_kb::{KnowledgeBase, CLASS_KEYS};
+use ltee_kb::{ClassKey, KnowledgeBase, CLASS_KEYS};
 use ltee_webtables::Corpus;
+use rayon::prelude::*;
+
+/// Build the class projections for `classes` concurrently on the
+/// work-stealing pool, returning `(slot, projection)` pairs in input order
+/// (the pool collects in input order, so publication stays deterministic
+/// at every shard/thread count). Used by ingest-time publication — where
+/// the classes are the batch's touched classes — and by recovery, where
+/// every populated class rebuilds at once.
+fn build_class_slices(
+    kb: &KnowledgeBase,
+    pipeline: &IncrementalPipeline<'_>,
+    classes: &[ClassKey],
+) -> Vec<(usize, Arc<ClassSnapshot>)> {
+    classes
+        .par_iter()
+        .map(|&class| {
+            let slot = CLASS_KEYS
+                .iter()
+                .position(|&c| c == class)
+                .expect("projected classes come from CLASS_KEYS");
+            let (entities, results) = pipeline
+                .class_entities(class)
+                .expect("a projected class has at least one cluster");
+            (slot, Arc::new(ClassSnapshot::build(kb, class, entities, results)))
+        })
+        .collect()
+}
 
 /// The serving end of the train-once / serve-many split: an
 /// [`IncrementalPipeline`] that publishes an immutable [`KbSnapshot`]
@@ -125,11 +152,13 @@ impl<'a> ServePipeline<'a> {
         version: u64,
     ) -> Self {
         let mut class_cache: Vec<Option<Arc<ClassSnapshot>>> = vec![None; CLASS_KEYS.len()];
-        for (slot, &class) in CLASS_KEYS.iter().enumerate() {
-            if let Some((entities, results)) = pipeline.class_entities(class) {
-                class_cache[slot] =
-                    Some(Arc::new(ClassSnapshot::build(kb, class, entities, results)));
-            }
+        let populated: Vec<ClassKey> = CLASS_KEYS
+            .iter()
+            .copied()
+            .filter(|&class| pipeline.class_entities(class).is_some())
+            .collect();
+        for (slot, slice) in build_class_slices(kb, &pipeline, &populated) {
+            class_cache[slot] = Some(slice);
         }
         let initial = Arc::new(KbSnapshot::assemble(
             version,
@@ -163,17 +192,11 @@ impl<'a> ServePipeline<'a> {
         if report.tables == 0 {
             return Ok(report);
         }
-        for &class in &report.touched_classes {
-            let slot = CLASS_KEYS
-                .iter()
-                .position(|&c| c == class)
-                .expect("touched classes come from CLASS_KEYS");
-            let (entities, results) = self
-                .pipeline
-                .class_entities(class)
-                .expect("a touched class has at least one cluster");
-            self.class_cache[slot] =
-                Some(Arc::new(ClassSnapshot::build(self.kb, class, entities, results)));
+        // Rebuild only the touched class projections, concurrently — the
+        // per-class builds are independent and collected in input order,
+        // so the published snapshot is identical at every pool size.
+        for (slot, slice) in build_class_slices(self.kb, &self.pipeline, &report.touched_classes) {
+            self.class_cache[slot] = Some(slice);
         }
         // The version is derived from the published sequence (not tracked
         // separately), so the writer's and the readers' view of "latest"

@@ -333,20 +333,33 @@ impl KbSnapshot {
 
     /// Fuzzy top-k label lookup, in one class or (with `None`) across all
     /// classes. Within a class the ranking is exactly
-    /// [`SharedLabelIndex::lookup`]'s; across classes the per-class top-k
-    /// lists are merged by descending score (ties: ascending record id,
-    /// then [`CLASS_KEYS`] order) and cut to `k`.
+    /// [`SharedLabelIndex::lookup`]'s; across classes the query fans out
+    /// over every class index concurrently (each keeping its own DAAT
+    /// top-k bounds) and the per-class top-k lists are merged by
+    /// descending score (ties: ascending record id, then [`CLASS_KEYS`]
+    /// order) and cut to `k`.
     pub fn fuzzy_lookup(&self, class: Option<ClassKey>, label: &str, k: usize) -> Vec<EntityHit> {
-        let mut hits: Vec<EntityHit> = Vec::new();
-        for slice in self.class_slices(class) {
-            for m in slice.index().lookup(label, k) {
-                hits.push(EntityHit {
-                    entity: EntityRef { class: slice.class(), id: m.id as u32 },
-                    score: m.score,
-                    label: slice.index().resolve(m.normalized).to_string(),
-                });
-            }
-        }
+        use rayon::prelude::*;
+        let slices = self.class_slices(class);
+        // Fan out across the per-class (per-shard) indexes. Collection is
+        // ordered, so the concatenated list below is independent of how
+        // many workers ran the lookups.
+        let per_slice: Vec<Vec<EntityHit>> = slices
+            .par_iter()
+            .map(|slice| {
+                slice
+                    .index()
+                    .lookup(label, k)
+                    .into_iter()
+                    .map(|m| EntityHit {
+                        entity: EntityRef { class: slice.class(), id: m.id as u32 },
+                        score: m.score,
+                        label: slice.index().resolve(m.normalized).to_string(),
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut hits: Vec<EntityHit> = per_slice.into_iter().flatten().collect();
         // Per-class lists arrive sorted; the cross-class merge re-sorts by
         // the documented total order. `sort_by` is stable, so equal keys
         // keep CLASS_KEYS order.

@@ -407,12 +407,12 @@ mod tests {
     /// decoder on the way in.
     fn empty_checkpoint(fingerprint: u64, applied: u64) -> PipelineCheckpoint {
         let mut w = ByteWriter::new();
-        w.write_len(0); // interner strings
         w.write_len(0); // corpus tables
         w.write_len(0); // mappings
         let num_classes = ltee_kb::CLASS_KEYS.len();
         w.write_len(num_classes);
         for _ in 0..num_classes {
+            w.write_len(0); // per-class interner strings
             w.write_len(0); // clusters
             w.write_len(0); // entities
             w.write_len(0); // results

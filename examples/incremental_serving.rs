@@ -31,9 +31,18 @@ fn main() {
     // ── Serve phase (online, any number of processes) ───────────────────
     // A serving process loads the artifact once; the fingerprint check
     // refuses artifacts trained under a different inference configuration.
+    // This process ingests with two class shards: per-class state is
+    // grouped into shard buckets that run concurrently on the pool. A
+    // shard plan is pure execution placement — the output (and the
+    // equivalence assertion below) is bit-identical at every shard count,
+    // and the fingerprint check passes because shards, like parallelism,
+    // are excluded from the config fingerprint.
+    let serve_config =
+        PipelineConfig { shards: ShardPlan::Shards(2), ..config.clone() };
     let loaded = ModelArtifact::load(&path).expect("readable artifact");
-    let mut serving = IncrementalPipeline::from_artifact(world.kb(), &loaded, config.clone())
+    let mut serving = IncrementalPipeline::from_artifact(world.kb(), &loaded, serve_config)
         .expect("artifact matches the serve config");
+    println!("serve : ingesting with {} class shards", serving.shard_count());
 
     // New tables arrive continuously; here the corpus stands in for the
     // stream, delivered in micro-batches of up to 8 tables, the way a

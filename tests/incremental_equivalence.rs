@@ -29,7 +29,11 @@ fn setup() -> (World, Corpus, ModelArtifact) {
 }
 
 fn config_with(parallelism: Parallelism) -> PipelineConfig {
-    PipelineConfig { parallelism, ..PipelineConfig::fast() }
+    config_sharded(parallelism, ShardPlan::Auto)
+}
+
+fn config_sharded(parallelism: Parallelism, shards: ShardPlan) -> PipelineConfig {
+    PipelineConfig { parallelism, shards, ..PipelineConfig::fast() }
 }
 
 /// Assert two pipeline outputs are bit-identical in everything the serve
@@ -62,9 +66,23 @@ fn ingest_in_batches(
     batches: usize,
     parallelism: Parallelism,
 ) -> PipelineOutput {
-    let mut serving =
-        IncrementalPipeline::from_artifact(world.kb(), artifact, config_with(parallelism))
-            .expect("artifact fingerprint matches");
+    ingest_in_batches_sharded(world, corpus, artifact, batches, parallelism, ShardPlan::Auto)
+}
+
+fn ingest_in_batches_sharded(
+    world: &World,
+    corpus: &Corpus,
+    artifact: &ModelArtifact,
+    batches: usize,
+    parallelism: Parallelism,
+    shards: ShardPlan,
+) -> PipelineOutput {
+    let mut serving = IncrementalPipeline::from_artifact(
+        world.kb(),
+        artifact,
+        config_sharded(parallelism, shards),
+    )
+    .expect("artifact fingerprint matches");
     let mut ingested_rows = 0usize;
     for batch in corpus.split_into_batches(batches) {
         let report = serving.ingest(&batch).expect("fresh table ids");
@@ -119,6 +137,45 @@ fn micro_batched_ingest_equals_streaming_union_run_at_every_thread_count() {
         reference.classes.iter().map(|c| c.existing_entities().len()).sum();
     assert!(new_total > 0, "serve path should discover new entities");
     assert!(existing_total > 0, "serve path should link entities to the KB");
+}
+
+#[test]
+fn output_is_bit_identical_at_every_shard_and_thread_count() {
+    // The class-sharding keystone: a `ShardPlan` is pure execution
+    // placement, so the full shards × threads matrix must reproduce the
+    // single-shard single-thread run bit for bit — same clusters, same
+    // fused entities, same detection outcomes, same score bit patterns.
+    let (world, corpus, artifact) = setup();
+
+    let reference = ingest_in_batches_sharded(
+        &world,
+        &corpus,
+        &artifact,
+        4,
+        Parallelism::Threads(1),
+        ShardPlan::Shards(1),
+    );
+
+    for shards in [1usize, 2, 4] {
+        for threads in [1usize, 4] {
+            if shards == 1 && threads == 1 {
+                continue; // the reference itself
+            }
+            let output = ingest_in_batches_sharded(
+                &world,
+                &corpus,
+                &artifact,
+                4,
+                Parallelism::Threads(threads),
+                ShardPlan::Shards(shards),
+            );
+            assert_outputs_identical(
+                &reference,
+                &output,
+                &format!("shards={shards}, threads={threads}"),
+            );
+        }
+    }
 }
 
 #[test]

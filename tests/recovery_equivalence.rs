@@ -18,12 +18,15 @@
 //!    mix (exact, fuzzy, paging, stats — per class) are identical to the
 //!    reference's.
 //!
-//! Thread matrix: the sweeps run under `Parallelism::Auto`, so the CI
-//! `LTEE_NUM_THREADS=1,4` matrix supplies the threads∈{1,4} half of the
-//! K∈{1,4,9}×threads product; `checkpoint_is_portable_across_thread_counts`
-//! additionally proves a checkpoint written under `Threads(1)` recovers
-//! bit-identically under `Threads(4)` (the config fingerprint excludes
-//! parallelism by design).
+//! Thread and shard matrix: the sweeps run under `Parallelism::Auto` and
+//! `ShardPlan::Auto`, so the CI `LTEE_NUM_THREADS=1,4` ×
+//! `LTEE_NUM_SHARDS=1,4` matrix supplies the threads∈{1,4} × shards∈{1,4}
+//! plane of the K∈{1,4,9} product; `checkpoint_is_portable_across_thread_counts`
+//! and `checkpoint_is_portable_across_shard_counts` additionally prove a
+//! checkpoint written under one `Threads(n)`/`ShardPlan::Shards(n)` setting
+//! recovers bit-identically under another (the config fingerprint excludes
+//! parallelism and shards by design — checkpoints persist logical per-class
+//! state, never shard layout).
 //!
 //! Deterministic: `Scale::tiny()` world with fixed seed 4711, exotic
 //! labels appended, ChaCha-seeded crash choice in the smoke test.
@@ -38,8 +41,8 @@ use ltee_store::{crashpoints, KbStore, StoreError, WalTail};
 use rand::{RngCore, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
-fn config_with(parallelism: Parallelism) -> PipelineConfig {
-    PipelineConfig { parallelism, ..PipelineConfig::fast() }
+fn config_sharded(parallelism: Parallelism, shards: ShardPlan) -> PipelineConfig {
+    PipelineConfig { parallelism, shards, ..PipelineConfig::fast() }
 }
 
 /// One trained world + the serve-time stream (training corpus plus exotic
@@ -50,10 +53,14 @@ struct Setup {
 }
 
 fn setup(parallelism: Parallelism) -> Setup {
+    setup_sharded(parallelism, ShardPlan::Auto)
+}
+
+fn setup_sharded(parallelism: Parallelism, shards: ShardPlan) -> Setup {
     let tw = common::TrainedWorld::train_with(
         4711,
         &ltee_webtables::CorpusConfig::tiny(),
-        config_with(parallelism),
+        config_sharded(parallelism, shards),
     );
     let stream = common::with_exotic_labels(
         tw.corpus.clone(),
@@ -309,6 +316,66 @@ fn checkpoint_is_portable_across_thread_counts() {
     ), "re-ingesting already-stored tables must be rejected (and rolled back)");
     assert_eq!(recovered.version(), 4, "rejected batch published nothing");
     fs::remove_dir_all(&dir).unwrap();
+}
+
+/// A checkpoint written under `Shards(1)` must restore bit-identically
+/// under `Shards(4)` — and the other way round: the checkpoint persists
+/// logical per-class state, never the shard layout, so any process can
+/// restore under any `ShardPlan`. The matrix also crosses thread counts
+/// to make sure the two axes compose.
+#[test]
+fn checkpoint_is_portable_across_shard_counts() {
+    let writer = setup_sharded(Parallelism::Threads(1), ShardPlan::Shards(1));
+    let k = 4usize;
+    let batches = writer.stream.split_into_batches(k);
+    let dir = scratch_dir("portable-shards");
+    let (fingerprints, outputs) =
+        reference_run(&writer, &batches, &dir, CheckpointPolicy::EveryBatches(2));
+
+    for (shards, threads) in [(4usize, 4usize), (2, 1)] {
+        let reader = setup_sharded(Parallelism::Threads(threads), ShardPlan::Shards(shards));
+        let (recovered, report) = DurableServePipeline::open(
+            &dir,
+            reader.tw.world.kb(),
+            reader.tw.models.clone(),
+            reader.tw.config.clone(),
+            CheckpointPolicy::Manual,
+        )
+        .expect("shard count is not part of the config fingerprint");
+        assert_eq!(report.from_checkpoint, Some(4), "shards={shards}");
+        assert_eq!(
+            recovered.snapshot().fingerprint(),
+            fingerprints[4],
+            "shards={shards}, threads={threads}: restored fingerprint"
+        );
+        assert_eq!(
+            recovered.snapshot().execute_batch(&query_mix(&reader.stream)),
+            outputs,
+            "shards={shards}, threads={threads}: query-mix outputs"
+        );
+    }
+
+    // And the reverse direction: write sharded, restore unsharded.
+    let sharded_writer = setup_sharded(Parallelism::Threads(4), ShardPlan::Shards(4));
+    let sharded_dir = scratch_dir("portable-shards-rev");
+    let (rev_fingerprints, rev_outputs) =
+        reference_run(&sharded_writer, &batches, &sharded_dir, CheckpointPolicy::EveryBatches(2));
+    assert_eq!(rev_fingerprints, fingerprints, "sharded writer reproduces the reference");
+    let reader = setup_sharded(Parallelism::Threads(1), ShardPlan::Shards(1));
+    let (recovered, report) = DurableServePipeline::open(
+        &sharded_dir,
+        reader.tw.world.kb(),
+        reader.tw.models.clone(),
+        reader.tw.config.clone(),
+        CheckpointPolicy::Manual,
+    )
+    .expect("restore under one shard");
+    assert_eq!(report.from_checkpoint, Some(4));
+    assert_eq!(recovered.snapshot().fingerprint(), fingerprints[4]);
+    assert_eq!(recovered.snapshot().execute_batch(&query_mix(&reader.stream)), rev_outputs);
+
+    fs::remove_dir_all(&dir).unwrap();
+    fs::remove_dir_all(&sharded_dir).unwrap();
 }
 
 /// Config-fingerprint guard: a store written under one `PipelineConfig`
