@@ -10,11 +10,15 @@
 //! ```
 //!
 //! Environment knobs: `LTEE_BENCH_READERS` (reader thread count, default:
-//! available parallelism, at least 2) and `LTEE_BENCH_QUERIES` (target
-//! query count per measured phase, default 4000). As a side effect the
+//! available parallelism, at least 2), `LTEE_BENCH_QUERIES` (target query
+//! count per measured phase, default 4000) and `LTEE_BENCH_INGESTS`
+//! (sustained-ingest batch count, default 1000). As a side effect the
 //! bench re-checks the read-path determinism contract: every concurrent
 //! reader pinned to the same snapshot version must produce a bit-identical
-//! result fingerprint.
+//! result fingerprint — and the sustained-ingest phase re-checks the
+//! bounded-memory contract: resident snapshot versions must stay at the
+//! retention window while a thousand micro-batches publish (the
+//! `resident_bounded` verdict CI gates on).
 //!
 //! Note: on a single-core host the multi-reader number cannot exceed the
 //! single-reader number — the point of recording both is exactly to make
@@ -190,15 +194,89 @@ fn main() {
         serving.version()
     );
 
+    // Phase 4: sustained ingest — queries/s and resident snapshot versions
+    // while a long stream of single-table micro-batches publishes. This is
+    // the indefinite-ingest regime the epoch reclamation exists for: the
+    // retention window (not the version count) must bound resident
+    // versions throughout.
+    let ingests = env_usize("LTEE_BENCH_INGESTS", 1000);
+    let retention_window = match serving.retention() {
+        ltee_serve::RetentionPolicy::KeepLast(n) => n,
+        ltee_serve::RetentionPolicy::KeepAll => usize::MAX,
+    };
+    let smallest = corpus
+        .tables()
+        .iter()
+        .min_by_key(|t| t.num_rows())
+        .expect("corpus has tables")
+        .clone();
+    let done = std::sync::atomic::AtomicBool::new(false);
+    let (ingest_stats, reader_stats): ((f64, usize), Vec<(usize, f64)>) =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..readers)
+                .map(|_| {
+                    let reader = serving.reader();
+                    let workload = &workload;
+                    let done = &done;
+                    scope.spawn(move || {
+                        let (mut queries, mut busy) = (0usize, 0.0f64);
+                        while !done.load(std::sync::atomic::Ordering::Relaxed) {
+                            let (n, secs, _) = run_reader(&reader, workload, 1);
+                            queries += n;
+                            busy += secs;
+                        }
+                        (queries, busy)
+                    })
+                })
+                .collect();
+            let mut max_resident = 0usize;
+            let sustain_start = Instant::now();
+            for i in 0..ingests {
+                let mut table = smallest.clone();
+                table.id = TableId(10_000_000 + i as u64);
+                serving
+                    .ingest(&Corpus::from_tables(vec![table]))
+                    .expect("sustained ids are fresh");
+                max_resident = max_resident.max(serving.versions_retained());
+            }
+            let sustain_secs = sustain_start.elapsed().as_secs_f64();
+            done.store(true, std::sync::atomic::Ordering::Relaxed);
+            let per_reader = handles.into_iter().map(|h| h.join().expect("reader thread"));
+            ((sustain_secs, max_resident), per_reader.collect())
+        });
+    let (sustain_secs, max_resident) = ingest_stats;
+    // Quiescent: readers joined, so one explicit reclaim must collapse
+    // residency to exactly the retention window.
+    serving.reclaim();
+    let final_resident = serving.versions_retained();
+    let sustain_queries: usize = reader_stats.iter().map(|(n, _)| n).sum();
+    let sustain_wall = reader_stats.iter().map(|(_, busy)| *busy).fold(0.0f64, f64::max);
+    let sustain_qps = sustain_queries as f64 / sustain_wall.max(f64::EPSILON);
+    let ingests_per_sec = ingests as f64 / sustain_secs;
+    // The CI gate: resident versions bounded by the retention window — at
+    // quiescence exactly, and during ingest within a transient-pin slack
+    // far below anything version retention would produce.
+    let resident_bounded = final_resident <= retention_window && max_resident <= retention_window + 64;
+    println!(
+        "bench: serve_throughput sustained      {sustain_queries:>7} queries {sustain_wall:>8.3} s {sustain_qps:>12.1} q/s ({ingests} ingests at {ingests_per_sec:.1}/s, resident max {max_resident} final {final_resident} window {retention_window}, reclaimed {})",
+        serving.versions_reclaimed()
+    );
+    assert!(
+        resident_bounded,
+        "resident versions exceeded the retention window (max {max_resident}, final \
+         {final_resident}, window {retention_window})"
+    );
+
     // Hand-rolled JSON: the vendored serde shim has no real serialisation.
     let json = format!(
-        "{{\n  \"bench\": \"serve_throughput\",\n  \"host_cores\": {host_cores},\n  \"readers\": {readers},\n  \"workload_queries\": {},\n  \"passes\": {passes},\n  \"single_reader\": {{ \"queries\": {}, \"secs\": {:.6}, \"queries_per_sec\": {:.2} }},\n  \"multi_reader\": {{ \"queries\": {multi_total}, \"secs\": {wall:.6}, \"queries_per_sec\": {multi_qps:.2}, \"speedup_vs_single\": {:.4} }},\n  \"during_ingest\": {{ \"queries\": {during_total}, \"secs\": {wall_during:.6}, \"queries_per_sec\": {during_qps:.2}, \"ingest_secs\": {ingest_secs:.6}, \"final_version\": {} }}\n}}\n",
+        "{{\n  \"bench\": \"serve_throughput\",\n  \"host_cores\": {host_cores},\n  \"readers\": {readers},\n  \"workload_queries\": {},\n  \"passes\": {passes},\n  \"single_reader\": {{ \"queries\": {}, \"secs\": {:.6}, \"queries_per_sec\": {:.2} }},\n  \"multi_reader\": {{ \"queries\": {multi_total}, \"secs\": {wall:.6}, \"queries_per_sec\": {multi_qps:.2}, \"speedup_vs_single\": {:.4} }},\n  \"during_ingest\": {{ \"queries\": {during_total}, \"secs\": {wall_during:.6}, \"queries_per_sec\": {during_qps:.2}, \"ingest_secs\": {ingest_secs:.6}, \"final_version\": {} }},\n  \"sustained_ingest\": {{ \"ingests\": {ingests}, \"ingest_secs\": {sustain_secs:.6}, \"ingests_per_sec\": {ingests_per_sec:.2}, \"queries\": {sustain_queries}, \"queries_per_sec\": {sustain_qps:.2}, \"retention_window\": {retention_window}, \"max_resident_versions\": {max_resident}, \"final_resident_versions\": {final_resident}, \"versions_reclaimed\": {}, \"resident_bounded\": {resident_bounded} }}\n}}\n",
         workload.len(),
         n,
         secs,
         single_qps,
         multi_qps / single_qps,
         serving.version(),
+        serving.versions_reclaimed(),
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
     std::fs::write(path, &json).expect("write BENCH_serve.json");

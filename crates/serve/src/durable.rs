@@ -19,9 +19,10 @@
 //!    (`tests/recovery_equivalence.rs` proves this at every crash point).
 //!
 //! The recovered snapshot sequence resumes at the recovered batch count:
-//! versions published before the crash are not in the new process's
-//! history (`snapshot_at` of older versions returns `None`), matching the
-//! snapshot cell's "history of *this* cell" contract.
+//! versions published before the crash were never in the new process's
+//! retention window (`snapshot_at` of older versions is a typed
+//! [`crate::SnapshotAtError::VersionReclaimed`]), matching the snapshot
+//! cell's "retention window of *this* cell" contract.
 
 use std::path::Path;
 
@@ -31,7 +32,7 @@ use ltee_kb::KnowledgeBase;
 use ltee_store::{KbStore, StoreError, WalTail};
 use ltee_webtables::Corpus;
 
-use crate::{IncrementalPipeline, KbSnapshot, ServePipeline, SnapshotReader};
+use crate::{IncrementalPipeline, KbSnapshot, RetentionPolicy, ServePipeline, SnapshotReader};
 
 use std::sync::Arc;
 
@@ -83,13 +84,30 @@ impl<'a> DurableServePipeline<'a> {
     /// WAL tail. A checkpoint or WAL minted under a different config
     /// fingerprint is a hard typed error; a torn WAL tail is dropped and
     /// repaired. On success the published snapshot version equals the
-    /// number of batches recovered.
+    /// number of batches recovered. Snapshot retention is the default
+    /// [`RetentionPolicy`]; use
+    /// [`DurableServePipeline::open_with_retention`] to pick the window.
     pub fn open(
         dir: impl AsRef<Path>,
         kb: &'a KnowledgeBase,
         models: TrainedModels,
         config: PipelineConfig,
         policy: CheckpointPolicy,
+    ) -> Result<(Self, RecoveryReport), StoreError> {
+        Self::open_with_retention(dir, kb, models, config, policy, RetentionPolicy::default())
+    }
+
+    /// [`DurableServePipeline::open`] with an explicit snapshot
+    /// [`RetentionPolicy`]. Retention is an in-memory serving knob, not a
+    /// durability one: checkpoints and the WAL are unaffected, and
+    /// recovery replays the identical state at any window.
+    pub fn open_with_retention(
+        dir: impl AsRef<Path>,
+        kb: &'a KnowledgeBase,
+        models: TrainedModels,
+        config: PipelineConfig,
+        policy: CheckpointPolicy,
+        retention: RetentionPolicy,
     ) -> Result<(Self, RecoveryReport), StoreError> {
         if let CheckpointPolicy::EveryBatches(n) = policy {
             assert!(n >= 1, "EveryBatches(0) would checkpoint nowhere");
@@ -104,7 +122,8 @@ impl<'a> DurableServePipeline<'a> {
             }
             None => (IncrementalPipeline::new(kb, models, config), None),
         };
-        let mut serve = ServePipeline::from_pipeline(kb, pipeline, from_checkpoint.unwrap_or(0));
+        let mut serve =
+            ServePipeline::from_pipeline(kb, pipeline, from_checkpoint.unwrap_or(0), retention);
 
         let mut replayed = 0u64;
         for record in &recovery.tail {

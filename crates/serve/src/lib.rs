@@ -10,11 +10,18 @@
 //!
 //! * [`ServePipeline`] wraps an [`IncrementalPipeline`]: every ingested
 //!   micro-batch publishes a new immutable [`KbSnapshot`] version.
-//! * [`SnapshotReader`] handles are cheap, `Send + Sync + 'static`, and
+//! * [`SnapshotReader`] handles are cheap to clone, `Send + 'static`, and
 //!   **wait-free**: [`SnapshotReader::snapshot`] never blocks, never takes
 //!   a lock, and never observes a partially ingested batch — each returned
 //!   `Arc<KbSnapshot>` is one consistent KB version, pinned for as long as
-//!   the reader holds it (see [`cell`] for the mechanism).
+//!   the reader holds it. A handle carries its own reclamation-epoch slot
+//!   and so is deliberately `!Sync`: clone one per reader thread instead
+//!   of sharing a reference (see [`cell`] for the mechanism).
+//! * Superseded versions are **reclaimed**: memory stays bounded by the
+//!   [`RetentionPolicy`] window (default: keep the last 8 versions) under
+//!   indefinite ingest, instead of growing with version count. Replay via
+//!   [`SnapshotReader::snapshot_at`] works inside the window and is a
+//!   typed [`SnapshotAtError::VersionReclaimed`] outside it.
 //! * Snapshots answer exact and fuzzy label lookups (over the interned,
 //!   integer-keyed postings of [`ltee_index::SharedLabelIndex`]), entity
 //!   fetches with fused facts plus full table provenance, per-class
@@ -28,9 +35,13 @@
 //! * **Snapshot isolation**: every query (and every batch of queries) runs
 //!   against exactly one version; concurrent ingest affects only *later*
 //!   `snapshot()` calls.
-//! * **Reader wait-freedom**: acquiring a snapshot is an atomic pointer
-//!   load plus a reference-count increment, independent of writer
-//!   activity.
+//! * **Reader wait-freedom**: acquiring a snapshot is an epoch pin (two
+//!   atomic stores), an atomic pointer load and a reference-count
+//!   increment, independent of writer activity.
+//! * **Bounded retention**: a version a reader holds an `Arc` to lives as
+//!   long as that `Arc`; a version nobody pinned is reclaimed once it
+//!   falls out of the retention window, so resident memory is
+//!   O(window × class size), not O(versions × class size).
 //! * **Determinism**: querying a version returns bit-identical results no
 //!   matter how many readers run concurrently or how the pool is sized —
 //!   snapshots are immutable and batch collection is input-ordered.
@@ -66,7 +77,7 @@ pub mod durable;
 pub mod query;
 pub mod snapshot;
 
-pub use cell::SnapshotCell;
+pub use cell::{ReaderSlot, RetentionPolicy, SnapshotAtError, SnapshotCell};
 pub use durable::{CheckpointPolicy, DurableServePipeline, RecoveryReport};
 pub use query::{EntityHit, EntityRef, Query, QueryOutput};
 pub use snapshot::{
@@ -129,14 +140,29 @@ pub struct ServePipeline<'a> {
 }
 
 impl<'a> ServePipeline<'a> {
-    /// Create a serving pipeline from freshly trained models. Publishes
-    /// the empty version-0 snapshot immediately, so readers acquired
-    /// before the first ingest see a valid (empty) KB.
+    /// Create a serving pipeline from freshly trained models, with the
+    /// default [`RetentionPolicy`] (keep the last
+    /// [`RetentionPolicy::DEFAULT_KEEP_LAST`] versions). Publishes the
+    /// empty version-0 snapshot immediately, so readers acquired before
+    /// the first ingest see a valid (empty) KB.
     pub fn new(kb: &'a KnowledgeBase, models: TrainedModels, config: PipelineConfig) -> Self {
+        Self::with_retention(kb, models, config, RetentionPolicy::default())
+    }
+
+    /// [`ServePipeline::new`] with an explicit [`RetentionPolicy`] — the
+    /// knob bounding how many superseded snapshot versions stay resident
+    /// (and [`SnapshotReader::snapshot_at`]-replayable) under sustained
+    /// ingest.
+    pub fn with_retention(
+        kb: &'a KnowledgeBase,
+        models: TrainedModels,
+        config: PipelineConfig,
+        retention: RetentionPolicy,
+    ) -> Self {
         Self {
             kb,
             pipeline: IncrementalPipeline::new(kb, models, config),
-            cell: Arc::new(SnapshotCell::new(Arc::new(KbSnapshot::empty()))),
+            cell: Arc::new(SnapshotCell::new(Arc::new(KbSnapshot::empty()), retention)),
             class_cache: vec![None; CLASS_KEYS.len()],
         }
     }
@@ -145,11 +171,14 @@ impl<'a> ServePipeline<'a> {
     /// publish its accumulated state as version `version` — the number of
     /// non-empty batches the pipeline has absorbed. Readers acquired after
     /// this see the full recovered KB immediately; versions before
-    /// `version` predate this process and are not in the cell's history.
+    /// `version` predate this process and were never in this cell's
+    /// retention window ([`SnapshotReader::snapshot_at`] reports them as
+    /// [`SnapshotAtError::VersionReclaimed`]).
     pub(crate) fn from_pipeline(
         kb: &'a KnowledgeBase,
         pipeline: IncrementalPipeline<'a>,
         version: u64,
+        retention: RetentionPolicy,
     ) -> Self {
         let mut class_cache: Vec<Option<Arc<ClassSnapshot>>> = vec![None; CLASS_KEYS.len()];
         let populated: Vec<ClassKey> = CLASS_KEYS
@@ -166,7 +195,7 @@ impl<'a> ServePipeline<'a> {
             pipeline.ingested_rows(),
             class_cache.clone(),
         ));
-        Self { kb, pipeline, cell: Arc::new(SnapshotCell::new(initial)), class_cache }
+        Self { kb, pipeline, cell: Arc::new(SnapshotCell::new(initial, retention)), class_cache }
     }
 
     /// Create a serving pipeline from a persisted artifact (verifying its
@@ -210,21 +239,54 @@ impl<'a> ServePipeline<'a> {
         Ok(report)
     }
 
-    /// A new reader handle. Handles are cheap to clone, `'static`, and
-    /// remain valid (serving the versions published so far) even while
-    /// ingests run.
+    /// A new reader handle, with its own freshly registered reclamation
+    /// slot. Handles are cheap, `Send + 'static`, and remain valid
+    /// (serving the current retention window) even while ingests run;
+    /// clone one per reader thread.
     pub fn reader(&self) -> SnapshotReader {
-        SnapshotReader { cell: Arc::clone(&self.cell) }
+        SnapshotReader { slot: self.cell.register_slot(), cell: Arc::clone(&self.cell) }
     }
 
-    /// The current snapshot (wait-free, like a reader's).
+    /// The current snapshot. The writer's own load — setup and
+    /// diagnostics, not the hot read path; reader threads use
+    /// [`SnapshotReader::snapshot`], which is the wait-free one.
     pub fn snapshot(&self) -> Arc<KbSnapshot> {
-        self.cell.load()
+        self.cell.load_writer()
     }
 
     /// The latest published version number.
     pub fn version(&self) -> u64 {
         self.cell.version()
+    }
+
+    /// Free superseded versions whose grace period has passed, without
+    /// publishing. Reclamation already runs on every publish; this exists
+    /// for quiescent pipelines (ingest stopped, readers drained) that
+    /// want limbo emptied now — e.g. before measuring resident memory.
+    pub fn reclaim(&mut self) {
+        self.cell.reclaim();
+    }
+
+    /// Snapshot versions currently resident (retention window + limbo);
+    /// see [`SnapshotCell::versions_retained`].
+    pub fn versions_retained(&self) -> usize {
+        self.cell.versions_retained()
+    }
+
+    /// Snapshot versions freed by reclamation so far.
+    pub fn versions_reclaimed(&self) -> u64 {
+        self.cell.versions_reclaimed()
+    }
+
+    /// The oldest version still replayable via
+    /// [`SnapshotReader::snapshot_at`].
+    pub fn oldest_retained(&self) -> u64 {
+        self.cell.oldest_retained()
+    }
+
+    /// The pipeline's snapshot [`RetentionPolicy`].
+    pub fn retention(&self) -> RetentionPolicy {
+        self.cell.retention()
     }
 
     /// The wrapped incremental pipeline (for ingest-side diagnostics).
@@ -235,30 +297,44 @@ impl<'a> ServePipeline<'a> {
 
 /// A read handle onto the published snapshot sequence.
 ///
-/// `Clone + Send + Sync + 'static`: hand one to every reader thread.
-/// [`SnapshotReader::snapshot`] pins the latest version wait-free; the
-/// pinned snapshot stays fully consistent regardless of concurrent
-/// ingests, which only ever make *newer* versions visible.
-#[derive(Debug, Clone)]
+/// `Clone + Send + 'static` — and deliberately **`!Sync`**: a handle
+/// carries its own registered epoch slot ([`ReaderSlot`]), which
+/// serialises one load at a time, so hand every reader thread its own
+/// clone rather than a shared reference. Cloning registers a fresh slot
+/// (it takes the registry lock briefly — clone per thread, not per
+/// query). [`SnapshotReader::snapshot`] pins the latest version
+/// wait-free; the pinned snapshot stays fully consistent regardless of
+/// concurrent ingests and reclamation, which only ever free versions no
+/// handle is mid-load on and no caller still holds.
+#[derive(Debug)]
 pub struct SnapshotReader {
     cell: Arc<SnapshotCell>,
+    slot: ReaderSlot,
+}
+
+impl Clone for SnapshotReader {
+    fn clone(&self) -> Self {
+        Self { slot: self.cell.register_slot(), cell: Arc::clone(&self.cell) }
+    }
 }
 
 impl SnapshotReader {
-    /// The latest published snapshot (wait-free).
+    /// The latest published snapshot (wait-free — no locks, no CAS loops,
+    /// regardless of concurrent publishes and reclamation).
     pub fn snapshot(&self) -> Arc<KbSnapshot> {
-        self.cell.load()
+        self.cell.load(&self.slot)
     }
 
-    /// The latest published version number.
+    /// The latest published version number (lock-free).
     pub fn version(&self) -> u64 {
         self.cell.version()
     }
 
-    /// A specific published version (the current or any superseded one);
-    /// see [`SnapshotCell::snapshot_at`]. Diagnostics/verification only —
-    /// takes the history lock.
-    pub fn snapshot_at(&self, version: u64) -> Option<Arc<KbSnapshot>> {
+    /// A specific published version, while it remains inside the
+    /// retention window; outside it, a typed [`SnapshotAtError`] (see
+    /// [`SnapshotCell::snapshot_at`]). Diagnostics/verification only —
+    /// takes the retention lock.
+    pub fn snapshot_at(&self, version: u64) -> Result<Arc<KbSnapshot>, SnapshotAtError> {
         self.cell.snapshot_at(version)
     }
 }

@@ -241,11 +241,22 @@ impl KbSnapshot {
         self.version
     }
 
-    /// Fabricate a version number on an otherwise empty snapshot, so the
-    /// cell's unit tests can exercise publication without a pipeline.
-    #[cfg(test)]
-    pub(crate) fn set_version_for_tests(&mut self, version: u64) {
-        self.version = version;
+    /// Build a synthetic snapshot whose heap footprint is a constant
+    /// `payload_slots × 8` bytes regardless of version — the reclamation
+    /// soak publishes thousands of these through a raw cell so a
+    /// counting allocator can prove resident bytes plateau at the
+    /// retention window instead of growing with version count. (A real
+    /// pipeline's snapshots share untouched class slices across versions
+    /// *and* legitimately grow with corpus size, which would drown the
+    /// signal.) Test support, not API: hidden, and useless for serving.
+    #[doc(hidden)]
+    pub fn synthetic_for_soak(version: u64, payload_slots: usize) -> Self {
+        Self {
+            version,
+            tables: version as usize + 7,
+            rows: 3 * version as usize,
+            classes: vec![None; payload_slots.max(CLASS_KEYS.len())],
+        }
     }
 
     /// Tables ingested up to this version.

@@ -167,9 +167,11 @@ fn concurrent_readers_observe_isolated_bit_identical_versions() {
     // ── Verification (single-threaded, after the fact) ──────────────────
     let reader = serving.reader();
 
-    // Every published version is retained and matches the writer's record.
+    // Every published version is retained and matches the writer's record
+    // (the run publishes fewer versions than the default retention window
+    // keeps, so nothing has been reclaimed).
     for (version, expected) in expected_stats.iter().enumerate() {
-        let snap = reader.snapshot_at(version as u64).expect("all versions retained");
+        let snap = reader.snapshot_at(version as u64).expect("all versions inside the window");
         assert_eq!(&snap.stats(), expected, "archived version {version} drifted");
     }
 
@@ -180,7 +182,7 @@ fn concurrent_readers_observe_isolated_bit_identical_versions() {
             total_batches += 1;
             let snap = reader
                 .snapshot_at(*version)
-                .unwrap_or_else(|| panic!("version {version} not retained"));
+                .unwrap_or_else(|err| panic!("version {version} not retained: {err}"));
 
             // Bit-identical replay: the same queries, re-executed
             // sequentially against the archived version, must reproduce
@@ -213,6 +215,126 @@ fn concurrent_readers_observe_isolated_bit_identical_versions() {
         total_batches >= READERS,
         "every reader issues at least one query batch (got {total_batches})"
     );
+}
+
+/// The retention-window contract under real traffic (narrow windows force
+/// reclamation within a handful of ingests): everything a reader observed
+/// concurrently replays bit-identically via `snapshot_at` *while the
+/// version is inside the window*, everything behind the window is a typed
+/// `VersionReclaimed` rejection — never a panic — and the boundary between
+/// the two is exactly `oldest_retained`.
+#[test]
+fn retention_window_replays_inside_and_rejects_typed_outside() {
+    use ltee_serve::{RetentionPolicy, SnapshotAtError};
+
+    let (world, corpus, artifact) = setup();
+    for window in [1usize, 3] {
+        let mut serving = ServePipeline::with_retention(
+            world.kb(),
+            artifact.models.clone(),
+            config(),
+            RetentionPolicy::KeepLast(window),
+        );
+        let batches = corpus.split_into_batches(MICRO_BATCHES);
+        let final_version = batches.len() as u64;
+
+        // Readers log (version, queries, outputs) under concurrent ingest,
+        // exactly like the isolation proof above.
+        let reader_logs: Vec<ReaderLog> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..READERS)
+                .map(|_| {
+                    let reader = serving.reader();
+                    scope.spawn(move || {
+                        let mut log: ReaderLog = Vec::new();
+                        let deadline = std::time::Instant::now() + Duration::from_secs(300);
+                        loop {
+                            assert!(
+                                std::time::Instant::now() < deadline,
+                                "reader timed out waiting for version {final_version}"
+                            );
+                            let snap = reader.snapshot();
+                            let version = snap.version();
+                            let queries = mixed_queries(&snap);
+                            let outputs = snap.execute_batch(&queries);
+                            log.push((version, queries, outputs));
+                            if version >= final_version {
+                                return log;
+                            }
+                            std::thread::sleep(Duration::from_millis(2));
+                        }
+                    })
+                })
+                .collect();
+            for batch in &batches {
+                serving.ingest(batch).expect("fresh table ids");
+            }
+            handles.into_iter().map(|h| h.join().expect("reader thread panicked")).collect()
+        });
+
+        // Quiescent: resident versions collapse to exactly the window.
+        serving.reclaim();
+        assert_eq!(serving.versions_retained(), window.min(final_version as usize + 1));
+        let oldest = serving.oldest_retained();
+        assert_eq!(oldest, (final_version + 1).saturating_sub(window as u64));
+
+        let reader = serving.reader();
+        // Exhaustive sweep: inside the window serves, behind it rejects
+        // with the typed error carrying the true boundary, past the
+        // published head rejects as not-yet-published. No panics anywhere.
+        for version in 0..=final_version {
+            match reader.snapshot_at(version) {
+                Ok(snap) => {
+                    assert!(version >= oldest, "v{version} served outside the window");
+                    assert_eq!(snap.version(), version);
+                }
+                Err(SnapshotAtError::VersionReclaimed { version: v, oldest_retained }) => {
+                    assert_eq!(v, version);
+                    assert_eq!(oldest_retained, oldest);
+                    assert!(version < oldest, "v{version} rejected despite being in-window");
+                }
+                Err(other) => panic!("unexpected error for v{version}: {other}"),
+            }
+        }
+        assert!(matches!(
+            reader.snapshot_at(final_version + 1),
+            Err(SnapshotAtError::NotYetPublished { .. })
+        ));
+
+        // Concurrently observed results: still-retained versions replay
+        // bit-identically; reclaimed ones reject typed. Both outcomes must
+        // occur across the logs for the proof to have teeth (the window is
+        // narrower than the version count, and every reader logged the
+        // final version, which is always retained).
+        let (mut replayed, mut rejected) = (0usize, 0usize);
+        for (reader_id, log) in reader_logs.iter().enumerate() {
+            for (version, queries, outputs) in log {
+                match reader.snapshot_at(*version) {
+                    Ok(snap) => {
+                        let replay: Vec<QueryOutput> =
+                            queries.iter().map(|q| snap.execute(q)).collect();
+                        assert_eq!(
+                            outputs, &replay,
+                            "reader {reader_id}: window-{window} replay of v{version} is not \
+                             bit-identical to the concurrently observed results"
+                        );
+                        replayed += 1;
+                    }
+                    Err(SnapshotAtError::VersionReclaimed { .. }) => {
+                        assert!(*version < oldest);
+                        rejected += 1;
+                    }
+                    Err(other) => panic!("unexpected error replaying v{version}: {other}"),
+                }
+            }
+        }
+        // Which versions the readers happened to observe is scheduling-
+        // dependent, but the final version is always logged (every reader
+        // exits on it) and always retained — so the bit-identity half of
+        // the property is guaranteed teeth; the typed-rejection half is
+        // proven deterministically by the exhaustive sweep above.
+        assert!(replayed > 0, "window {window}: no observation was replayable");
+        let _ = rejected;
+    }
 }
 
 #[test]
